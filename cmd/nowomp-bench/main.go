@@ -1,0 +1,123 @@
+// Command nowomp-bench regenerates the tables and figures of the
+// paper's evaluation section. Each experiment prints the same rows or
+// series the paper reports; EXPERIMENTS.md records a full run against
+// the published numbers.
+//
+// Examples:
+//
+//	nowomp-bench -exp table1 -scale 0.15
+//	nowomp-bench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"nowomp/internal/bench"
+	"nowomp/internal/simtime"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: table1, table2, fig3, migration, micro, ablation or all")
+		scale = flag.Float64("scale", 0.15, "problem scale (1.0 = the paper's sizes; some experiments enforce larger floors)")
+		hosts = flag.Int("hosts", 10, "workstation pool size")
+		pairs = flag.Int("pairs", 3, "leave/join pairs per Table 2 run")
+		grace = flag.Float64("grace", 3.0, "leave grace period in seconds")
+	)
+	flag.Parse()
+	opt := bench.Options{
+		Scale: *scale, Hosts: *hosts, Pairs: *pairs,
+		Grace: simtime.Seconds(*grace),
+	}
+	if err := run(*exp, opt); err != nil {
+		fmt.Fprintln(os.Stderr, "nowomp-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, opt bench.Options) error {
+	all := exp == "all"
+	ran := false
+	step := func(name string, f func() error) error {
+		if !all && exp != name {
+			return nil
+		}
+		ran = true
+		start := time.Now()
+		if err := f(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("[%s regenerated in %.1fs real time]\n\n", name, time.Since(start).Seconds())
+		return nil
+	}
+
+	if err := step("table1", func() error {
+		rows, err := bench.Table1(opt, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTable1(rows, opt.Scale))
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("table2", func() error {
+		cells, err := bench.Table2(opt, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTable2(cells))
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("fig3", func() error {
+		rows, err := bench.Fig3(opt, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatFig3(rows))
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("migration", func() error {
+		rows, err := bench.Migration(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatMigration(rows))
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("micro", func() error {
+		m, err := bench.Micro(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatMicro(m))
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("ablation", func() error {
+		a, err := bench.Ablation(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatAblation(a))
+		return nil
+	}); err != nil {
+		return err
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (want %s)", exp,
+			strings.Join([]string{"table1", "table2", "fig3", "migration", "micro", "ablation", "all"}, ", "))
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+// Command nowomp-run executes one of the paper's application kernels
+// on the simulated NOW, optionally with an adapt-event schedule (the
+// stand-in for the paper's event daemons), and reports the Table
+// 1-style measurements plus a log of every adaptation.
+//
+// Examples:
+//
+//	nowomp-run -app jacobi -procs 8 -scale 0.2
+//	nowomp-run -app nbf -procs 8 -hosts 10 -scale 0.3 \
+//	    -schedule "6:leave:7,9:join:7,14:leave:4:grace=0.5"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"nowomp/internal/adapt"
+	"nowomp/internal/apps"
+	"nowomp/internal/omp"
+	"nowomp/internal/simtime"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "jacobi", "application: gauss, jacobi, fft3d or nbf")
+		procs    = flag.Int("procs", 8, "initial team size")
+		hosts    = flag.Int("hosts", 10, "workstation pool size")
+		scale    = flag.Float64("scale", 0.2, "problem scale (1.0 = the paper's sizes)")
+		schedule = flag.String("schedule", "", "adapt events, e.g. \"6:leave:7,9:join:7\"")
+		grace    = flag.Float64("grace", 3.0, "default leave grace period in seconds")
+		adaptive = flag.Bool("adaptive", true, "use the adaptive runtime variant")
+		verify   = flag.Bool("verify", true, "check the result against the sequential reference")
+	)
+	flag.Parse()
+	if err := run(*app, *procs, *hosts, *scale, *schedule, *grace, *adaptive, *verify); err != nil {
+		fmt.Fprintln(os.Stderr, "nowomp-run:", err)
+		os.Exit(1)
+	}
+}
+
+func run(app string, procs, hosts int, scale float64, schedule string, grace float64, adaptive, verify bool) error {
+	runner, ok := apps.RunnerByName(app)
+	if !ok {
+		return fmt.Errorf("unknown application %q", app)
+	}
+	events, err := adapt.ParseSchedule(schedule)
+	if err != nil {
+		return err
+	}
+	if len(events) > 0 && !adaptive {
+		return fmt.Errorf("a schedule requires -adaptive")
+	}
+	rt, err := omp.New(omp.Config{
+		Hosts: hosts, Procs: procs, Adaptive: adaptive,
+		Grace: simtime.Seconds(grace),
+	})
+	if err != nil {
+		return err
+	}
+	for _, ev := range events {
+		if err := rt.Submit(ev); err != nil {
+			return err
+		}
+	}
+
+	res, err := runner.Run(rt, scale)
+	if err != nil {
+		return err
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(w, "app\t%s (scale %g)\n", res.App, scale)
+	fmt.Fprintf(w, "team\t%d initial, %d final\n", res.Procs, rt.NProcs())
+	fmt.Fprintf(w, "shared memory\t%.1f MB\n", float64(res.SharedBytes)/1e6)
+	fmt.Fprintf(w, "virtual runtime\t%.2f s\n", float64(res.Time))
+	fmt.Fprintf(w, "pages (4k)\t%d\n", res.Pages)
+	fmt.Fprintf(w, "traffic\t%.2f MB in %d messages\n", res.MB(), res.Messages)
+	fmt.Fprintf(w, "diffs\t%d\n", res.Diffs)
+	w.Flush()
+
+	if mgr := rt.Manager(); mgr != nil && mgr.PendingCount() > 0 {
+		fmt.Printf("\nnote: %d scheduled events never matured (run ended at t=%.2fs; schedule times are virtual seconds)\n",
+			mgr.PendingCount(), float64(rt.Now()))
+	}
+	if log := rt.AdaptLog(); len(log) > 0 {
+		fmt.Println("\nadaptations:")
+		w = tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+		fmt.Fprintln(w, "  at\tevent\thost\turgent\tcost\tpages moved\tmax-link bytes\tteam after")
+		for _, ap := range log {
+			for _, rec := range ap.Applied {
+				fmt.Fprintf(w, "  %.2fs\t%v\t%d\t%v\t%.3fs\t%d\t%d\t%v\n",
+					float64(ap.When), rec.Event.Kind, rec.Event.Host, rec.Urgent,
+					float64(ap.Elapsed), rec.Transfer.PagesMoved, ap.WindowMaxLink, ap.TeamAfter)
+			}
+		}
+		w.Flush()
+	}
+
+	if verify {
+		want := runner.Reference(scale)
+		if res.Checksum == want {
+			fmt.Println("\nverified: result matches the sequential reference bit for bit")
+		} else {
+			return fmt.Errorf("verification FAILED: checksum %g, reference %g", res.Checksum, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+// Checkpoint/restart: section 4.3's fault tolerance in one process.
+// An iterative solver checkpoints at an adaptation point, the program
+// abandons the runtime (the "power flicker"), and a fresh runtime
+// restores from the file and finishes. The final result matches an
+// uninterrupted run exactly.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"nowomp"
+)
+
+const (
+	n     = 32 * 1024
+	iters = 16
+)
+
+func step(rt *nowomp.Runtime, acc *nowomp.Float64Array, it int) {
+	rt.ParallelFor("step", 0, n, func(p *nowomp.Proc, lo, hi int) {
+		buf := make([]float64, hi-lo)
+		acc.ReadRange(p.Mem(), lo, hi, buf)
+		for i := range buf {
+			buf[i] = buf[i]*0.5 + float64(it)
+		}
+		acc.WriteRange(p.Mem(), lo, buf)
+	})
+}
+
+func checksum(rt *nowomp.Runtime, acc *nowomp.Float64Array) float64 {
+	return rt.ParallelForReduce("sum", 0, n, 0,
+		func(a, b float64) float64 { return a + b },
+		func(p *nowomp.Proc, lo, hi int) float64 {
+			buf := make([]float64, hi-lo)
+			acc.ReadRange(p.Mem(), lo, hi, buf)
+			s := 0.0
+			for _, v := range buf {
+				s += v
+			}
+			return s
+		})
+}
+
+func main() {
+	cfg := nowomp.Config{Hosts: 4, Procs: 4, Adaptive: true}
+	path := filepath.Join(os.TempDir(), "nowomp-example.ckpt")
+	defer os.Remove(path)
+
+	// Reference: an uninterrupted run.
+	ref, err := nowomp.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	refAcc, err := ref.AllocFloat64("acc", n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for it := 0; it < iters; it++ {
+		step(ref, refAcc, it)
+	}
+	want := checksum(ref, refAcc)
+
+	// Interrupted run: checkpoint at iteration 10, then "crash".
+	rt, err := nowomp.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc, err := rt.AllocFloat64("acc", n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const crashAfter = 10
+	for it := 0; it < crashAfter; it++ {
+		step(rt, acc, it)
+	}
+	if err := nowomp.Checkpoint(rt, path, map[string]any{"iter": crashAfter}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpointed at iteration %d (t=%.2fs); simulating a crash\n", crashAfter, float64(rt.Now()))
+	rt, acc = nil, nil // the machine reboots; everything in memory is gone
+
+	// Recovery: restore the master from disk, replay allocations,
+	// resume the outer loop where the checkpoint left it.
+	rt2, restored, err := nowomp.Restore(cfg, path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var resume int
+	if err := restored.State("iter", &resume); err != nil {
+		log.Fatal(err)
+	}
+	acc2, err := rt2.AllocFloat64("acc", n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restored: resuming at iteration %d with team %v\n", resume, rt2.Team())
+	for it := resume; it < iters; it++ {
+		step(rt2, acc2, it)
+	}
+	got := checksum(rt2, acc2)
+
+	if got != want {
+		log.Fatalf("restart result %g differs from uninterrupted %g", got, want)
+	}
+	fmt.Printf("restarted run matches the uninterrupted run exactly (checksum %.6g)\n", got)
+}

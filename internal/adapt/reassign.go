@@ -1,0 +1,65 @@
+package adapt
+
+import "nowomp/internal/dsm"
+
+// ReassignStrategy selects how process ids are reassigned when the
+// team changes. The strategy determines how much data the iteration
+// re-partitioning moves afterwards (Figure 3 of the paper); better
+// strategies are called out as future work in section 7, so both the
+// paper's behaviour and an alternative are provided.
+type ReassignStrategy int
+
+const (
+	// ShiftDown removes leavers and compacts the remaining processes
+	// preserving their order, appending joiners at the end. This is the
+	// behaviour Figure 3 illustrates: with a block partition, a leave
+	// of the end process moves up to 50% of the data space, a leave of
+	// a middle process up to 30%.
+	ShiftDown ReassignStrategy = iota
+	// SwapLast fills each leaver's slot with the current last process,
+	// keeping every other process id (and hence its data partition)
+	// unchanged.
+	SwapLast
+)
+
+func (s ReassignStrategy) String() string {
+	if s == ShiftDown {
+		return "shift-down"
+	}
+	return "swap-last"
+}
+
+// Reassign computes the new process-id-to-host mapping after removing
+// leavers from team and adding joiners. The slot index is the process
+// id: the iteration partition of process i is determined only by
+// (i, len(team)), so the mapping fully determines data movement.
+func Reassign(team []dsm.HostID, leaving map[dsm.HostID]bool, joiners []dsm.HostID, s ReassignStrategy) []dsm.HostID {
+	var out []dsm.HostID
+	switch s {
+	case SwapLast:
+		out = append(out, team...)
+		for i := 0; i < len(out); i++ {
+			if !leaving[out[i]] {
+				continue
+			}
+			// Drop trailing leavers, then fill this slot from the end.
+			last := len(out) - 1
+			for last > i && leaving[out[last]] {
+				last--
+			}
+			if last == i {
+				out = out[:i]
+				break
+			}
+			out[i] = out[last]
+			out = out[:last]
+		}
+	default: // ShiftDown
+		for _, h := range team {
+			if !leaving[h] {
+				out = append(out, h)
+			}
+		}
+	}
+	return append(out, joiners...)
+}

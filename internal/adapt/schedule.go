@@ -1,0 +1,77 @@
+package adapt
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"nowomp/internal/dsm"
+	"nowomp/internal/simtime"
+)
+
+// ParseSchedule parses a comma-separated adapt-event schedule of the
+// form
+//
+//	TIME:KIND:HOST[:grace=SECONDS]
+//
+// for example "12.5:leave:3,30:join:3,45:leave:7:grace=1". TIME is the
+// virtual instant in seconds at which the event is raised, KIND is
+// "join" or "leave", HOST is the workstation id. The optional grace
+// suffix overrides the default grace period for a leave. This is the
+// file/flag format the tools use to stand in for the paper's event
+// daemons.
+func ParseSchedule(s string) ([]Event, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var events []Event
+	for _, item := range strings.Split(s, ",") {
+		ev, err := parseEvent(strings.TrimSpace(item))
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}
+
+func parseEvent(item string) (Event, error) {
+	parts := strings.Split(item, ":")
+	if len(parts) < 3 || len(parts) > 4 {
+		return Event{}, fmt.Errorf("adapt: event %q: want TIME:KIND:HOST[:grace=G]", item)
+	}
+	t, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil || t < 0 {
+		return Event{}, fmt.Errorf("adapt: event %q: bad time %q", item, parts[0])
+	}
+	var kind Kind
+	switch strings.ToLower(parts[1]) {
+	case "join", "j":
+		kind = KindJoin
+	case "leave", "l":
+		kind = KindLeave
+	default:
+		return Event{}, fmt.Errorf("adapt: event %q: kind %q is not join or leave", item, parts[1])
+	}
+	host, err := strconv.Atoi(parts[2])
+	if err != nil || host < 0 {
+		return Event{}, fmt.Errorf("adapt: event %q: bad host %q", item, parts[2])
+	}
+	ev := Event{Kind: kind, Host: dsm.HostID(host), At: simtime.Seconds(t)}
+	if len(parts) == 4 {
+		g, ok := strings.CutPrefix(parts[3], "grace=")
+		if !ok {
+			return Event{}, fmt.Errorf("adapt: event %q: unknown option %q", item, parts[3])
+		}
+		gv, err := strconv.ParseFloat(g, 64)
+		if err != nil || gv <= 0 {
+			return Event{}, fmt.Errorf("adapt: event %q: bad grace %q", item, g)
+		}
+		if kind != KindLeave {
+			return Event{}, fmt.Errorf("adapt: event %q: grace only applies to leaves", item)
+		}
+		ev.Grace = simtime.Seconds(gv)
+	}
+	return ev, nil
+}

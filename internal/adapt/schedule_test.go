@@ -1,0 +1,69 @@
+package adapt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseScheduleBasic(t *testing.T) {
+	evs, err := ParseSchedule("12.5:leave:3,30:join:3,45:leave:7:grace=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("events = %d, want 3", len(evs))
+	}
+	if evs[0].Kind != KindLeave || evs[0].Host != 3 || evs[0].At != 12.5 || evs[0].Grace != 0 {
+		t.Fatalf("event 0 = %+v", evs[0])
+	}
+	if evs[1].Kind != KindJoin || evs[1].At != 30 {
+		t.Fatalf("event 1 = %+v", evs[1])
+	}
+	if evs[2].Grace != 1 {
+		t.Fatalf("event 2 grace = %v, want 1", evs[2].Grace)
+	}
+}
+
+func TestParseScheduleShortKinds(t *testing.T) {
+	evs, err := ParseSchedule("1:l:2, 2:j:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs[0].Kind != KindLeave || evs[1].Kind != KindJoin {
+		t.Fatalf("short kinds parsed wrong: %+v", evs)
+	}
+}
+
+func TestParseScheduleEmpty(t *testing.T) {
+	evs, err := ParseSchedule("  ")
+	if err != nil || evs != nil {
+		t.Fatalf("empty schedule: %v, %v", evs, err)
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	cases := []struct {
+		in, wantSub string
+	}{
+		{"5:leave", "want TIME"},
+		{"x:leave:3", "bad time"},
+		{"-1:leave:3", "bad time"},
+		{"5:vanish:3", "not join or leave"},
+		{"5:leave:banana", "bad host"},
+		{"5:leave:-2", "bad host"},
+		{"5:leave:3:deadline=9", "unknown option"},
+		{"5:leave:3:grace=zero", "bad grace"},
+		{"5:leave:3:grace=-1", "bad grace"},
+		{"5:join:3:grace=2", "only applies to leaves"},
+	}
+	for _, c := range cases {
+		_, err := ParseSchedule(c.in)
+		if err == nil {
+			t.Errorf("ParseSchedule(%q): expected error", c.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("ParseSchedule(%q) error %q, want substring %q", c.in, err, c.wantSub)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package apps
+
+import (
+	"fmt"
+
+	"nowomp/internal/omp"
+	"nowomp/internal/shmem"
+	"nowomp/internal/simtime"
+)
+
+// JacobiConfig parameterises the Jacobi kernel: a 5-point stencil over
+// an NxN float32 grid with two arrays swapped each iteration. The
+// paper runs 2500x2500 for 1000 iterations (47.8 MB of shared memory).
+type JacobiConfig struct {
+	N     int
+	Iters int
+	// CostPerElem is the calibrated per-element-update compute charge.
+	CostPerElem simtime.Seconds
+}
+
+// DefaultJacobi returns the paper's Table 1 configuration.
+func DefaultJacobi() JacobiConfig {
+	return JacobiConfig{N: 2500, Iters: 1000, CostPerElem: JacobiCostPerElem}
+}
+
+// Scaled shrinks the problem linearly (dimension and iteration count)
+// for fast experiment runs; scale 1.0 is the paper's size.
+func (c JacobiConfig) Scaled(s float64) JacobiConfig {
+	c.N = evenDim(scaleDim(c.N, s, 32))
+	c.Iters = scaleDim(c.Iters, s, 4)
+	return c
+}
+
+func (c JacobiConfig) validate() error {
+	if c.N < 3 || c.Iters < 1 {
+		return fmt.Errorf("apps: jacobi needs N >= 3 and Iters >= 1, got N=%d Iters=%d", c.N, c.Iters)
+	}
+	return nil
+}
+
+// jacobiInit gives the deterministic initial grid value at (i, j),
+// with hot boundary rows so the interior evolves.
+func jacobiInit(i, j, n int) float32 {
+	if i == 0 || i == n-1 || j == 0 || j == n-1 {
+		return 100
+	}
+	return float32((i*31+j*17)%97) / 97
+}
+
+// RunJacobi executes the kernel on the runtime and returns the
+// measured result. The checksum is the float64 sum of the final grid
+// in row-major order, exactly matching JacobiReference.
+func RunJacobi(rt *omp.Runtime, cfg JacobiConfig) (Result, error) {
+	if cfg.CostPerElem == 0 {
+		cfg.CostPerElem = JacobiCostPerElem
+	}
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	n := cfg.N
+	grids := make([]*shmem.Float32Matrix, 2)
+	for g := 0; g < 2; g++ {
+		mx, err := rt.AllocFloat32Matrix(fmt.Sprintf("jacobi.grid%d", g), n, n)
+		if err != nil {
+			return Result{}, err
+		}
+		grids[g] = mx
+	}
+	procs := rt.NProcs()
+
+	// Initialisation: each process writes its block of both arrays
+	// (first-touch distribution; the boundary must exist in both since
+	// it is never rewritten).
+	rt.ParallelFor("jacobi.init", 0, n, func(p *omp.Proc, lo, hi int) {
+		row := make([]float32, n)
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n; j++ {
+				row[j] = jacobiInit(i, j, n)
+			}
+			grids[0].WriteRow(p.Mem(), i, row)
+			grids[1].WriteRow(p.Mem(), i, row)
+		}
+		p.ChargeUnits(2*(hi-lo)*n, InitCostPerElement)
+	})
+
+	cur := 0
+	for it := 0; it < cfg.Iters; it++ {
+		src, dst := grids[cur], grids[1-cur]
+		rt.ParallelFor("jacobi.sweep", 1, n-1, func(p *omp.Proc, lo, hi int) {
+			up := make([]float32, n)
+			mid := make([]float32, n)
+			down := make([]float32, n)
+			out := make([]float32, n)
+			src.ReadRow(p.Mem(), lo-1, up)
+			src.ReadRow(p.Mem(), lo, mid)
+			for i := lo; i < hi; i++ {
+				src.ReadRow(p.Mem(), i+1, down)
+				out[0], out[n-1] = mid[0], mid[n-1]
+				for j := 1; j < n-1; j++ {
+					out[j] = 0.25 * (up[j] + down[j] + mid[j-1] + mid[j+1])
+				}
+				dst.WriteRow(p.Mem(), i, out)
+				up, mid, down = mid, down, up
+			}
+			p.ChargeUnits((hi-lo)*(n-2), cfg.CostPerElem)
+		})
+		cur = 1 - cur
+	}
+
+	// Timing and traffic are measured at the end of the computation;
+	// the verification checksum below is not part of the run, matching
+	// the paper's measurement window.
+	res := measure(rt, "jacobi", procs)
+	mp := rt.MasterProc()
+	row := make([]float32, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		grids[cur].ReadRow(mp.Mem(), i, row)
+		for _, v := range row {
+			sum += float64(v)
+		}
+	}
+	res.Checksum = sum
+	return res, nil
+}
+
+// JacobiReference computes the checksum of an identical sequential
+// run: same float32 arithmetic in the same per-element order, so the
+// parallel result must match exactly.
+func JacobiReference(cfg JacobiConfig) float64 {
+	n := cfg.N
+	a := make([]float32, n*n)
+	b := make([]float32, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i*n+j] = jacobiInit(i, j, n)
+			b[i*n+j] = a[i*n+j]
+		}
+	}
+	src, dst := a, b
+	for it := 0; it < cfg.Iters; it++ {
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				dst[i*n+j] = 0.25 * (src[(i-1)*n+j] + src[(i+1)*n+j] + src[i*n+j-1] + src[i*n+j+1])
+			}
+		}
+		src, dst = dst, src
+	}
+	sum := 0.0
+	for _, v := range src {
+		sum += float64(v)
+	}
+	return sum
+}

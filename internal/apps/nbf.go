@@ -1,0 +1,275 @@
+package apps
+
+import (
+	"fmt"
+
+	"nowomp/internal/omp"
+	"nowomp/internal/shmem"
+	"nowomp/internal/simtime"
+)
+
+// NBFConfig parameterises the non-bonded-force kernel of a molecular
+// dynamics code: Atoms atoms, each with Partners interaction partners
+// drawn from a window around it (the array indices are not linear
+// expressions in the loop variables — the paper's example of an
+// irregular application). The paper runs 131072 atoms x 80 partners
+// for 100 iterations with 52 MB of shared memory, dominated by the
+// partner lists.
+type NBFConfig struct {
+	Atoms    int
+	Partners int
+	Iters    int
+	// Window bounds how far a partner index may be from its atom;
+	// zero means Atoms/16.
+	Window int
+	// PairCost is the calibrated per-interaction compute charge;
+	// UpdateCost the per-atom position-update charge.
+	PairCost   simtime.Seconds
+	UpdateCost simtime.Seconds
+}
+
+// DefaultNBF returns the paper's Table 1 configuration.
+func DefaultNBF() NBFConfig {
+	return NBFConfig{
+		Atoms: 131072, Partners: 80, Iters: 100,
+		PairCost: NBFCostPerPair, UpdateCost: NBFCostPerUpdate,
+	}
+}
+
+// Scaled shrinks atoms, partners and iterations linearly; scale 1.0
+// is the paper's size. Atoms are kept a multiple of 4096 so the
+// float64 position/force blocks stay page-aligned for power-of-two
+// team sizes, preserving the paper's zero-diff behaviour.
+func (c NBFConfig) Scaled(s float64) NBFConfig {
+	a := scaleDim(c.Atoms, s, 4096)
+	a = (a + 2048) / 4096 * 4096
+	if a < 4096 {
+		a = 4096
+	}
+	c.Atoms = a
+	c.Partners = scaleDim(c.Partners, s, 4)
+	c.Iters = scaleDim(c.Iters, s, 2)
+	return c
+}
+
+func (c NBFConfig) validate() error {
+	if c.Atoms < 2 || c.Partners < 1 || c.Iters < 1 {
+		return fmt.Errorf("apps: nbf needs Atoms >= 2, Partners >= 1, Iters >= 1, got %+v", c)
+	}
+	return nil
+}
+
+func (c NBFConfig) window() int {
+	w := c.Window
+	if w <= 0 {
+		w = c.Atoms / 16
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// nbfPartner deterministically picks partner m of atom i within the
+// window: irregular but reproducible.
+func nbfPartner(i, m, atoms, window int) int32 {
+	h := uint32(i*2654435761) ^ uint32(m*40503)
+	h ^= h >> 13
+	h *= 2246822519
+	h ^= h >> 16
+	off := int(h%uint32(2*window+1)) - window
+	j := (i + off) % atoms
+	if j < 0 {
+		j += atoms
+	}
+	if j == i {
+		j = (j + 1) % atoms
+	}
+	return int32(j)
+}
+
+func nbfInitPos(i int, d int) float64 {
+	return float64((i*7+d*13)%1000)/1000 + float64(i)*1e-6
+}
+
+// nbfForce is the softened inverse-square pair interaction.
+func nbfForce(xi, yi, zi, xj, yj, zj float64) (fx, fy, fz float64) {
+	dx, dy, dz := xj-xi, yj-yi, zj-zi
+	r2 := dx*dx + dy*dy + dz*dz + 0.01
+	inv := 1 / (r2 * r2)
+	return dx * inv, dy * inv, dz * inv
+}
+
+const nbfDT = 1e-7
+
+// RunNBF executes the kernel: each iteration computes forces over the
+// partner lists (reading other processes' position pages — the
+// sustained traffic of Table 1) and then integrates positions, each
+// process writing only its own block (single-writer pages, zero
+// diffs). Positions and forces are float64 so block boundaries are
+// word-aligned.
+func RunNBF(rt *omp.Runtime, cfg NBFConfig) (Result, error) {
+	if cfg.PairCost == 0 {
+		cfg.PairCost = NBFCostPerPair
+	}
+	if cfg.UpdateCost == 0 {
+		cfg.UpdateCost = NBFCostPerUpdate
+	}
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	n, k := cfg.Atoms, cfg.Partners
+	window := cfg.window()
+
+	pos := make([]*shmem.Float64Array, 3)
+	frc := make([]*shmem.Float64Array, 3)
+	for d := 0; d < 3; d++ {
+		var err error
+		if pos[d], err = rt.AllocFloat64(fmt.Sprintf("nbf.pos%d", d), n); err != nil {
+			return Result{}, err
+		}
+		if frc[d], err = rt.AllocFloat64(fmt.Sprintf("nbf.frc%d", d), n); err != nil {
+			return Result{}, err
+		}
+	}
+	partners, err := rt.AllocInt32("nbf.partners", n*k)
+	if err != nil {
+		return Result{}, err
+	}
+	procs := rt.NProcs()
+
+	rt.ParallelFor("nbf.init", 0, n, func(p *omp.Proc, lo, hi int) {
+		buf := make([]float64, hi-lo)
+		for d := 0; d < 3; d++ {
+			for i := range buf {
+				buf[i] = nbfInitPos(lo+i, d)
+			}
+			pos[d].WriteRange(p.Mem(), lo, buf)
+			for i := range buf {
+				buf[i] = 0
+			}
+			frc[d].WriteRange(p.Mem(), lo, buf)
+		}
+		plist := make([]int32, (hi-lo)*k)
+		for i := lo; i < hi; i++ {
+			for m := 0; m < k; m++ {
+				plist[(i-lo)*k+m] = nbfPartner(i, m, n, window)
+			}
+		}
+		partners.WriteRange(p.Mem(), lo*k, plist)
+		p.ChargeUnits((hi-lo)*(k+6), InitCostPerElement)
+	})
+
+	for it := 0; it < cfg.Iters; it++ {
+		// Force phase: irregular reads of partner positions.
+		rt.ParallelFor("nbf.force", 0, n, func(p *omp.Proc, lo, hi int) {
+			cnt := hi - lo
+			fx := make([]float64, cnt)
+			fy := make([]float64, cnt)
+			fz := make([]float64, cnt)
+			px := make([]float64, cnt)
+			py := make([]float64, cnt)
+			pz := make([]float64, cnt)
+			pos[0].ReadRange(p.Mem(), lo, hi, px)
+			pos[1].ReadRange(p.Mem(), lo, hi, py)
+			pos[2].ReadRange(p.Mem(), lo, hi, pz)
+			plist := make([]int32, cnt*k)
+			partners.ReadRange(p.Mem(), lo*k, hi*k, plist)
+			for i := 0; i < cnt; i++ {
+				var sx, sy, sz float64
+				for m := 0; m < k; m++ {
+					j := int(plist[i*k+m])
+					xj := pos[0].Get(p.Mem(), j)
+					yj := pos[1].Get(p.Mem(), j)
+					zj := pos[2].Get(p.Mem(), j)
+					dx, dy, dz := nbfForce(px[i], py[i], pz[i], xj, yj, zj)
+					sx += dx
+					sy += dy
+					sz += dz
+				}
+				fx[i], fy[i], fz[i] = sx, sy, sz
+			}
+			frc[0].WriteRange(p.Mem(), lo, fx)
+			frc[1].WriteRange(p.Mem(), lo, fy)
+			frc[2].WriteRange(p.Mem(), lo, fz)
+			p.ChargeUnits(cnt*k, cfg.PairCost)
+		})
+
+		// Integration phase: each process updates its own positions.
+		rt.ParallelFor("nbf.update", 0, n, func(p *omp.Proc, lo, hi int) {
+			cnt := hi - lo
+			pbuf := make([]float64, cnt)
+			fbuf := make([]float64, cnt)
+			for d := 0; d < 3; d++ {
+				pos[d].ReadRange(p.Mem(), lo, hi, pbuf)
+				frc[d].ReadRange(p.Mem(), lo, hi, fbuf)
+				for i := 0; i < cnt; i++ {
+					pbuf[i] += nbfDT * fbuf[i]
+				}
+				pos[d].WriteRange(p.Mem(), lo, pbuf)
+			}
+			p.ChargeUnits(cnt, cfg.UpdateCost)
+		})
+	}
+
+	// Timing and traffic are measured at the end of the computation;
+	// the verification checksum below is outside the paper's window.
+	res := measure(rt, "nbf", procs)
+	mp := rt.MasterProc()
+	sum := 0.0
+	buf := make([]float64, n)
+	for d := 0; d < 3; d++ {
+		pos[d].ReadRange(mp.Mem(), 0, n, buf)
+		for _, v := range buf {
+			sum += v
+		}
+	}
+	res.Checksum = sum
+	return res, nil
+}
+
+// NBFReference computes the checksum of the identical sequential run.
+func NBFReference(cfg NBFConfig) float64 {
+	n, k := cfg.Atoms, cfg.Partners
+	window := cfg.window()
+	pos := make([][]float64, 3)
+	frc := make([][]float64, 3)
+	for d := 0; d < 3; d++ {
+		pos[d] = make([]float64, n)
+		frc[d] = make([]float64, n)
+		for i := 0; i < n; i++ {
+			pos[d][i] = nbfInitPos(i, d)
+		}
+	}
+	plist := make([]int32, n*k)
+	for i := 0; i < n; i++ {
+		for m := 0; m < k; m++ {
+			plist[i*k+m] = nbfPartner(i, m, n, window)
+		}
+	}
+	for it := 0; it < cfg.Iters; it++ {
+		for i := 0; i < n; i++ {
+			var sx, sy, sz float64
+			for m := 0; m < k; m++ {
+				j := plist[i*k+m]
+				dx, dy, dz := nbfForce(pos[0][i], pos[1][i], pos[2][i], pos[0][j], pos[1][j], pos[2][j])
+				sx += dx
+				sy += dy
+				sz += dz
+			}
+			frc[0][i], frc[1][i], frc[2][i] = sx, sy, sz
+		}
+		for d := 0; d < 3; d++ {
+			for i := 0; i < n; i++ {
+				pos[d][i] += nbfDT * frc[d][i]
+			}
+		}
+	}
+	sum := 0.0
+	for d := 0; d < 3; d++ {
+		for _, v := range pos[d] {
+			sum += v
+		}
+	}
+	return sum
+}

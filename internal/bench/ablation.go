@@ -1,0 +1,242 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"nowomp/internal/adapt"
+	"nowomp/internal/dsm"
+	"nowomp/internal/omp"
+	"nowomp/internal/simtime"
+)
+
+// AblationResult collects the design-choice experiments that section 7
+// of the paper motivates as future work: process-id reassignment
+// strategies, relieving the leave-via-master bottleneck, and grace-
+// period tuning.
+type AblationResult struct {
+	Reassign []ReassignRow
+	Handoff  []HandoffRow
+	Grace    []GraceRow
+}
+
+// ReassignRow compares id-reassignment strategies for a middle leave.
+type ReassignRow struct {
+	Strategy  string
+	Cost      simtime.Seconds
+	MovedFrac float64
+}
+
+// HandoffRow compares leave-state handoff strategies.
+type HandoffRow struct {
+	Strategy     string
+	LeaveElapsed simtime.Seconds
+	MaxLinkBytes int64
+}
+
+// GraceRow is one point of the grace-period sweep: whether the leave
+// went urgent and what it cost end to end.
+type GraceRow struct {
+	Grace     simtime.Seconds
+	Urgent    bool
+	RunTime   simtime.Seconds
+	Migration simtime.Seconds // image-transfer cost, zero for normal leaves
+}
+
+// Ablation runs all three ablations.
+func Ablation(opt Options) (AblationResult, error) {
+	opt = opt.withDefaults()
+	var out AblationResult
+	var err error
+	if out.Reassign, err = reassignAblation(opt); err != nil {
+		return out, err
+	}
+	if out.Handoff, err = handoffAblation(opt); err != nil {
+		return out, err
+	}
+	if out.Grace, err = graceAblation(opt); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// reassignAblation measures a middle leave from 8 Jacobi processes
+// under both id-reassignment strategies. Shift-down moves the paper's
+// ~30% of the data space; swap-last relocates the end process's whole
+// partition into the hole, which the geometry predicts is *worse* —
+// reproducing why the paper calls better reassignment an open problem.
+func reassignAblation(opt Options) ([]ReassignRow, error) {
+	var rows []ReassignRow
+	for _, strat := range []adapt.ReassignStrategy{adapt.ShiftDown, adapt.SwapLast} {
+		base := map[int]simtime.Seconds{}
+		for _, n := range []int{7, 8} {
+			res, _, err := runApp("jacobi", opt.Scale, omp.Config{Hosts: opt.Hosts, Procs: n}, nil)
+			if err != nil {
+				return nil, err
+			}
+			base[n] = res.Time
+		}
+		fl := &forkLeaver{fires: map[int64][]int{8: {MiddleSlot(8)}}}
+		res, rt, err := runApp("jacobi", opt.Scale, omp.Config{
+			Hosts: opt.Hosts, Procs: 8, Adaptive: true, Grace: opt.Grace, Reassign: strat,
+		}, fl.hook)
+		if err != nil {
+			return nil, err
+		}
+		nbar := avgTeamSize(rt, 8, res.Time)
+		cost := res.Time - interpolateRef(nbar, 7, 8, base[7], base[8])
+		log := rt.AdaptLog()
+		if len(log) != 1 {
+			return nil, fmt.Errorf("bench: reassign ablation fired %d adaptations", len(log))
+		}
+		rows = append(rows, ReassignRow{
+			Strategy:  strat.String(),
+			Cost:      cost,
+			MovedFrac: movedFraction(strat, MiddleSlot(8), 8),
+		})
+	}
+	return rows, nil
+}
+
+// movedFraction predicts the re-partitioned data fraction for a leave
+// of the given slot under each strategy (block partition geometry).
+func movedFraction(s adapt.ReassignStrategy, slot, t int) float64 {
+	if s == adapt.ShiftDown {
+		return Fig3Theory(slot, t)
+	}
+	// Swap-last: hosts keep their slots except the last host, which
+	// fills the hole.
+	tn := t - 1
+	frac := 0.0
+	for p := 0; p < tn; p++ {
+		newLo, newHi := float64(p)/float64(tn), float64(p+1)/float64(tn)
+		var oldLo, oldHi float64
+		switch {
+		case p == slot: // the relocated end host
+			oldLo, oldHi = float64(t-1)/float64(t), 1
+		default:
+			oldLo, oldHi = float64(p)/float64(t), float64(p+1)/float64(t)
+		}
+		lo := maxf(newLo, oldLo)
+		hi := minf(newHi, oldHi)
+		overlap := 0.0
+		if hi > lo {
+			overlap = hi - lo
+		}
+		frac += (newHi - newLo) - overlap
+	}
+	return frac
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// handoffAblation measures the leave's state-transfer under the
+// paper's via-master algorithm versus the direct-handoff improvement
+// it suggests: spreading the leaver's pages over the remaining hosts
+// relieves the master-link bottleneck.
+func handoffAblation(opt Options) ([]HandoffRow, error) {
+	var rows []HandoffRow
+	for _, strat := range []dsm.LeaveStrategy{dsm.LeaveViaMaster, dsm.LeaveDirectHandoff} {
+		fl := &forkLeaver{fires: map[int64][]int{8: {EndSlot(8)}}}
+		_, rt, err := runApp("jacobi", opt.Scale, omp.Config{
+			Hosts: opt.Hosts, Procs: 8, Adaptive: true, Grace: opt.Grace, LeaveStrategy: strat,
+		}, fl.hook)
+		if err != nil {
+			return nil, err
+		}
+		log := rt.AdaptLog()
+		if len(log) != 1 {
+			return nil, fmt.Errorf("bench: handoff ablation fired %d adaptations", len(log))
+		}
+		rows = append(rows, HandoffRow{
+			Strategy:     strat.String(),
+			LeaveElapsed: log[0].Elapsed,
+			MaxLinkBytes: log[0].WindowMaxLink,
+		})
+	}
+	return rows, nil
+}
+
+// graceAblation sweeps the grace period against a fixed 10 s parallel
+// phase with a leave raised 1 s in: short grace periods force urgent
+// leaves (migration + multiplexing), long ones allow a normal leave at
+// the phase boundary — Figure 2's trichotomy made quantitative.
+func graceAblation(opt Options) ([]GraceRow, error) {
+	var rows []GraceRow
+	for _, grace := range []simtime.Seconds{0.5, 2, 5, 30} {
+		rt, err := omp.New(omp.Config{Hosts: 4, Procs: 3, Adaptive: true, Grace: grace})
+		if err != nil {
+			return nil, err
+		}
+		a, err := rt.AllocFloat64("work", 64*1024)
+		if err != nil {
+			return nil, err
+		}
+		rt.ParallelFor("warm", 0, a.Len(), func(p *omp.Proc, lo, hi int) {
+			buf := make([]float64, hi-lo)
+			for i := range buf {
+				buf[i] = 1
+			}
+			a.WriteRange(p.Mem(), lo, buf)
+		})
+		if err := rt.Submit(adapt.Event{Kind: adapt.KindLeave, Host: 2, At: rt.Now() + 1}); err != nil {
+			return nil, err
+		}
+		rt.Parallel("long-phase", func(p *omp.Proc) { p.Charge(10) })
+		rt.Parallel("after", func(p *omp.Proc) {})
+
+		log := rt.AdaptLog()
+		if len(log) != 1 || len(log[0].Applied) != 1 {
+			return nil, fmt.Errorf("bench: grace sweep %v fired %d adaptations", grace, len(log))
+		}
+		rec := log[0].Applied[0]
+		row := GraceRow{Grace: grace, Urgent: rec.Urgent, RunTime: rt.Now()}
+		if rec.Plan != nil {
+			row.Migration = rec.Plan.Cost
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatAblation renders the three ablations.
+func FormatAblation(a AblationResult) string {
+	var b strings.Builder
+	b.WriteString("Ablation A1: id reassignment for a middle leave (8-process Jacobi)\n")
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "strategy\tcost\tpredicted moved fraction")
+	for _, r := range a.Reassign {
+		fmt.Fprintf(w, "%s\t%.3fs\t%.1f%%\n", r.Strategy, float64(r.Cost), 100*r.MovedFrac)
+	}
+	w.Flush()
+
+	b.WriteString("\nAblation A2: leave state handoff (8-process Jacobi, end leave)\n")
+	w = tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "strategy\tleave elapsed\tmax-link bytes")
+	for _, r := range a.Handoff {
+		fmt.Fprintf(w, "%s\t%.3fs\t%d\n", r.Strategy, float64(r.LeaveElapsed), r.MaxLinkBytes)
+	}
+	w.Flush()
+
+	b.WriteString("\nAblation A3: grace-period sweep (leave 1 s into a 10 s phase)\n")
+	w = tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "grace\turgent\trun time\tmigration cost")
+	for _, r := range a.Grace {
+		fmt.Fprintf(w, "%.1fs\t%v\t%.2fs\t%.2fs\n", float64(r.Grace), r.Urgent, float64(r.RunTime), float64(r.Migration))
+	}
+	w.Flush()
+	return b.String()
+}

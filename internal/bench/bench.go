@@ -1,0 +1,169 @@
+// Package bench regenerates every table and figure of the evaluation
+// section of Scherer et al. (PPoPP 1999): Table 1 (no-cost adaptivity
+// and identical traffic without adapt events), Table 2 (average cost
+// per adaptation), Figure 3 (data movement vs leaving process id), the
+// section 5.3 migration what-if, the section 5.4 micro-analysis, and
+// the ablations the paper motivates (id reassignment, leave handoff,
+// grace periods).
+//
+// Experiments run at a configurable problem scale (1.0 = the paper's
+// sizes); shapes — who wins, by what factor, where crossovers fall —
+// are preserved across scales, which is what the reproduction checks.
+package bench
+
+import (
+	"fmt"
+
+	"nowomp/internal/adapt"
+	"nowomp/internal/apps"
+	"nowomp/internal/dsm"
+	"nowomp/internal/omp"
+	"nowomp/internal/simtime"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale is the linear problem scale; 1.0 reproduces the paper's
+	// sizes. The default 0.15 keeps a full regeneration under a few
+	// minutes of real time.
+	Scale float64
+	// Hosts is the workstation pool (default 10: the paper's 8 plus
+	// spares for join events).
+	Hosts int
+	// Pairs is the number of leave/join pairs per adaptive run in
+	// Table 2-style experiments (default 3).
+	Pairs int
+	// Grace is the leave grace period (default: the paper's 3 s).
+	Grace simtime.Seconds
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 0.15
+	}
+	if o.Hosts <= 0 {
+		o.Hosts = 10
+	}
+	if o.Pairs <= 0 {
+		o.Pairs = 3
+	}
+	if o.Grace <= 0 {
+		o.Grace = adapt.DefaultGrace
+	}
+	return o
+}
+
+// runApp executes one application at the given scale and team size.
+func runApp(name string, scale float64, cfg omp.Config, hook func(*omp.Runtime)) (apps.Result, *omp.Runtime, error) {
+	runner, ok := apps.RunnerByName(name)
+	if !ok {
+		return apps.Result{}, nil, fmt.Errorf("bench: unknown application %q", name)
+	}
+	rt, err := omp.New(cfg)
+	if err != nil {
+		return apps.Result{}, nil, err
+	}
+	if hook != nil {
+		rt.SetForkHook(hook)
+	}
+	res, err := runner.Run(rt, scale)
+	return res, rt, err
+}
+
+// avgTeamSize returns the time-weighted average team size of a run,
+// reconstructed from the adaptation log. This is the paper's "average
+// number of nodes", a real number in adaptive runs.
+func avgTeamSize(rt *omp.Runtime, initialProcs int, end simtime.Seconds) float64 {
+	if end <= 0 {
+		return float64(initialProcs)
+	}
+	size := float64(initialProcs)
+	var last simtime.Seconds
+	acc := 0.0
+	for _, ap := range rt.AdaptLog() {
+		t := ap.When
+		if t > end {
+			t = end
+		}
+		acc += size * float64(t-last)
+		last = t
+		size = float64(len(ap.TeamAfter))
+	}
+	acc += size * float64(end-last)
+	return acc / float64(end)
+}
+
+// interpolateRef computes the paper's reference runtime for a
+// fractional average node count nbar in (nlo, nhi) by linearly
+// interpolating the non-adaptive runtimes tlo (at nlo nodes) and thi
+// (at nhi nodes).
+func interpolateRef(nbar float64, nlo, nhi int, tlo, thi simtime.Seconds) simtime.Seconds {
+	if nhi == nlo {
+		return tlo
+	}
+	frac := (nbar - float64(nlo)) / float64(nhi-nlo)
+	return tlo + simtime.Seconds(frac)*(thi-tlo)
+}
+
+// alternator drives the Table 2 schedule: a leave of a chosen process
+// slot at each scheduled instant, with the departed host rejoining
+// right after the leave is applied, so adaptations alternate
+// leave/join with at most one event per adaptation point.
+type alternator struct {
+	// leaveAt are the virtual instants of the leaves, ascending.
+	leaveAt []simtime.Seconds
+	// slot picks the leaving process slot given the team size.
+	slot func(teamSize int) int
+
+	next          int
+	departed      dsm.HostID // host whose leave/rejoin cycle is open; -1 when none
+	joinSubmitted bool
+}
+
+func newAlternator(leaveAt []simtime.Seconds, slot func(int) int) *alternator {
+	return &alternator{leaveAt: leaveAt, slot: slot, departed: -1}
+}
+
+// hook runs at every fork (adaptation point) on the master goroutine.
+func (a *alternator) hook(rt *omp.Runtime) {
+	now := rt.Now()
+	if a.departed >= 0 {
+		active := rt.Cluster().Host(a.departed).Active()
+		switch {
+		case !a.joinSubmitted && !active:
+			// The leave has been applied; start the rejoin. The join
+			// matures after the spawn lead time.
+			if err := rt.Submit(adapt.Event{Kind: adapt.KindJoin, Host: a.departed, At: now}); err == nil {
+				a.joinSubmitted = true
+			}
+		case a.joinSubmitted && active:
+			// Cycle complete: team is back at full strength.
+			a.departed = -1
+			a.joinSubmitted = false
+		}
+		return // at most one open cycle at a time
+	}
+	if a.next >= len(a.leaveAt) || now < a.leaveAt[a.next] {
+		return
+	}
+	team := rt.Team()
+	slot := a.slot(len(team))
+	if slot < 0 || slot >= len(team) || team[slot] == 0 {
+		return // never leave the master
+	}
+	host := team[slot]
+	if err := rt.Submit(adapt.Event{Kind: adapt.KindLeave, Host: host, At: now}); err != nil {
+		return
+	}
+	a.departed = host
+	a.next++
+}
+
+// appliedEvents counts the adapt events recorded in the run.
+func appliedEvents(rt *omp.Runtime) int {
+	n := 0
+	for _, ap := range rt.AdaptLog() {
+		n += len(ap.Applied)
+	}
+	return n
+}

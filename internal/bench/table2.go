@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"nowomp/internal/omp"
+	"nowomp/internal/simtime"
+)
+
+// Table2Cell is one cell of the paper's Table 2: the average cost of
+// repeated adaptations between n and n-1 processes, with the leaving
+// process chosen at the end or the middle of the id range.
+type Table2Cell struct {
+	App    string
+	N      int    // adaptations oscillate between N and N-1 processes
+	Leaver string // "end" or "middle"
+	// AvgCost is the average time per adaptation, computed with the
+	// paper's methodology: (adaptive runtime - non-adaptive runtime
+	// interpolated at the average node count) / number of adaptations.
+	AvgCost simtime.Seconds
+	// Adaptations is the number of adapt events actually applied.
+	Adaptations int
+	// AvgNodes is the time-weighted average team size.
+	AvgNodes float64
+	// AdaTime and RefTime are the measured adaptive runtime and the
+	// interpolated baseline.
+	AdaTime simtime.Seconds
+	RefTime simtime.Seconds
+}
+
+// table2Scales gives each application a scale floor that keeps its
+// runtime long enough (tens of virtual seconds) for leave/join cycles
+// with real spawn times and grace periods to fit; the physics
+// constants (0.7 s spawn, 3 s grace) do not shrink with problem scale.
+var table2Scales = map[string]float64{
+	"jacobi": 0.36,
+	"gauss":  0.36,
+	"fft3d":  0.50,
+	"nbf":    0.28,
+}
+
+// MiddleSlot returns the paper's "middle" leaver: process id 4 for
+// 8-process teams, 3 for 6-process teams, and the midpoint otherwise.
+func MiddleSlot(teamSize int) int {
+	switch teamSize {
+	case 8:
+		return 4
+	case 6:
+		return 3
+	default:
+		return teamSize / 2
+	}
+}
+
+// EndSlot returns the highest process id.
+func EndSlot(teamSize int) int { return teamSize - 1 }
+
+// Table2 reproduces Table 2: for each application and n in {8, 6},
+// leaves and joins alternate (at most one per adaptation point) with
+// the leaver at the end or middle process id.
+func Table2(opt Options, ns []int) ([]Table2Cell, error) {
+	opt = opt.withDefaults()
+	if len(ns) == 0 {
+		ns = []int{8, 6}
+	}
+	var cells []Table2Cell
+	for _, app := range []string{"gauss", "jacobi", "fft3d", "nbf"} {
+		for _, leaver := range []string{"end", "middle"} {
+			for _, n := range ns {
+				cell, err := Table2Cell1(opt, app, n, leaver)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, cell)
+			}
+		}
+	}
+	return cells, nil
+}
+
+// Table2Cell1 measures one Table 2 cell.
+func Table2Cell1(opt Options, app string, n int, leaver string) (Table2Cell, error) {
+	opt = opt.withDefaults()
+	scale := opt.Scale
+	if floor := table2Scales[app]; scale < floor {
+		scale = floor
+	}
+	if n < 2 || n > opt.Hosts {
+		return Table2Cell{}, fmt.Errorf("bench: n=%d outside [2,%d]", n, opt.Hosts)
+	}
+	slot := EndSlot
+	if leaver == "middle" {
+		slot = MiddleSlot
+	}
+
+	// Non-adaptive baselines at n and n-1 processes.
+	baseN, _, err := runApp(app, scale, omp.Config{Hosts: opt.Hosts, Procs: n}, nil)
+	if err != nil {
+		return Table2Cell{}, err
+	}
+	baseN1, _, err := runApp(app, scale, omp.Config{Hosts: opt.Hosts, Procs: n - 1}, nil)
+	if err != nil {
+		return Table2Cell{}, err
+	}
+
+	// Adaptive run with alternating leaves and joins, spread over the
+	// expected runtime.
+	leaveAt := make([]simtime.Seconds, opt.Pairs)
+	for i := range leaveAt {
+		leaveAt[i] = baseN.Time * simtime.Seconds(float64(i)+0.6) / simtime.Seconds(float64(opt.Pairs)+0.6)
+	}
+	alt := newAlternator(leaveAt, slot)
+	ada, rt, err := runApp(app, scale, omp.Config{
+		Hosts: opt.Hosts, Procs: n, Adaptive: true, Grace: opt.Grace,
+	}, alt.hook)
+	if err != nil {
+		return Table2Cell{}, err
+	}
+
+	events := appliedEvents(rt)
+	if events == 0 {
+		return Table2Cell{}, fmt.Errorf("bench: %s n=%d %s: no adapt events fired (runtime %.2fs too short; raise scale)", app, n, leaver, float64(ada.Time))
+	}
+	nbar := avgTeamSize(rt, n, ada.Time)
+	ref := interpolateRef(nbar, n-1, n, baseN1.Time, baseN.Time)
+	cost := (ada.Time - ref) / simtime.Seconds(events)
+	return Table2Cell{
+		App: app, N: n, Leaver: leaver,
+		AvgCost: cost, Adaptations: events, AvgNodes: nbar,
+		AdaTime: ada.Time, RefTime: ref,
+	}, nil
+}
+
+// FormatTable2 renders the cells like the paper's Table 2.
+func FormatTable2(cells []Table2Cell) string {
+	var b strings.Builder
+	b.WriteString("Table 2: average cost of repeated adaptations between n and n-1 processes\n")
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "app\tleaver\tn\tavg cost/adaptation\tadaptations\tavg nodes\tadaptive\tbaseline")
+	for _, c := range cells {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%.2fs\t%d\t%.2f\t%.2fs\t%.2fs\n",
+			c.App, c.Leaver, c.N, float64(c.AvgCost), c.Adaptations, c.AvgNodes,
+			float64(c.AdaTime), float64(c.RefTime))
+	}
+	w.Flush()
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package dsm
+
+import (
+	"sync"
+)
+
+// notice is a write notice: host w wrote the page in the interval that
+// closed with sequence number seq. Notices are appended in ascending
+// seq order and cleared by garbage collection.
+type notice struct {
+	writer HostID
+	seq    int32
+}
+
+// pageMeta is the replicated per-page metadata. In TreadMarks this
+// state is piggybacked on barrier and lock messages; here a single
+// logically-replicated directory holds it, and the barrier/GC code
+// charges the broadcast traffic that replication would cost.
+type pageMeta struct {
+	mode  Mode
+	owner HostID
+	// baseSeq is the oldest interval for which diff-based upgrades are
+	// possible. A copy with appliedSeq < baseSeq cannot be patched with
+	// diffs (they were garbage collected, or the page was in
+	// single-writer mode where no diffs exist) and must be replaced by
+	// a full fetch from the owner. Invariant: the owner's copy always
+	// has appliedSeq >= baseSeq.
+	baseSeq int32
+	notices []notice
+}
+
+// latestSeq returns the newest write-notice sequence, or baseSeq when
+// the page has no outstanding notices.
+func (pm *pageMeta) latestSeq() int32 {
+	if n := len(pm.notices); n > 0 {
+		return pm.notices[n-1].seq
+	}
+	return pm.baseSeq
+}
+
+// directory is the cluster-wide page metadata table. The write lock is
+// held only by interval-close code paths (barriers, lock releases,
+// garbage collection, adaptation); fault handlers take the read lock.
+type directory struct {
+	mu    sync.RWMutex
+	pages [][]pageMeta // [region][page]
+}
+
+func newDirectory() *directory { return &directory{} }
+
+func (d *directory) addRegion(npages int, owner HostID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	metas := make([]pageMeta, npages)
+	for i := range metas {
+		metas[i].owner = owner
+	}
+	d.pages = append(d.pages, metas)
+}
+
+// meta returns a copy of the metadata for one page, taken under the
+// read lock. Notices share the underlying array, which is safe because
+// notice slices are append-only between GCs and GC replaces them
+// wholesale.
+func (d *directory) meta(r RegionID, p int) pageMeta {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.pages[r][p]
+}
+
+// metaLocked returns a pointer to the live metadata; the caller must
+// hold the write lock.
+func (d *directory) metaLocked(r RegionID, p int) *pageMeta {
+	return &d.pages[r][p]
+}
+
+// pendingNotices returns, grouped by writer, the notices of the page
+// with seq in (afterSeq, horizon], excluding the given host's own
+// writes. Callers use it to plan diff fetches.
+func groupPending(pm *pageMeta, afterSeq int32, self HostID) map[HostID][]int32 {
+	var grouped map[HostID][]int32
+	for _, n := range pm.notices {
+		if n.seq <= afterSeq || n.writer == self {
+			continue
+		}
+		if grouped == nil {
+			grouped = make(map[HostID][]int32)
+		}
+		grouped[n.writer] = append(grouped[n.writer], n.seq)
+	}
+	return grouped
+}

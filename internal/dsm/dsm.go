@@ -1,0 +1,228 @@
+// Package dsm implements the TreadMarks-like software distributed
+// shared memory that the adaptive OpenMP runtime of Scherer et al.
+// (PPoPP 1999) is built on: 4 KB pages kept consistent with lazy
+// release consistency, twins and word-granularity diffs, dynamic
+// single-/multiple-writer page modes, barrier and lock synchronisation,
+// and the garbage-collection pass (section 4.1 of the paper) that the
+// adaptive extension reuses to make node joins and leaves cheap.
+//
+// Shared-memory access detection is the one place this implementation
+// deliberately departs from TreadMarks: instead of mprotect/SIGSEGV
+// page faults (which conflict with the Go runtime), accessors call
+// EnsureRead/EnsureWrite explicitly at page granularity. The protocol
+// sees the identical event stream; fault costs are charged from the
+// paper's measured constants.
+//
+// Terminology: a Host is one logical process address space (the paper's
+// "process"); a machine is a physical workstation on the simulated
+// network. Hosts normally map 1:1 onto machines, but after an urgent
+// leave a migrated host shares its target's machine until the next
+// adaptation point.
+package dsm
+
+import (
+	"fmt"
+
+	"nowomp/internal/simnet"
+	"nowomp/internal/simtime"
+)
+
+// HostID identifies a logical process address space. Host ids are
+// stable for the lifetime of the run; the OpenMP team maps transient
+// process ids (0..t-1) onto hosts.
+type HostID int
+
+// RegionID identifies a shared-memory allocation.
+type RegionID int
+
+// Mode is the sharing protocol of a page.
+type Mode uint8
+
+const (
+	// ModeSingle marks a page written by at most one process per
+	// interval: no twins survive, no diffs are created, and readers
+	// fetch full pages from the owner (the last writer).
+	ModeSingle Mode = iota
+	// ModeMulti marks a page with concurrent writers (typically a page
+	// straddling a partition boundary): writers twin on first write and
+	// emit word-granularity diffs when their interval closes.
+	ModeMulti
+)
+
+func (m Mode) String() string {
+	if m == ModeSingle {
+		return "single"
+	}
+	return "multi"
+}
+
+// Config parameterises a Cluster.
+type Config struct {
+	// MaxHosts is the number of workstations in the pool (active or
+	// not). Machines are pre-wired on the fabric; hosts activate as
+	// they join the computation.
+	MaxHosts int
+
+	// Model is the virtual-time cost model; zero means simtime.Default.
+	Model simtime.CostModel
+
+	// GCThresholdBytes triggers a garbage collection at the next
+	// barrier once accumulated diff storage exceeds it. Zero means the
+	// default of 4 MB. Adaptation points force GC regardless.
+	GCThresholdBytes int
+
+	// Adaptive selects the adaptive runtime variant. The paper's
+	// headline result (Table 1) is that the adaptive system adds no
+	// cost and identical traffic when no adapt events occur; the flag
+	// exists so both variants can be measured side by side.
+	Adaptive bool
+}
+
+const defaultGCThreshold = 4 << 20
+
+// Cluster is the DSM system spanning a pool of workstations.
+type Cluster struct {
+	cfg     Config
+	model   simtime.CostModel
+	fabric  *simnet.Fabric
+	hosts   []*Host
+	dir     *directory
+	regions []*Region
+	locks   *lockTable
+
+	// seq is the global interval sequence number. It advances at every
+	// barrier and lock release, always under the directory write lock.
+	seq int32
+
+	// releaseLog records pages modified by lock-release intervals since
+	// the last barrier, guarded by the directory lock.
+	releaseLog []relEntry
+
+	// phases tracks the clocks of the current parallel construct for
+	// conservative lock granting.
+	phases phaseRegistry
+
+	stats Stats
+}
+
+// New creates a cluster of cfg.MaxHosts workstations with only host 0
+// (the master) active.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.MaxHosts <= 0 {
+		return nil, fmt.Errorf("dsm: MaxHosts must be positive, got %d", cfg.MaxHosts)
+	}
+	if cfg.Model.LinkBandwidth == 0 {
+		cfg.Model = simtime.Default()
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.GCThresholdBytes <= 0 {
+		cfg.GCThresholdBytes = defaultGCThreshold
+	}
+	c := &Cluster{
+		cfg:    cfg,
+		model:  cfg.Model,
+		fabric: simnet.New(cfg.MaxHosts),
+		dir:    newDirectory(),
+		locks:  newLockTable(),
+	}
+	for i := 0; i < cfg.MaxHosts; i++ {
+		c.hosts = append(c.hosts, newHost(c, HostID(i), simnet.MachineID(i)))
+	}
+	c.hosts[0].active = true
+	return c, nil
+}
+
+// Model returns the cluster's cost model.
+func (c *Cluster) Model() simtime.CostModel { return c.model }
+
+// Fabric exposes the network for traffic-window measurements.
+func (c *Cluster) Fabric() *simnet.Fabric { return c.fabric }
+
+// Master returns the master host (host 0, which runs the master
+// process; the paper's current system cannot perform a normal leave of
+// the master, and neither can this one).
+func (c *Cluster) Master() *Host { return c.hosts[0] }
+
+// Host returns the host with the given id.
+func (c *Cluster) Host(id HostID) *Host {
+	if int(id) < 0 || int(id) >= len(c.hosts) {
+		panic(fmt.Sprintf("dsm: host %d out of range [0,%d)", id, len(c.hosts)))
+	}
+	return c.hosts[id]
+}
+
+// MaxHosts returns the size of the workstation pool.
+func (c *Cluster) MaxHosts() int { return len(c.hosts) }
+
+// ActiveHosts returns the ids of hosts currently participating, in
+// ascending order.
+func (c *Cluster) ActiveHosts() []HostID {
+	var ids []HostID
+	for _, h := range c.hosts {
+		if h.active {
+			ids = append(ids, h.id)
+		}
+	}
+	return ids
+}
+
+// Seq returns the current global interval sequence number.
+func (c *Cluster) Seq() int32 {
+	c.dir.mu.RLock()
+	defer c.dir.mu.RUnlock()
+	return c.seq
+}
+
+// Regions returns the allocated shared regions in allocation order.
+func (c *Cluster) Regions() []*Region { return c.regions }
+
+// Region is a shared-memory allocation made by the master before the
+// first fork (the Tmk_malloc + Tmk_distribute idiom).
+type Region struct {
+	ID     RegionID
+	Name   string
+	Bytes  int
+	NPages int
+}
+
+// Alloc creates a shared region of the given size, zero-initialised and
+// owned by the master, mirroring Tmk_malloc on the master followed by
+// Tmk_distribute of the pointer.
+func (c *Cluster) Alloc(name string, bytes int) (*Region, error) {
+	if bytes <= 0 {
+		return nil, fmt.Errorf("dsm: region %q must have positive size, got %d", name, bytes)
+	}
+	r := &Region{
+		ID:     RegionID(len(c.regions)),
+		Name:   name,
+		Bytes:  bytes,
+		NPages: pageCount(bytes),
+	}
+	c.regions = append(c.regions, r)
+	c.dir.addRegion(r.NPages, c.Master().id)
+	for _, h := range c.hosts {
+		h.addRegion(r.NPages)
+	}
+	// The master materialises all pages zero-filled and current.
+	m := c.Master()
+	m.mu.Lock()
+	for p := 0; p < r.NPages; p++ {
+		st := &m.pages[r.ID][p]
+		st.data = newPage()
+		st.valid = true
+	}
+	m.mu.Unlock()
+	return r, nil
+}
+
+// TotalSharedBytes returns the size of all allocated regions, the
+// paper's "shared memory" column.
+func (c *Cluster) TotalSharedBytes() int {
+	t := 0
+	for _, r := range c.regions {
+		t += r.Bytes
+	}
+	return t
+}

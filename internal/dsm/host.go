@@ -1,0 +1,334 @@
+package dsm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"nowomp/internal/page"
+	"nowomp/internal/simnet"
+	"nowomp/internal/simtime"
+)
+
+// pageKey names one shared page.
+type pageKey struct {
+	region RegionID
+	page   int
+}
+
+// seqDiff is a diff produced when the interval with the given sequence
+// number closed. Diffs are immutable once created and may be shared by
+// reference between hosts.
+type seqDiff struct {
+	seq  int32
+	diff *page.Diff
+}
+
+// pageState is one host's view of one shared page.
+type pageState struct {
+	data  []byte // nil when the host holds no copy
+	valid bool
+	twin  []byte // pristine copy while dirty in the open interval
+	dirty bool
+	// appliedSeq is the newest interval sequence whose committed
+	// modifications are reflected in data (plus the host's own
+	// uncommitted writes while dirty).
+	appliedSeq int32
+}
+
+// Host is one logical process address space participating in the DSM.
+// Hosts map 1:1 onto machines except while a migrated process shares
+// its target's machine after an urgent leave.
+type Host struct {
+	id      HostID
+	cluster *Cluster
+	machine simnet.MachineID
+	active  bool
+
+	mu    sync.Mutex
+	pages [][]pageState // [region][page]
+	// written lists the pages dirtied in the open interval, in first-
+	// write order; interval close consumes it.
+	written []pageKey
+	// diffs holds the diffs this host created, keyed by page, ascending
+	// in seq. Readers fetch from here; GC clears it.
+	diffs     map[pageKey][]seqDiff
+	diffBytes int
+	// syncSeq is the newest interval sequence this host has fully
+	// honoured (set at barriers and lock acquires).
+	syncSeq int32
+}
+
+func newHost(c *Cluster, id HostID, m simnet.MachineID) *Host {
+	return &Host{id: id, cluster: c, machine: m, diffs: make(map[pageKey][]seqDiff)}
+}
+
+// ID returns the host id.
+func (h *Host) ID() HostID { return h.id }
+
+// Machine returns the machine this host currently runs on.
+func (h *Host) Machine() simnet.MachineID { return h.machine }
+
+// Active reports whether the host participates in the computation.
+func (h *Host) Active() bool { return h.active }
+
+func (h *Host) addRegion(npages int) {
+	h.mu.Lock()
+	h.pages = append(h.pages, make([]pageState, npages))
+	h.mu.Unlock()
+}
+
+func newPage() []byte { return make([]byte, page.Size) }
+
+func pageCount(bytes int) int { return page.Count(bytes) }
+
+// message header size charged for protocol requests and responses.
+const msgHeader = 32
+
+// ResidentBytes returns the bytes of shared pages this host currently
+// holds a copy of: the dominant component of its migration image.
+func (h *Host) ResidentBytes() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, reg := range h.pages {
+		for i := range reg {
+			if reg[i].data != nil {
+				n += page.Size
+			}
+		}
+	}
+	return n
+}
+
+// Read copies len(dst) bytes starting at off in region r into dst,
+// faulting pages in as needed and charging fault costs to clk.
+func (h *Host) Read(r RegionID, off int, dst []byte, clk *simtime.Clock) {
+	h.checkRange(r, off, len(dst))
+	for n := 0; n < len(dst); {
+		p := (off + n) / page.Size
+		po := (off + n) % page.Size
+		chunk := page.Size - po
+		if rem := len(dst) - n; chunk > rem {
+			chunk = rem
+		}
+		h.ensureRead(r, p, clk)
+		h.mu.Lock()
+		copy(dst[n:n+chunk], h.pages[r][p].data[po:po+chunk])
+		h.mu.Unlock()
+		n += chunk
+	}
+}
+
+// Write copies src into region r at off, faulting and twinning pages as
+// needed and charging fault costs to clk.
+func (h *Host) Write(r RegionID, off int, src []byte, clk *simtime.Clock) {
+	h.checkRange(r, off, len(src))
+	for n := 0; n < len(src); {
+		p := (off + n) / page.Size
+		po := (off + n) % page.Size
+		chunk := page.Size - po
+		if rem := len(src) - n; chunk > rem {
+			chunk = rem
+		}
+		h.ensureWrite(r, p, clk)
+		h.mu.Lock()
+		copy(h.pages[r][p].data[po:po+chunk], src[n:n+chunk])
+		h.mu.Unlock()
+		n += chunk
+	}
+}
+
+func (h *Host) checkRange(r RegionID, off, n int) {
+	if int(r) < 0 || int(r) >= len(h.cluster.regions) {
+		panic(fmt.Sprintf("dsm: host %d: unknown region %d", h.id, r))
+	}
+	if off < 0 || n < 0 || off+n > h.cluster.regions[r].Bytes {
+		panic(fmt.Sprintf("dsm: host %d: access [%d,%d) outside region %q of %d bytes",
+			h.id, off, off+n, h.cluster.regions[r].Name, h.cluster.regions[r].Bytes))
+	}
+}
+
+// ensureRead makes the page readable on h, performing the read-fault
+// protocol if the local copy is missing or invalid.
+func (h *Host) ensureRead(r RegionID, p int, clk *simtime.Clock) {
+	h.mu.Lock()
+	valid := h.pages[r][p].valid
+	h.mu.Unlock()
+	if valid {
+		return
+	}
+	h.cluster.stats.ReadFaults.Add(1)
+	h.fault(r, p, clk)
+}
+
+// ensureWrite makes the page writable on h: readable first (TreadMarks
+// fetches on a write fault too), then twinned if this is the first
+// write of the open interval.
+func (h *Host) ensureWrite(r RegionID, p int, clk *simtime.Clock) {
+	h.ensureRead(r, p, clk)
+	h.mu.Lock()
+	st := &h.pages[r][p]
+	if !st.dirty {
+		st.twin = page.Twin(st.data)
+		st.dirty = true
+		h.written = append(h.written, pageKey{r, p})
+		clk.Advance(h.cluster.model.TwinCost)
+		h.cluster.stats.TwinsCreated.Add(1)
+		h.cluster.stats.WriteFaults.Add(1)
+	}
+	h.mu.Unlock()
+}
+
+// fault implements the read-fault protocol: fetch a base copy from the
+// owner if the local copy is missing or too old for diff patching, then
+// fetch and apply the missing diffs writer by writer.
+func (h *Host) fault(r RegionID, p int, clk *simtime.Clock) {
+	c := h.cluster
+	meta := c.dir.meta(r, p)
+	target := meta.latestSeq()
+	pk := pageKey{r, p}
+
+	h.mu.Lock()
+	st := &h.pages[r][p]
+	needBase := st.data == nil || st.appliedSeq < meta.baseSeq
+	applied := st.appliedSeq
+	h.mu.Unlock()
+
+	if needBase {
+		applied = h.fetchBase(pk, meta.owner, clk)
+	}
+
+	// Gather missing diffs: own diffs locally (relevant after a base
+	// refetch replaced a copy that contained our writes), remote diffs
+	// one message per writer.
+	var pending []seqDiff
+	for _, sd := range h.localDiffs(pk) {
+		if sd.seq > applied && sd.seq <= target {
+			pending = append(pending, sd)
+		}
+	}
+	grouped := groupPending(&meta, applied, h.id)
+	// Deterministic writer order.
+	writers := make([]HostID, 0, len(grouped))
+	for w := range grouped {
+		writers = append(writers, w)
+	}
+	sort.Slice(writers, func(i, j int) bool { return writers[i] < writers[j] })
+	for _, w := range writers {
+		pending = append(pending, h.fetchDiffs(pk, w, applied, target, clk)...)
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i].seq < pending[j].seq })
+
+	h.mu.Lock()
+	st = &h.pages[r][p]
+	for _, sd := range pending {
+		sd.diff.Apply(st.data)
+	}
+	if st.appliedSeq < target {
+		st.appliedSeq = target
+	}
+	st.valid = true
+	h.mu.Unlock()
+}
+
+// fetchBase copies the owner's page into h and returns the appliedSeq
+// of the copy. The owner's copy may itself be behind on diffs; the
+// caller patches the remainder.
+func (h *Host) fetchBase(pk pageKey, owner HostID, clk *simtime.Clock) int32 {
+	c := h.cluster
+	if owner == h.id {
+		// We are the designated owner: our copy is the base.
+		h.mu.Lock()
+		st := &h.pages[pk.region][pk.page]
+		if st.data == nil {
+			h.mu.Unlock()
+			panic(fmt.Sprintf("dsm: host %d owns page %v but holds no copy", h.id, pk))
+		}
+		applied := st.appliedSeq
+		h.mu.Unlock()
+		return applied
+	}
+	src := c.Host(owner)
+	src.mu.Lock()
+	sst := &src.pages[pk.region][pk.page]
+	if sst.data == nil {
+		src.mu.Unlock()
+		panic(fmt.Sprintf("dsm: page %v owner %d holds no copy", pk, owner))
+	}
+	data := make([]byte, page.Size)
+	copy(data, sst.data)
+	applied := sst.appliedSeq
+	src.mu.Unlock()
+
+	c.fabric.Record(h.machine, src.machine, msgHeader)
+	c.fabric.Record(src.machine, h.machine, page.Size+msgHeader)
+	clk.Advance(c.model.PageFetch(page.Size))
+	c.stats.PageFetches.Add(1)
+	c.stats.PageBytes.Add(page.Size)
+
+	h.mu.Lock()
+	st := &h.pages[pk.region][pk.page]
+	st.data = data
+	st.appliedSeq = applied
+	h.mu.Unlock()
+	return applied
+}
+
+// fetchDiffs retrieves from writer w its diffs for pk with sequence in
+// (after, upTo], charging one request to clk.
+func (h *Host) fetchDiffs(pk pageKey, w HostID, after, upTo int32, clk *simtime.Clock) []seqDiff {
+	c := h.cluster
+	src := c.Host(w)
+	src.mu.Lock()
+	var got []seqDiff
+	wire := 0
+	for _, sd := range src.diffs[pk] {
+		if sd.seq > after && sd.seq <= upTo {
+			got = append(got, sd)
+			wire += sd.diff.WireSize()
+		}
+	}
+	src.mu.Unlock()
+	if len(got) == 0 {
+		return nil
+	}
+	c.fabric.Record(h.machine, src.machine, msgHeader)
+	c.fabric.Record(src.machine, h.machine, wire+msgHeader)
+	clk.Advance(c.model.DiffFetch(wire))
+	c.stats.DiffFetches.Add(int64(len(got)))
+	c.stats.DiffBytes.Add(int64(wire))
+	return got
+}
+
+func (h *Host) localDiffs(pk pageKey) []seqDiff {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.diffs[pk]
+}
+
+// takeWritten consumes and returns the open interval's dirty-page list.
+// Called by interval-close code with the directory write lock held and
+// the host's process parked.
+func (h *Host) takeWritten() []pageKey {
+	h.mu.Lock()
+	w := h.written
+	h.written = nil
+	h.mu.Unlock()
+	return w
+}
+
+// Valid reports whether the host currently holds a valid copy of the
+// page (test and measurement helper).
+func (h *Host) Valid(r RegionID, p int) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.pages[r][p].valid
+}
+
+// HasCopy reports whether the host holds any copy, valid or stale.
+func (h *Host) HasCopy(r RegionID, p int) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.pages[r][p].data != nil
+}

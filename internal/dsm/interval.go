@@ -1,0 +1,236 @@
+package dsm
+
+import (
+	"fmt"
+
+	"nowomp/internal/page"
+	"nowomp/internal/simtime"
+)
+
+// relEntry records a page modified by a lock-release interval since the
+// last barrier; barriers use the log to invalidate stale copies and
+// acquirers use it to honour happened-before writes.
+type relEntry struct {
+	pk  pageKey
+	seq int32
+}
+
+// BarrierResult reports what a barrier did, for measurement.
+type BarrierResult struct {
+	ReleaseTime simtime.Seconds
+	Seq         int32
+	GCRan       bool
+}
+
+// Barrier closes the open interval of every active host: writers flush
+// twins to diffs (multiple-writer pages) or claim ownership (single-
+// writer pages), write notices are merged and broadcast, stale copies
+// are invalidated, and, if diff storage exceeds the threshold, a
+// garbage collection runs. The caller supplies each host's arrival
+// time; the returned release time is when every process may continue.
+//
+// Barrier must be called with every active process parked (the OpenMP
+// layer guarantees this); it is not safe to run concurrently with
+// shared-memory accesses by active hosts.
+func (c *Cluster) Barrier(active []HostID, arrivals []simtime.Seconds) BarrierResult {
+	if len(active) != len(arrivals) {
+		panic(fmt.Sprintf("dsm: %d active hosts but %d arrival times", len(active), len(arrivals)))
+	}
+	c.dir.mu.Lock()
+	defer c.dir.mu.Unlock()
+
+	c.seq++
+	s := c.seq
+	c.stats.Barriers.Add(1)
+
+	var release simtime.Seconds
+	for _, t := range arrivals {
+		if t > release {
+			release = t
+		}
+	}
+
+	// Gather the dirty pages of every active host.
+	writtenBy := make(map[pageKey][]HostID)
+	written := make(map[HostID][]pageKey, len(active))
+	for _, id := range active {
+		w := c.Host(id).takeWritten()
+		written[id] = w
+		for _, pk := range w {
+			writtenBy[pk] = append(writtenBy[pk], id)
+		}
+	}
+
+	// Close intervals page by page.
+	flush := make(map[HostID]simtime.Seconds, len(active))
+	for _, id := range active {
+		for _, pk := range written[id] {
+			writers := writtenBy[pk]
+			if writers == nil {
+				continue // already processed via another writer
+			}
+			writtenBy[pk] = nil
+			c.closePage(pk, writers, s, active, flush)
+		}
+	}
+
+	// Lock-release intervals since the last barrier may have modified
+	// pages that non-participants still hold valid copies of.
+	c.applyReleaseLog(active)
+
+	// Account write-notice exchange: slaves send their notice lists to
+	// the master, which broadcasts the merged list.
+	c.accountBarrierTraffic(active, written)
+
+	var maxFlush simtime.Seconds
+	for _, f := range flush {
+		if f > maxFlush {
+			maxFlush = f
+		}
+	}
+	release += maxFlush + c.model.Barrier(len(active))
+
+	res := BarrierResult{ReleaseTime: release, Seq: s}
+	if c.diffStorageLocked() > c.cfg.GCThresholdBytes {
+		res.ReleaseTime += c.runGCLocked(active)
+		res.GCRan = true
+	}
+	for _, id := range active {
+		c.Host(id).syncSeq = s
+	}
+	return res
+}
+
+// closePage closes the interval s for one page with the given writers.
+// Callers hold the directory write lock and all processes are parked.
+func (c *Cluster) closePage(pk pageKey, writers []HostID, s int32, active []HostID, flush map[HostID]simtime.Seconds) {
+	pm := c.dir.metaLocked(pk.region, pk.page)
+
+	multi := pm.mode == ModeMulti || len(writers) > 1
+	if multi && pm.mode == ModeSingle {
+		// Transition: diffs exist only from interval s on; older copies
+		// must full-fetch from the owner, whose copy is current as of
+		// the last single-writer notice.
+		pm.baseSeq = pm.latestSeq()
+		pm.mode = ModeMulti
+	}
+
+	noticed := make(map[HostID]bool, len(writers))
+	if multi {
+		for _, w := range writers {
+			h := c.Host(w)
+			h.mu.Lock()
+			st := &h.pages[pk.region][pk.page]
+			d := page.Make(st.twin, st.data)
+			st.twin = nil
+			st.dirty = false
+			if d != nil {
+				h.diffs[pk] = append(h.diffs[pk], seqDiff{seq: s, diff: d})
+				h.diffBytes += d.WireSize()
+				c.stats.DiffsCreated.Add(1)
+				pm.notices = append(pm.notices, notice{writer: w, seq: s})
+				noticed[w] = true
+				flush[w] += c.model.DiffCreateByteCost * simtime.Seconds(page.Size)
+			}
+			h.mu.Unlock()
+		}
+	} else {
+		w := writers[0]
+		h := c.Host(w)
+		h.mu.Lock()
+		st := &h.pages[pk.region][pk.page]
+		st.twin = nil
+		st.dirty = false
+		st.appliedSeq = s
+		h.mu.Unlock()
+		pm.owner = w
+		pm.baseSeq = s
+		// Single-writer pages keep only the latest notice: no diffs
+		// exist, so older notices can never be patched in anyway.
+		pm.notices = append(pm.notices[:0], notice{writer: w, seq: s})
+		noticed[w] = true
+	}
+
+	// Invalidate stale copies. A sole writer that produced a notice is
+	// current; concurrent writers each lack the others' words and go
+	// invalid too (their own diffs are local, so revalidation is a
+	// diff exchange away).
+	soleCurrent := HostID(-1)
+	if len(writers) == 1 && noticed[writers[0]] {
+		soleCurrent = writers[0]
+	}
+	for _, id := range active {
+		if id == soleCurrent {
+			continue
+		}
+		h := c.Host(id)
+		h.mu.Lock()
+		st := &h.pages[pk.region][pk.page]
+		if multi {
+			if st.valid && (st.appliedSeq < pm.latestSeq() || noticed[id]) {
+				st.valid = false
+			}
+		} else if st.valid && id != writers[0] {
+			st.valid = false
+		}
+		h.mu.Unlock()
+	}
+	if soleCurrent >= 0 && multi {
+		h := c.Host(soleCurrent)
+		h.mu.Lock()
+		h.pages[pk.region][pk.page].appliedSeq = s
+		h.mu.Unlock()
+	}
+}
+
+// applyReleaseLog invalidates copies made stale by lock-release
+// intervals since the last barrier, then clears the log.
+func (c *Cluster) applyReleaseLog(active []HostID) {
+	for _, e := range c.releaseLog {
+		pm := c.dir.metaLocked(e.pk.region, e.pk.page)
+		latest := pm.latestSeq()
+		for _, id := range active {
+			h := c.Host(id)
+			h.mu.Lock()
+			st := &h.pages[e.pk.region][e.pk.page]
+			if st.valid && st.appliedSeq < latest {
+				st.valid = false
+			}
+			h.mu.Unlock()
+		}
+	}
+	c.releaseLog = c.releaseLog[:0]
+}
+
+// accountBarrierTraffic records the write-notice exchange on the
+// fabric: one arrival message per slave, one broadcast per slave.
+func (c *Cluster) accountBarrierTraffic(active []HostID, written map[HostID][]pageKey) {
+	master := c.Master()
+	total := 0
+	for _, w := range written {
+		total += len(w)
+	}
+	const noticeBytes = 8
+	down := msgHeader + noticeBytes*total
+	for _, id := range active {
+		if id == master.id {
+			continue
+		}
+		h := c.Host(id)
+		up := msgHeader + noticeBytes*len(written[id])
+		c.fabric.Record(h.machine, master.machine, up)
+		c.fabric.Record(master.machine, h.machine, down)
+	}
+}
+
+// diffStorageLocked sums diff storage across hosts; the directory write
+// lock serialises it against interval closes.
+func (c *Cluster) diffStorageLocked() int {
+	n := 0
+	for _, h := range c.hosts {
+		h.mu.Lock()
+		n += h.diffBytes
+		h.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,101 @@
+package dsm
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// CheckInvariants validates the DSM's global invariants. It must be
+// called with every process parked (between constructs, after a
+// barrier); it takes the directory write lock and inspects every host.
+// Intended for tests and debugging — it is O(hosts x pages) and reads
+// page contents.
+//
+// The invariants checked:
+//
+//  1. Every page's directory owner is an active host.
+//  2. The owner either holds a copy, or — between the owner's write
+//     and its interval close — is the page's sole pending writer.
+//  3. No host holds a twin or dirty marking outside an open interval
+//     (callers must have closed all intervals, i.e. be at a barrier).
+//  4. appliedSeq never exceeds the global interval sequence.
+//  5. Write notices are sorted by interval and never newer than the
+//     global sequence.
+//  6. Every valid copy that claims to be fully current (appliedSeq ==
+//     latest notice) has identical contents to every other such copy.
+//  7. Inactive hosts hold no page data.
+func (c *Cluster) CheckInvariants() error {
+	c.dir.mu.Lock()
+	defer c.dir.mu.Unlock()
+
+	active := make(map[HostID]bool)
+	for _, h := range c.hosts {
+		if h.active {
+			active[h.id] = true
+		}
+	}
+
+	for ri := range c.dir.pages {
+		r := RegionID(ri)
+		for p := range c.dir.pages[ri] {
+			pm := &c.dir.pages[ri][p]
+			if !active[pm.owner] {
+				return fmt.Errorf("dsm: invariant: page %d/%d owned by inactive host %d", r, p, pm.owner)
+			}
+			latest := pm.latestSeq()
+			if latest > c.seq {
+				return fmt.Errorf("dsm: invariant: page %d/%d notice seq %d beyond global %d", r, p, latest, c.seq)
+			}
+			prev := int32(-1)
+			for _, n := range pm.notices {
+				if n.seq < prev {
+					return fmt.Errorf("dsm: invariant: page %d/%d notices out of order", r, p)
+				}
+				prev = n.seq
+			}
+
+			var current []byte
+			var currentHost HostID
+			for _, h := range c.hosts {
+				h.mu.Lock()
+				st := &h.pages[r][p]
+				switch {
+				case !h.active:
+					if st.data != nil {
+						h.mu.Unlock()
+						return fmt.Errorf("dsm: invariant: inactive host %d holds page %d/%d", h.id, r, p)
+					}
+				case st.dirty || st.twin != nil:
+					h.mu.Unlock()
+					return fmt.Errorf("dsm: invariant: host %d has an open interval on page %d/%d (call at a barrier)", h.id, r, p)
+				case st.appliedSeq > c.seq:
+					h.mu.Unlock()
+					return fmt.Errorf("dsm: invariant: host %d page %d/%d applied %d beyond global %d", h.id, r, p, st.appliedSeq, c.seq)
+				case st.valid && st.data == nil:
+					h.mu.Unlock()
+					return fmt.Errorf("dsm: invariant: host %d page %d/%d valid without data", h.id, r, p)
+				case st.valid && st.appliedSeq >= latest:
+					// A fully-current copy: all such copies must agree.
+					if current == nil {
+						current = append([]byte(nil), st.data...)
+						currentHost = h.id
+					} else if !bytes.Equal(current, st.data) {
+						h.mu.Unlock()
+						return fmt.Errorf("dsm: invariant: hosts %d and %d disagree on current page %d/%d",
+							currentHost, h.id, r, p)
+					}
+				}
+				h.mu.Unlock()
+			}
+
+			owner := c.Host(pm.owner)
+			owner.mu.Lock()
+			ownerHasData := owner.pages[r][p].data != nil
+			owner.mu.Unlock()
+			if !ownerHasData {
+				return fmt.Errorf("dsm: invariant: owner %d of page %d/%d holds no copy", pm.owner, r, p)
+			}
+		}
+	}
+	return nil
+}

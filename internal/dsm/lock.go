@@ -1,0 +1,255 @@
+package dsm
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"nowomp/internal/page"
+	"nowomp/internal/simtime"
+)
+
+// lockState is one Tmk lock. Lock ids are managed by host 0, matching
+// TreadMarks' static lock-manager assignment.
+//
+// Real mutual exclusion between process goroutines is combined with
+// virtual-order granting: among goroutines waiting for the lock, the
+// one with the earliest virtual request time wins. Without this, real
+// goroutine scheduling (not virtual time) would pick the grant order —
+// on a loaded machine one goroutine could virtually "hold" the lock
+// across work it had not yet reached, serialising time that the
+// simulated cluster would overlap.
+type lockState struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	held bool
+	// waiters maps ticket ids to virtual request times.
+	waiters     map[uint64]simtime.Seconds
+	nextTicket  uint64
+	lastRelease simtime.Seconds
+	lastHolder  HostID
+	everHeld    bool
+}
+
+func newLockState() *lockState {
+	lk := &lockState{lastHolder: -1, waiters: make(map[uint64]simtime.Seconds)}
+	lk.cond = sync.NewCond(&lk.mu)
+	return lk
+}
+
+// acquire blocks until this goroutine holds the lock. Grants follow
+// (virtual time, ticket) order among registered waiters, and a request
+// at instant `at` waits until no still-running process's clock is
+// behind `at` — so a goroutine that happens to run early in real time
+// cannot claim the lock "from the future" of the simulation. While
+// waiting only for other clocks to advance, the goroutine yields the
+// processor rather than blocking on the condition variable (clock
+// advancement does not signal).
+func (lk *lockState) acquire(c *Cluster, self *simtime.Clock) {
+	at := self.Now()
+	lk.mu.Lock()
+	ticket := lk.nextTicket
+	lk.nextTicket++
+	lk.waiters[ticket] = at
+	for {
+		if !lk.held && lk.isNext(ticket) {
+			if c.noEarlierRunner(self, at) {
+				delete(lk.waiters, ticket)
+				lk.held = true
+				lk.mu.Unlock()
+				return
+			}
+			lk.mu.Unlock()
+			runtime.Gosched()
+			lk.mu.Lock()
+			continue
+		}
+		lk.cond.Wait()
+	}
+}
+
+// isNext reports whether the ticket has the earliest virtual request
+// time (ties broken by ticket order) among current waiters. Caller
+// holds lk.mu.
+func (lk *lockState) isNext(ticket uint64) bool {
+	myTime := lk.waiters[ticket]
+	for t, at := range lk.waiters {
+		if at < myTime || (at == myTime && t < ticket) {
+			return false
+		}
+	}
+	return true
+}
+
+// release frees the lock and wakes the waiters to re-elect.
+func (lk *lockState) release(holder HostID, at simtime.Seconds) {
+	lk.mu.Lock()
+	lk.held = false
+	lk.lastRelease = at
+	lk.lastHolder = holder
+	lk.everHeld = true
+	lk.cond.Broadcast()
+	lk.mu.Unlock()
+}
+
+type lockTable struct {
+	mu    sync.Mutex
+	locks map[int]*lockState
+}
+
+func newLockTable() *lockTable { return &lockTable{locks: make(map[int]*lockState)} }
+
+func (t *lockTable) get(id int) *lockState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	lk := t.locks[id]
+	if lk == nil {
+		lk = newLockState()
+		t.locks[id] = lk
+	}
+	return lk
+}
+
+// AcquireLock acquires lock id for host h, blocking until the current
+// holder releases. The acquirer's clock advances past the releaser's
+// release instant plus the measured acquire cost (178 us uncontended at
+// the manager, up to 272 us when the request is forwarded to a distant
+// holder). Acquire-side consistency then invalidates or upgrades local
+// copies made stale by lock-release intervals it has not yet honoured.
+func (c *Cluster) AcquireLock(id int, h *Host, clk *simtime.Clock) {
+	lk := c.locks.get(id)
+	lk.acquire(c, clk) // released by ReleaseLock
+
+	clk.AdvanceTo(lk.lastRelease)
+	cost := c.model.LockBase
+	manager := c.Master()
+	if lk.everHeld && lk.lastHolder != manager.id && lk.lastHolder != h.id {
+		cost += c.model.LockForward
+	}
+	clk.Advance(cost)
+	c.stats.LockAcquires.Add(1)
+
+	// Request to the manager; grant from manager or forwarded holder.
+	c.fabric.Record(h.machine, manager.machine, msgHeader)
+	granter := manager
+	if lk.everHeld && lk.lastHolder != manager.id {
+		holder := c.Host(lk.lastHolder)
+		c.fabric.Record(manager.machine, holder.machine, msgHeader)
+		granter = holder
+	}
+	c.fabric.Record(granter.machine, h.machine, msgHeader)
+
+	c.honourReleases(h, clk)
+}
+
+// honourReleases performs acquire-side consistency: every page touched
+// by a release interval the host has not yet synchronised with is
+// invalidated, or — if the host has it dirty in its own open interval —
+// upgraded in place by fetching and applying the missing diffs (the
+// words are disjoint in a race-free program).
+func (c *Cluster) honourReleases(h *Host, clk *simtime.Clock) {
+	c.dir.mu.RLock()
+	horizon := h.syncSeq
+	var stale []relEntry
+	for _, e := range c.releaseLog {
+		if e.seq > horizon {
+			stale = append(stale, e)
+		}
+	}
+	cur := c.seq
+	c.dir.mu.RUnlock()
+
+	seen := make(map[pageKey]bool, len(stale))
+	for _, e := range stale {
+		if seen[e.pk] {
+			continue
+		}
+		seen[e.pk] = true
+		c.upgradeOrInvalidate(h, e.pk, clk)
+	}
+	h.syncSeq = cur
+}
+
+func (c *Cluster) upgradeOrInvalidate(h *Host, pk pageKey, clk *simtime.Clock) {
+	meta := c.dir.meta(pk.region, pk.page)
+	latest := meta.latestSeq()
+	h.mu.Lock()
+	st := &h.pages[pk.region][pk.page]
+	if !st.valid || st.appliedSeq >= latest {
+		h.mu.Unlock()
+		return
+	}
+	if !st.dirty {
+		st.valid = false
+		h.mu.Unlock()
+		return
+	}
+	applied := st.appliedSeq
+	h.mu.Unlock()
+
+	// Dirty page: patch in place.
+	var pending []seqDiff
+	grouped := groupPending(&meta, applied, h.id)
+	writers := make([]HostID, 0, len(grouped))
+	for w := range grouped {
+		writers = append(writers, w)
+	}
+	sort.Slice(writers, func(i, j int) bool { return writers[i] < writers[j] })
+	for _, w := range writers {
+		pending = append(pending, h.fetchDiffs(pk, w, applied, latest, clk)...)
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i].seq < pending[j].seq })
+	h.mu.Lock()
+	st = &h.pages[pk.region][pk.page]
+	for _, sd := range pending {
+		sd.diff.Apply(st.data)
+	}
+	if st.appliedSeq < latest {
+		st.appliedSeq = latest
+	}
+	h.mu.Unlock()
+}
+
+// ReleaseLock closes the host's open interval (its writes under the
+// lock become diffs with fresh write notices) and releases lock id.
+func (c *Cluster) ReleaseLock(id int, h *Host, clk *simtime.Clock) {
+	lk := c.locks.get(id)
+
+	c.dir.mu.Lock()
+	c.seq++
+	s := c.seq
+	for _, pk := range h.takeWritten() {
+		pm := c.dir.metaLocked(pk.region, pk.page)
+		prevLatest := pm.latestSeq()
+		if pm.mode == ModeSingle {
+			// Pages written under locks are diff-managed: without the
+			// barrier's global conflict detection, full-page ownership
+			// transfers would be unsound under concurrent readers.
+			pm.baseSeq = prevLatest
+			pm.mode = ModeMulti
+		}
+		h.mu.Lock()
+		st := &h.pages[pk.region][pk.page]
+		d := page.Make(st.twin, st.data)
+		st.twin = nil
+		st.dirty = false
+		if d != nil {
+			h.diffs[pk] = append(h.diffs[pk], seqDiff{seq: s, diff: d})
+			h.diffBytes += d.WireSize()
+			c.stats.DiffsCreated.Add(1)
+			pm.notices = append(pm.notices, notice{writer: h.id, seq: s})
+			c.releaseLog = append(c.releaseLog, relEntry{pk: pk, seq: s})
+			if st.appliedSeq >= prevLatest {
+				st.appliedSeq = s // current: old value plus own writes
+			} else {
+				st.valid = false // concurrent writers under other locks
+			}
+			clk.Advance(c.model.DiffCreateByteCost * simtime.Seconds(page.Size))
+		}
+		h.mu.Unlock()
+	}
+	c.dir.mu.Unlock()
+
+	clk.Advance(c.model.MsgOverhead)
+	lk.release(h.id, clk.Now())
+}

@@ -1,0 +1,75 @@
+package dsm
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"nowomp/internal/simtime"
+)
+
+// The phase registry lets the lock scheduler observe the virtual
+// clocks of the processes executing the current parallel construct.
+// Lock grants are conservative in virtual time: a request at instant T
+// is granted only once no still-running process's clock is behind T,
+// so grant order follows simulated time rather than the Go scheduler.
+// This is the standard conservative discrete-event argument: the
+// process with the minimum clock is never blocked by the rule, so the
+// system always makes progress.
+
+type phaseProc struct {
+	clk  *simtime.Clock
+	done atomic.Bool
+}
+
+type phaseRegistry struct {
+	mu    sync.Mutex
+	procs []*phaseProc
+}
+
+// BeginPhase registers the clocks of the processes entering a parallel
+// construct. Called by the OpenMP runtime at fork, with no construct
+// active.
+func (c *Cluster) BeginPhase(clocks []*simtime.Clock) {
+	procs := make([]*phaseProc, len(clocks))
+	for i, clk := range clocks {
+		procs[i] = &phaseProc{clk: clk}
+	}
+	c.phases.mu.Lock()
+	c.phases.procs = procs
+	c.phases.mu.Unlock()
+}
+
+// PhaseProcDone marks process i's construct body as finished: its
+// clock no longer gates lock grants (it will only advance again after
+// the join).
+func (c *Cluster) PhaseProcDone(i int) {
+	c.phases.mu.Lock()
+	if i >= 0 && i < len(c.phases.procs) {
+		c.phases.procs[i].done.Store(true)
+	}
+	c.phases.mu.Unlock()
+}
+
+// EndPhase clears the registry at the join.
+func (c *Cluster) EndPhase() {
+	c.phases.mu.Lock()
+	c.phases.procs = nil
+	c.phases.mu.Unlock()
+}
+
+// noEarlierRunner reports whether every still-running process other
+// than self has reached virtual instant t. Outside a parallel
+// construct the registry is empty and the answer is trivially true.
+func (c *Cluster) noEarlierRunner(self *simtime.Clock, t simtime.Seconds) bool {
+	c.phases.mu.Lock()
+	defer c.phases.mu.Unlock()
+	for _, pp := range c.phases.procs {
+		if pp.clk == self || pp.done.Load() {
+			continue
+		}
+		if pp.clk.Now() < t {
+			return false
+		}
+	}
+	return true
+}

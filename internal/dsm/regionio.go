@@ -1,0 +1,80 @@
+package dsm
+
+import (
+	"fmt"
+
+	"nowomp/internal/page"
+)
+
+// DumpRegion returns the full contents of a region read from the
+// master's copies, without protocol traffic or cost. The master must
+// hold a valid copy of every page — run CollectToMaster first; this is
+// exactly the checkpoint sequence of section 4.3 (GC, collect, write).
+func (c *Cluster) DumpRegion(r *Region) ([]byte, error) {
+	m := c.Master()
+	out := make([]byte, r.Bytes)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for p := 0; p < r.NPages; p++ {
+		st := &m.pages[r.ID][p]
+		if !st.valid || st.data == nil {
+			return nil, fmt.Errorf("dsm: dump %q: master lacks a valid copy of page %d (run CollectToMaster first)", r.Name, p)
+		}
+		lo := p * page.Size
+		hi := lo + page.Size
+		if hi > r.Bytes {
+			hi = r.Bytes
+		}
+		copy(out[lo:hi], st.data[:hi-lo])
+	}
+	return out, nil
+}
+
+// InstallRegion overwrites a region's contents on the master, making
+// the master the current owner of every page, without protocol traffic
+// or cost. This is the recovery path: after a restart from checkpoint
+// all shared state lives at the master and redistributes through
+// ordinary page faults.
+func (c *Cluster) InstallRegion(r *Region, data []byte) error {
+	if len(data) != r.Bytes {
+		return fmt.Errorf("dsm: install %q: got %d bytes, want %d", r.Name, len(data), r.Bytes)
+	}
+	c.dir.mu.Lock()
+	defer c.dir.mu.Unlock()
+	m := c.Master()
+	m.mu.Lock()
+	for p := 0; p < r.NPages; p++ {
+		st := &m.pages[r.ID][p]
+		if st.data == nil {
+			st.data = newPage()
+		}
+		lo := p * page.Size
+		hi := lo + page.Size
+		if hi > r.Bytes {
+			hi = r.Bytes
+		}
+		copy(st.data[:hi-lo], data[lo:hi])
+		st.valid = true
+		st.dirty = false
+		st.twin = nil
+		st.appliedSeq = c.seq
+	}
+	m.mu.Unlock()
+	for p := 0; p < r.NPages; p++ {
+		pm := c.dir.metaLocked(r.ID, p)
+		pm.owner = m.id
+		pm.mode = ModeSingle
+		pm.notices = nil
+		pm.baseSeq = c.seq
+		// Any other copies are stale relative to the installed state.
+		for _, h := range c.hosts {
+			if h.id == m.id {
+				continue
+			}
+			h.mu.Lock()
+			h.pages[r.ID][p] = pageState{}
+			h.mu.Unlock()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package dsm
+
+import "sync/atomic"
+
+// Stats counts DSM protocol events. All counters are cumulative for the
+// lifetime of the cluster; use Snapshot and Delta to measure windows
+// (for example, the cost attributable to one adaptation). Byte and
+// message totals live on the network fabric; these counters track
+// protocol objects, matching the columns of Table 1.
+type Stats struct {
+	PageFetches  atomic.Int64 // full 4 KB page transfers
+	PageBytes    atomic.Int64 // payload bytes of page transfers
+	DiffFetches  atomic.Int64 // diff objects fetched (Table 1 "Diffs")
+	DiffBytes    atomic.Int64 // payload bytes of diff transfers
+	DiffsCreated atomic.Int64 // diffs made at interval close
+	TwinsCreated atomic.Int64 // twins made at first write
+	Barriers     atomic.Int64
+	LockAcquires atomic.Int64
+	GCs          atomic.Int64
+	ReadFaults   atomic.Int64 // page-granularity access misses
+	WriteFaults  atomic.Int64 // first writes (twin events)
+}
+
+// StatsSnapshot is an immutable copy of the counters.
+type StatsSnapshot struct {
+	PageFetches  int64
+	PageBytes    int64
+	DiffFetches  int64
+	DiffBytes    int64
+	DiffsCreated int64
+	TwinsCreated int64
+	Barriers     int64
+	LockAcquires int64
+	GCs          int64
+	ReadFaults   int64
+	WriteFaults  int64
+}
+
+// Snapshot captures the current counter values.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		PageFetches:  s.PageFetches.Load(),
+		PageBytes:    s.PageBytes.Load(),
+		DiffFetches:  s.DiffFetches.Load(),
+		DiffBytes:    s.DiffBytes.Load(),
+		DiffsCreated: s.DiffsCreated.Load(),
+		TwinsCreated: s.TwinsCreated.Load(),
+		Barriers:     s.Barriers.Load(),
+		LockAcquires: s.LockAcquires.Load(),
+		GCs:          s.GCs.Load(),
+		ReadFaults:   s.ReadFaults.Load(),
+		WriteFaults:  s.WriteFaults.Load(),
+	}
+}
+
+// Sub returns the difference between this snapshot and an earlier one.
+func (s StatsSnapshot) Sub(earlier StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		PageFetches:  s.PageFetches - earlier.PageFetches,
+		PageBytes:    s.PageBytes - earlier.PageBytes,
+		DiffFetches:  s.DiffFetches - earlier.DiffFetches,
+		DiffBytes:    s.DiffBytes - earlier.DiffBytes,
+		DiffsCreated: s.DiffsCreated - earlier.DiffsCreated,
+		TwinsCreated: s.TwinsCreated - earlier.TwinsCreated,
+		Barriers:     s.Barriers - earlier.Barriers,
+		LockAcquires: s.LockAcquires - earlier.LockAcquires,
+		GCs:          s.GCs - earlier.GCs,
+		ReadFaults:   s.ReadFaults - earlier.ReadFaults,
+		WriteFaults:  s.WriteFaults - earlier.WriteFaults,
+	}
+}
+
+// Stats returns the cluster-wide counters.
+func (c *Cluster) Stats() *Stats { return &c.stats }

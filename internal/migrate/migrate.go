@@ -1,0 +1,117 @@
+// Package migrate implements the urgent-leave path of Fig. 2c in the
+// paper: when a leaving workstation's grace period expires before the
+// computation reaches the next adaptation point, the process is moved
+// to another node with a libckpt-style image transfer and executed
+// there by multiplexing until the adaptation point, where a normal
+// leave completes the departure.
+//
+// The paper measures the two direct cost components we model: creating
+// a process on the new host (0.6-0.8 s) and moving the image at
+// 8.1 MB/s. The image is the process's resident shared pages plus a
+// fixed text/stack/runtime overhead.
+package migrate
+
+import (
+	"fmt"
+
+	"nowomp/internal/dsm"
+	"nowomp/internal/simtime"
+)
+
+// Plan describes one urgent-leave migration.
+type Plan struct {
+	// Leaver is the process being forced off its workstation; Target is
+	// the workstation (identified by the host resident there) that will
+	// multiplex it until the next adaptation point.
+	Leaver dsm.HostID
+	Target dsm.HostID
+
+	// ImageBytes is the process image moved by the modified libckpt:
+	// resident shared pages plus heap/stack/text overhead.
+	ImageBytes int
+
+	// Start is when the migration begins: the leave event's deadline
+	// (event time + grace period).
+	Start simtime.Seconds
+
+	// Cost is spawn plus image transfer; the migrated process resumes
+	// at Start+Cost.
+	Cost simtime.Seconds
+}
+
+// New sizes and prices a migration of leaver onto target's machine,
+// starting at the given deadline. The image is the full mapped shared
+// space plus private overhead: TreadMarks maps the entire shared
+// region in every process and libckpt writes out the whole heap and
+// stack, which is why the paper's per-application migration costs
+// (6.1-7.7 s) track total shared memory, not the process's partition.
+func New(c *dsm.Cluster, leaver, target dsm.HostID, deadline simtime.Seconds) Plan {
+	if leaver == target {
+		panic(fmt.Sprintf("migrate: leaver %d cannot migrate to itself", leaver))
+	}
+	m := c.Model()
+	img := c.TotalSharedBytes() + m.MigrationImageOverhead
+	return Plan{
+		Leaver:     leaver,
+		Target:     target,
+		ImageBytes: img,
+		Start:      deadline,
+		Cost:       m.Migration(img),
+	}
+}
+
+// End returns when the migrated process resumes on the target machine.
+func (p Plan) End() simtime.Seconds { return p.Start + p.Cost }
+
+// Execute records the image transfer on the network and rebinds the
+// migrated process to the target's machine. The process keeps its own
+// address space (it is a separate OS process co-located with the
+// target's process); only CPU and NIC are now shared.
+func (p Plan) Execute(c *dsm.Cluster) {
+	src := c.Host(p.Leaver).Machine()
+	dst := c.Host(p.Target).Machine()
+	c.Fabric().Record(src, dst, p.ImageBytes)
+	c.SetMachine(p.Leaver, int(dst))
+}
+
+// AdjustArrivals applies the multiplexing model to a phase's barrier
+// arrival times (indexed like team). The leaver computes normally until
+// Start, is frozen during the transfer, and then shares the target's
+// CPU: the remaining work of both processes serialises, so both arrive
+// at Start+Cost+remaining(leaver)+remaining(target). Every other
+// process idles at the barrier until then (the paper notes multiplexing
+// one node may idle the t-2 others).
+func (p Plan) AdjustArrivals(team []dsm.HostID, arrivals []simtime.Seconds) {
+	li, ti := -1, -1
+	for i, h := range team {
+		switch h {
+		case p.Leaver:
+			li = i
+		case p.Target:
+			ti = i
+		}
+	}
+	if li < 0 {
+		panic(fmt.Sprintf("migrate: leaver %d not in team %v", p.Leaver, team))
+	}
+	if ti < 0 {
+		panic(fmt.Sprintf("migrate: target %d not in team %v", p.Target, team))
+	}
+
+	remLeaver := arrivals[li] - p.Start
+	if remLeaver < 0 {
+		remLeaver = 0
+	}
+	end := p.End()
+	remTarget := arrivals[ti] - end
+	if remTarget < 0 {
+		remTarget = 0
+	}
+	done := end + remLeaver + remTarget
+	if arrivals[li] < done {
+		arrivals[li] = done
+	}
+	if arrivals[ti] < done {
+		arrivals[ti] = done
+	}
+}

@@ -1,0 +1,367 @@
+// Package omp is the OpenMP-style fork-join runtime of the adaptive
+// system: the execution model of section 2 of Scherer et al. (PPoPP
+// 1999). A master process executes sequential code; each parallel
+// construct forks a team of processes, divides loop iterations among
+// them by (process id, team size), and joins at a barrier. Because the
+// partition is recomputed from (id, nprocs) at every fork — exactly
+// what the SUIF-generated TreadMarks code does — the runtime can change
+// the team between any two constructs, which is what makes adaptation
+// transparent (section 3).
+//
+// The API mirrors the *output* of the paper's OpenMP-to-TreadMarks
+// compiler rather than pragma syntax: ParallelFor's body receives
+// (proc, lo, hi) just as the encapsulated loop procedure receives the
+// TreadMarks process id and computes its iteration range.
+package omp
+
+import (
+	"fmt"
+
+	"nowomp/internal/adapt"
+	"nowomp/internal/dsm"
+	"nowomp/internal/shmem"
+	"nowomp/internal/simtime"
+)
+
+// Config parameterises a Runtime.
+type Config struct {
+	// Hosts is the workstation pool size; Procs is the initial team
+	// size (processes run on hosts 0..Procs-1).
+	Hosts int
+	Procs int
+
+	// Model overrides the cost model; zero value means the calibrated
+	// default.
+	Model simtime.CostModel
+
+	// GCThresholdBytes is the diff-storage GC trigger (0 = default).
+	GCThresholdBytes int
+
+	// Adaptive enables adapt-event processing. With Adaptive false the
+	// runtime is the non-adaptive base TreadMarks system: Submit fails
+	// and forks never touch the adaptation machinery. Table 1 compares
+	// the two variants.
+	Adaptive bool
+
+	// Grace is the default leave grace period (0 = the paper's 3 s).
+	Grace simtime.Seconds
+
+	// LeaveStrategy selects the normal-leave handoff.
+	LeaveStrategy dsm.LeaveStrategy
+
+	// Reassign selects the process-id reassignment strategy.
+	Reassign adapt.ReassignStrategy
+}
+
+// AdaptationPoint records what happened at one adaptation point where
+// at least one event was applied, for the evaluation harness.
+type AdaptationPoint struct {
+	// Index is the ordinal of the fork at which the point fired.
+	Index int64
+	// When is the master's virtual time entering the point.
+	When simtime.Seconds
+	// Elapsed is the extra time the adaptation added (GC + transfer).
+	Elapsed simtime.Seconds
+	// Applied are the events handled.
+	Applied []adapt.Record
+	// TeamAfter is the new process-id-to-host mapping.
+	TeamAfter []dsm.HostID
+	// WindowBytes and WindowMaxLink measure the traffic of the
+	// adaptation itself (GC pulls, state handoff, page map).
+	WindowBytes   int64
+	WindowMaxLink int64
+}
+
+// Runtime executes one OpenMP program on the simulated NOW. It is not
+// safe for concurrent use: the calling goroutine is the master process.
+type Runtime struct {
+	cfg     Config
+	cluster *dsm.Cluster
+	mgr     *adapt.Manager
+	team    []dsm.HostID
+	master  *simtime.Clock
+
+	forks    int64
+	phases   int64
+	adaptLog []AdaptationPoint
+	forkHook func(*Runtime)
+	dynCtr   *sharedInt64
+
+	// restore payload, when the runtime was rebuilt from a checkpoint.
+	restoring  []RegionDump
+	allocIndex int
+}
+
+// RegionDump is one region's checkpointed identity and contents.
+type RegionDump struct {
+	Name  string
+	Bytes int
+	Data  []byte
+}
+
+// New creates a runtime with hosts 0..Procs-1 active as the initial
+// team, mirroring a cluster-wide process start.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Hosts <= 0 {
+		return nil, fmt.Errorf("omp: Hosts must be positive, got %d", cfg.Hosts)
+	}
+	if cfg.Procs <= 0 || cfg.Procs > cfg.Hosts {
+		return nil, fmt.Errorf("omp: Procs must be in [1,%d], got %d", cfg.Hosts, cfg.Procs)
+	}
+	cluster, err := dsm.New(dsm.Config{
+		MaxHosts:         cfg.Hosts,
+		Model:            cfg.Model,
+		GCThresholdBytes: cfg.GCThresholdBytes,
+		Adaptive:         cfg.Adaptive,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		cfg:     cfg,
+		cluster: cluster,
+		master:  simtime.NewClock(0),
+	}
+	for i := 0; i < cfg.Procs; i++ {
+		if i > 0 {
+			if _, err := cluster.Join(dsm.HostID(i)); err != nil {
+				return nil, err
+			}
+		}
+		rt.team = append(rt.team, dsm.HostID(i))
+	}
+	if cfg.Adaptive {
+		rt.mgr = adapt.NewManager(adapt.Config{
+			DefaultGrace: cfg.Grace,
+			Strategy:     cfg.LeaveStrategy,
+			Reassign:     cfg.Reassign,
+		})
+	}
+	return rt, nil
+}
+
+// Cluster exposes the DSM substrate (measurement and checkpoint hook).
+func (rt *Runtime) Cluster() *dsm.Cluster { return rt.cluster }
+
+// Config returns the runtime's configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// NProcs returns the current team size. Like omp_get_num_threads, it
+// is only guaranteed constant within one parallel construct.
+func (rt *Runtime) NProcs() int { return len(rt.team) }
+
+// Team returns a copy of the process-id-to-host mapping.
+func (rt *Runtime) Team() []dsm.HostID {
+	out := make([]dsm.HostID, len(rt.team))
+	copy(out, rt.team)
+	return out
+}
+
+// Now returns the master's virtual time.
+func (rt *Runtime) Now() simtime.Seconds { return rt.master.Now() }
+
+// Forks returns the number of parallel constructs executed so far:
+// the adaptation points passed.
+func (rt *Runtime) Forks() int64 { return rt.forks }
+
+// AdaptLog returns the adaptation points at which events were applied.
+func (rt *Runtime) AdaptLog() []AdaptationPoint {
+	out := make([]AdaptationPoint, len(rt.adaptLog))
+	copy(out, rt.adaptLog)
+	return out
+}
+
+// Manager exposes the adapt manager, or nil for the non-adaptive
+// variant.
+func (rt *Runtime) Manager() *adapt.Manager { return rt.mgr }
+
+// SetForkHook installs a function called at the start of every fork,
+// before pending adapt events are processed. This is how external
+// event sources — the paper's daemons and load sensors, or the
+// experiment harness's schedules — inject events keyed to virtual time
+// or to specific adaptation points. The hook runs on the master
+// goroutine with no parallel construct active, so it may inspect
+// Team(), Now() and Forks() and call Submit safely.
+func (rt *Runtime) SetForkHook(hook func(*Runtime)) { rt.forkHook = hook }
+
+// Submit queues an adapt event (adaptive runtimes only).
+func (rt *Runtime) Submit(e adapt.Event) error {
+	if rt.mgr == nil {
+		return fmt.Errorf("omp: adapt event on non-adaptive runtime; set Config.Adaptive")
+	}
+	return rt.mgr.Submit(e)
+}
+
+// MasterProc returns a Proc bound to the master process and clock for
+// sequential sections (initialisation, verification, I/O).
+func (rt *Runtime) MasterProc() *Proc {
+	return &Proc{ID: 0, N: 1, rt: rt, host: rt.cluster.Master(), clk: rt.master}
+}
+
+// AllocFloat64 allocates a shared float64 vector; on a restored
+// runtime it rebinds to (and reloads) the checkpointed region instead.
+func (rt *Runtime) AllocFloat64(name string, n int) (*shmem.Float64Array, error) {
+	if err := rt.restoreCheck(name, n*8); err != nil {
+		return nil, err
+	}
+	a, err := shmem.AllocFloat64(rt.cluster, name, n)
+	if err != nil {
+		return nil, err
+	}
+	return a, rt.restoreFill(a.Region())
+}
+
+// AllocFloat64Matrix allocates a shared matrix (see AllocFloat64).
+func (rt *Runtime) AllocFloat64Matrix(name string, rows, cols int) (*shmem.Float64Matrix, error) {
+	if err := rt.restoreCheck(name, rows*cols*8); err != nil {
+		return nil, err
+	}
+	mx, err := shmem.AllocFloat64Matrix(rt.cluster, name, rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	return mx, rt.restoreFill(mx.Region())
+}
+
+// AllocFloat32 allocates a shared float32 vector (see AllocFloat64).
+func (rt *Runtime) AllocFloat32(name string, n int) (*shmem.Float32Array, error) {
+	if err := rt.restoreCheck(name, n*4); err != nil {
+		return nil, err
+	}
+	a, err := shmem.AllocFloat32(rt.cluster, name, n)
+	if err != nil {
+		return nil, err
+	}
+	return a, rt.restoreFill(a.Region())
+}
+
+// AllocFloat32Matrix allocates a shared float32 matrix (see
+// AllocFloat64).
+func (rt *Runtime) AllocFloat32Matrix(name string, rows, cols int) (*shmem.Float32Matrix, error) {
+	if err := rt.restoreCheck(name, rows*cols*4); err != nil {
+		return nil, err
+	}
+	mx, err := shmem.AllocFloat32Matrix(rt.cluster, name, rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	return mx, rt.restoreFill(mx.Region())
+}
+
+// AllocComplex128 allocates a shared complex vector (see AllocFloat64).
+func (rt *Runtime) AllocComplex128(name string, n int) (*shmem.Complex128Array, error) {
+	if err := rt.restoreCheck(name, n*16); err != nil {
+		return nil, err
+	}
+	a, err := shmem.AllocComplex128(rt.cluster, name, n)
+	if err != nil {
+		return nil, err
+	}
+	return a, rt.restoreFill(a.Region())
+}
+
+// AllocInt32 allocates a shared int32 vector (see AllocFloat64).
+func (rt *Runtime) AllocInt32(name string, n int) (*shmem.Int32Array, error) {
+	if err := rt.restoreCheck(name, n*4); err != nil {
+		return nil, err
+	}
+	a, err := shmem.AllocInt32(rt.cluster, name, n)
+	if err != nil {
+		return nil, err
+	}
+	return a, rt.restoreFill(a.Region())
+}
+
+// Restored reports whether this runtime was rebuilt from a checkpoint.
+func (rt *Runtime) Restored() bool { return rt.restoring != nil }
+
+// PrepareCheckpoint runs the section 4.3 checkpoint sequence at an
+// adaptation point (no parallel construct may be executing): a garbage
+// collection brings shared memory into a well-defined state, the
+// master collects every page it lacks, and the region contents are
+// dumped. Only the master has process state to save — the slaves are
+// between forks and hold none.
+func (rt *Runtime) PrepareCheckpoint() ([]RegionDump, dsm.TransferReport, error) {
+	gc := rt.cluster.ForceGC(rt.Team())
+	rep := rt.cluster.CollectToMaster()
+	rep.Elapsed += gc
+	rt.master.Advance(rep.Elapsed)
+	var dumps []RegionDump
+	for _, r := range rt.cluster.Regions() {
+		data, err := rt.cluster.DumpRegion(r)
+		if err != nil {
+			return nil, rep, err
+		}
+		dumps = append(dumps, RegionDump{Name: r.Name, Bytes: r.Bytes, Data: data})
+	}
+	return dumps, rep, nil
+}
+
+// RestoreTeam re-establishes the checkpointed team on a freshly built
+// runtime: the named hosts are spawned and activated, with all shared
+// state at the master (recovery redistributes it through page faults).
+func (rt *Runtime) RestoreTeam(team []dsm.HostID) error {
+	if len(team) == 0 || team[0] != 0 {
+		return fmt.Errorf("omp: restored team must start with the master, got %v", team)
+	}
+	for _, h := range team[1:] {
+		if !rt.cluster.Host(h).Active() {
+			if _, err := rt.cluster.Join(h); err != nil {
+				return err
+			}
+		}
+	}
+	// Deactivate initial-team hosts not present in the checkpoint.
+	for _, h := range rt.team {
+		if h == 0 {
+			continue
+		}
+		found := false
+		for _, th := range team {
+			if th == h {
+				found = true
+			}
+		}
+		if !found {
+			if _, err := rt.cluster.NormalLeave(h, rt.cfg.LeaveStrategy); err != nil {
+				return err
+			}
+		}
+	}
+	rt.team = append([]dsm.HostID(nil), team...)
+	return nil
+}
+
+// BeginRestore puts the runtime into restore mode: subsequent Alloc
+// calls must replay the checkpointed allocation sequence and are filled
+// with the dumped contents. Used by the checkpoint package.
+func (rt *Runtime) BeginRestore(dumps []RegionDump, masterTime simtime.Seconds, forks int64) {
+	rt.restoring = dumps
+	rt.allocIndex = 0
+	rt.master.AdvanceTo(masterTime)
+	rt.forks = forks
+}
+
+func (rt *Runtime) restoreCheck(name string, bytes int) error {
+	if rt.restoring == nil {
+		return nil
+	}
+	if rt.allocIndex >= len(rt.restoring) {
+		return fmt.Errorf("omp: restore: allocation %q has no checkpointed region (only %d were dumped)", name, len(rt.restoring))
+	}
+	d := rt.restoring[rt.allocIndex]
+	if d.Name != name || d.Bytes != bytes {
+		return fmt.Errorf("omp: restore: allocation %d is %q (%d bytes), checkpoint has %q (%d bytes); the program must replay the same allocations",
+			rt.allocIndex, name, bytes, d.Name, d.Bytes)
+	}
+	return nil
+}
+
+func (rt *Runtime) restoreFill(r *dsm.Region) error {
+	if rt.restoring == nil {
+		return nil
+	}
+	d := rt.restoring[rt.allocIndex]
+	rt.allocIndex++
+	return rt.cluster.InstallRegion(r, d.Data)
+}

@@ -1,0 +1,190 @@
+package omp
+
+import (
+	"fmt"
+	"sync"
+
+	"nowomp/internal/simtime"
+)
+
+// ParallelFor executes body over the iteration space [lo,hi) with the
+// OpenMP static schedule: each team process receives one contiguous
+// block computed from its (id, nprocs), recomputed at this fork — the
+// re-partitioning mechanism adaptation relies on. The construct forks,
+// runs, and joins at a barrier; the fork boundary is an adaptation
+// point where pending adapt events are applied first.
+func (rt *Runtime) ParallelFor(name string, lo, hi int, body func(p *Proc, lo, hi int)) {
+	rt.Parallel(name, func(p *Proc) {
+		mylo, myhi := p.Block(lo, hi)
+		if mylo < myhi {
+			body(p, mylo, myhi)
+		}
+	})
+}
+
+// ParallelForChunk executes body with a static cyclic schedule of the
+// given chunk size (OpenMP schedule(static, chunk)): process i runs
+// chunks i, i+N, i+2N, ... Body is invoked once per chunk.
+func (rt *Runtime) ParallelForChunk(name string, lo, hi, chunk int, body func(p *Proc, lo, hi int)) {
+	if chunk <= 0 {
+		panic(fmt.Sprintf("omp: chunk size must be positive, got %d", chunk))
+	}
+	rt.Parallel(name, func(p *Proc) {
+		for start := lo + p.ID*chunk; start < hi; start += p.N * chunk {
+			end := start + chunk
+			if end > hi {
+				end = hi
+			}
+			body(p, start, end)
+		}
+	})
+}
+
+// Parallel executes body once on every process of the team: the bare
+// parallel construct. The iteration partitioning, if any, is the
+// body's business via Proc.Block.
+func (rt *Runtime) Parallel(name string, body func(p *Proc)) {
+	procs := rt.fork(name)
+	rt.run(procs, body)
+	rt.join(procs)
+}
+
+// ParallelForReduce is ParallelFor with a floating-point reduction:
+// each process folds its block into a partial starting from identity,
+// and the master combines the partials in process-id order at the
+// join (deterministic regardless of scheduling).
+func (rt *Runtime) ParallelForReduce(name string, lo, hi int, identity float64,
+	op func(a, b float64) float64, body func(p *Proc, lo, hi int) float64) float64 {
+
+	procs := rt.fork(name)
+	partials := make([]float64, len(procs))
+	for i := range partials {
+		partials[i] = identity
+	}
+	rt.run(procs, func(p *Proc) {
+		mylo, myhi := p.Block(lo, hi)
+		if mylo < myhi {
+			partials[p.ID] = body(p, mylo, myhi)
+		}
+	})
+	// Each slave ships its partial to the master with its barrier
+	// arrival message.
+	master := rt.cluster.Master()
+	for _, p := range procs[1:] {
+		rt.cluster.Fabric().Record(p.host.Machine(), master.Machine(), 8)
+	}
+	rt.join(procs)
+	acc := identity
+	for _, v := range partials {
+		acc = op(acc, v)
+	}
+	rt.master.Advance(rt.cluster.Model().MsgOverhead)
+	return acc
+}
+
+// fork applies pending adapt events (this is the adaptation point),
+// then broadcasts Tmk_fork to the team and returns one Proc per team
+// member. Proc 0 is the master process and shares the master clock.
+func (rt *Runtime) fork(name string) []*Proc {
+	if rt.forkHook != nil {
+		rt.forkHook(rt)
+	}
+	rt.atAdaptationPoint()
+	rt.forks++
+
+	t := len(rt.team)
+	model := rt.cluster.Model()
+	rt.master.Advance(model.Fork(t))
+	master := rt.cluster.Master()
+	for _, h := range rt.team[1:] {
+		rt.cluster.Fabric().Record(master.Machine(), rt.cluster.Host(h).Machine(), msgHeader)
+	}
+
+	start := rt.master.Now()
+	procs := make([]*Proc, t)
+	for i, h := range rt.team {
+		clk := rt.master
+		if i != 0 {
+			clk = simtime.NewClock(start)
+		}
+		procs[i] = &Proc{ID: i, N: t, rt: rt, host: rt.cluster.Host(h), clk: clk}
+	}
+	return procs
+}
+
+// msgHeader mirrors the DSM protocol header size for fork messages.
+const msgHeader = 32
+
+// run executes body on every proc concurrently. The master process
+// (proc 0) runs on the calling goroutine, like the real system where
+// the master participates in the team. The procs' clocks are
+// registered with the cluster so lock grants can follow virtual time.
+func (rt *Runtime) run(procs []*Proc, body func(p *Proc)) {
+	clocks := make([]*simtime.Clock, len(procs))
+	for i, p := range procs {
+		clocks[i] = p.clk
+	}
+	rt.cluster.BeginPhase(clocks)
+	defer rt.cluster.EndPhase()
+
+	var wg sync.WaitGroup
+	for i, p := range procs[1:] {
+		i, p := i+1, p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body(p)
+			rt.cluster.PhaseProcDone(i)
+		}()
+	}
+	body(procs[0])
+	rt.cluster.PhaseProcDone(0)
+	wg.Wait()
+}
+
+// join implements Tmk_join: urgent-leave classification against the
+// arrival times (migrations adjust them per the multiplexing model),
+// then the DSM barrier; the master resumes at the barrier release.
+func (rt *Runtime) join(procs []*Proc) {
+	arrivals := make([]simtime.Seconds, len(procs))
+	for i, p := range procs {
+		arrivals[i] = p.clk.Now()
+	}
+	if rt.mgr != nil {
+		rt.mgr.AdjustJoin(rt.cluster, rt.team, arrivals)
+	}
+	res := rt.cluster.Barrier(rt.team, arrivals)
+	rt.master.AdvanceTo(res.ReleaseTime)
+	rt.phases++
+}
+
+// atAdaptationPoint drains matured adapt events, reshaping the team.
+func (rt *Runtime) atAdaptationPoint() {
+	if rt.mgr == nil || rt.mgr.PendingCount() == 0 {
+		return
+	}
+	now := rt.master.Now()
+	before := rt.cluster.Fabric().Snapshot()
+	res, err := rt.mgr.AtAdaptationPoint(rt.cluster, rt.team, now)
+	if err != nil {
+		// Submit-time validation rejects ill-formed events; reaching
+		// here means the runtime state is corrupt.
+		panic(fmt.Sprintf("omp: adaptation failed: %v", err))
+	}
+	if len(res.Applied) == 0 {
+		return
+	}
+	rt.master.Advance(res.Elapsed)
+	window := rt.cluster.Fabric().Snapshot().Sub(before)
+	_, _, maxLink := window.MaxLink()
+	rt.team = res.Team
+	rt.adaptLog = append(rt.adaptLog, AdaptationPoint{
+		Index:         rt.forks,
+		When:          now,
+		Elapsed:       res.Elapsed,
+		Applied:       res.Applied,
+		TeamAfter:     rt.Team(),
+		WindowBytes:   window.TotalBytes(),
+		WindowMaxLink: maxLink,
+	})
+}

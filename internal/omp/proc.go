@@ -1,0 +1,79 @@
+package omp
+
+import (
+	"fmt"
+
+	"nowomp/internal/dsm"
+	"nowomp/internal/shmem"
+	"nowomp/internal/simtime"
+)
+
+// Proc is one process of a forked team, passed to parallel bodies.
+// It carries the process's address space and virtual clock; shared-
+// array accesses through Mem() fault and charge against it.
+type Proc struct {
+	// ID is the OpenMP process id within the current team, 0..N-1.
+	// The master process always has id 0.
+	ID int
+	// N is the team size for this parallel construct. It is constant
+	// within the construct but may change at any fork (section 2).
+	N int
+
+	rt   *Runtime
+	host *dsm.Host
+	clk  *simtime.Clock
+}
+
+// Mem returns the shared-memory access context for this process.
+func (p *Proc) Mem() shmem.Context {
+	return shmem.Context{Host: p.host, Clock: p.clk}
+}
+
+// Host returns the workstation process id this proc runs as.
+func (p *Proc) Host() dsm.HostID { return p.host.ID() }
+
+// Now returns the process's virtual time.
+func (p *Proc) Now() simtime.Seconds { return p.clk.Now() }
+
+// Charge advances the process's clock by the given compute time. The
+// applications charge their arithmetic with per-element costs
+// calibrated from the paper's one-processor runtimes, so the real
+// computation can run on scaled-down data while virtual time follows
+// the paper's cost structure.
+func (p *Proc) Charge(d simtime.Seconds) {
+	if d < 0 {
+		panic(fmt.Sprintf("omp: negative compute charge %v", d))
+	}
+	p.clk.Advance(d)
+}
+
+// ChargeUnits charges n units of work at perUnit each.
+func (p *Proc) ChargeUnits(n int, perUnit simtime.Seconds) {
+	if n < 0 {
+		panic(fmt.Sprintf("omp: negative unit count %d", n))
+	}
+	p.clk.Advance(simtime.Seconds(n) * perUnit)
+}
+
+// Lock acquires the numbered Tmk lock for this process.
+func (p *Proc) Lock(id int) { p.rt.cluster.AcquireLock(id, p.host, p.clk) }
+
+// Unlock releases the numbered Tmk lock.
+func (p *Proc) Unlock(id int) { p.rt.cluster.ReleaseLock(id, p.host, p.clk) }
+
+// Block returns this process's static block partition of [lo,hi):
+// iteration i goes to the process with id i*N/n. This is the partition
+// the compiler-generated code computes from (id, nprocs) at every
+// fork, the mechanism that makes re-partitioning after adaptation
+// automatic.
+func (p *Proc) Block(lo, hi int) (mylo, myhi int) {
+	return blockRange(lo, hi, p.ID, p.N)
+}
+
+func blockRange(lo, hi, id, n int) (int, int) {
+	total := hi - lo
+	if total < 0 {
+		panic(fmt.Sprintf("omp: invalid iteration space [%d,%d)", lo, hi))
+	}
+	return lo + id*total/n, lo + (id+1)*total/n
+}

@@ -1,0 +1,140 @@
+package omp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"nowomp/internal/page"
+	"nowomp/internal/shmem"
+)
+
+// ParallelForTiled splits the iteration space into the given number of
+// tiles and executes each tile as its own parallel construct. This is
+// the section 7 extension the paper sketches: the compiler can control
+// the frequency of adaptation points with transformations similar to
+// loop tiling or strip mining, trading fork/join overhead for
+// adaptation latency. A leave raised during a long loop reaches an
+// adaptation point after one tile instead of the whole loop — the
+// knob that keeps grace periods honourable without migration.
+func (rt *Runtime) ParallelForTiled(name string, lo, hi, tiles int, body func(p *Proc, lo, hi int)) {
+	if tiles < 1 {
+		panic(fmt.Sprintf("omp: tile count must be positive, got %d", tiles))
+	}
+	total := hi - lo
+	if total < 0 {
+		panic(fmt.Sprintf("omp: invalid iteration space [%d,%d)", lo, hi))
+	}
+	if tiles > total {
+		tiles = total
+	}
+	if tiles <= 1 {
+		rt.ParallelFor(name, lo, hi, body)
+		return
+	}
+	for t := 0; t < tiles; t++ {
+		tlo := lo + t*total/tiles
+		thi := lo + (t+1)*total/tiles
+		rt.ParallelFor(fmt.Sprintf("%s.tile%d", name, t), tlo, thi, body)
+	}
+}
+
+// ParallelSections executes each section on one process of the team,
+// assigned round-robin by section index — the OpenMP sections
+// construct. Processes without a section just join.
+func (rt *Runtime) ParallelSections(name string, sections ...func(p *Proc)) {
+	if len(sections) == 0 {
+		return
+	}
+	rt.Parallel(name, func(p *Proc) {
+		for s := p.ID; s < len(sections); s += p.N {
+			sections[s](p)
+		}
+	})
+}
+
+// dynLock is the Tmk lock guarding the shared chunk counter of dynamic
+// schedules. Lock ids are a global namespace managed by host 0; user
+// code should avoid this id.
+const dynLock = 1 << 30
+
+// ParallelForDynamic executes body with the OpenMP dynamic schedule:
+// processes repeatedly claim the next chunk from a shared counter in
+// DSM memory, guarded by a Tmk lock, until the space is exhausted.
+// Claiming costs real lock and page traffic, exactly as it would on
+// the NOW — dynamic scheduling on a DSM is priced, not free.
+//
+// The counter region is allocated on first use and reset at every
+// construct; like all shared allocation this must first happen before
+// any adaptation (master-side), which ParallelForDynamic guarantees by
+// allocating in the sequential section.
+func (rt *Runtime) ParallelForDynamic(name string, lo, hi, chunk int, body func(p *Proc, lo, hi int)) {
+	if chunk <= 0 {
+		panic(fmt.Sprintf("omp: chunk size must be positive, got %d", chunk))
+	}
+	ctr := rt.dynCounter()
+	// Reset the counter in the sequential section.
+	mp := rt.MasterProc()
+	ctr.Set(mp.Mem(), 0, int64(lo))
+
+	rt.Parallel(name, func(p *Proc) {
+		for {
+			p.Lock(dynLock)
+			next := int(ctr.Get(p.Mem(), 0))
+			if next < hi {
+				ctr.Set(p.Mem(), 0, int64(min(next+chunk, hi)))
+			}
+			p.Unlock(dynLock)
+			if next >= hi {
+				return
+			}
+			end := next + chunk
+			if end > hi {
+				end = hi
+			}
+			body(p, next, end)
+		}
+	})
+}
+
+// dynCounter lazily allocates the shared chunk counter.
+func (rt *Runtime) dynCounter() *sharedInt64 {
+	if rt.dynCtr == nil {
+		a, err := rt.AllocInt32("omp.dynamic-counter", page.Size/4)
+		if err != nil {
+			panic(fmt.Sprintf("omp: allocating dynamic-schedule counter: %v", err))
+		}
+		rt.dynCtr = &sharedInt64{arr: a}
+	}
+	return rt.dynCtr
+}
+
+// sharedInt64 stores one int64 in a shared int32 region (two words),
+// giving dynamic schedules a DSM-resident counter.
+type sharedInt64 struct {
+	arr *shmem.Int32Array
+}
+
+// Get reads the counter under the caller's lock.
+func (c *sharedInt64) Get(m shmem.Context, i int) int64 {
+	var raw [2]int32
+	c.arr.ReadRange(m, 2*i, 2*i+2, raw[:])
+	var b [8]byte
+	binary.LittleEndian.PutUint32(b[0:], uint32(raw[0]))
+	binary.LittleEndian.PutUint32(b[4:], uint32(raw[1]))
+	return int64(binary.LittleEndian.Uint64(b[:]))
+}
+
+// Set writes the counter under the caller's lock.
+func (c *sharedInt64) Set(m shmem.Context, i int, v int64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	raw := []int32{int32(binary.LittleEndian.Uint32(b[0:])), int32(binary.LittleEndian.Uint32(b[4:]))}
+	c.arr.WriteRange(m, 2*i, raw)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

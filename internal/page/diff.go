@@ -1,0 +1,137 @@
+package page
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Run is a maximal contiguous range of modified words within a page.
+type Run struct {
+	// Word is the index of the first modified word.
+	Word uint16
+	// Data holds the new contents, a multiple of WordBytes long.
+	Data []byte
+}
+
+// Diff is the set of words of a page that changed between its twin and
+// its current contents. The zero value is an empty diff.
+type Diff struct {
+	Runs []Run
+}
+
+// runHeaderBytes is the wire size of a run header: word index plus word
+// count, two bytes each (TreadMarks encodes diffs as such run lists).
+const runHeaderBytes = 4
+
+// Make scans current against twin and returns their diff, or nil if
+// the page is unchanged. Both slices must be exactly one page.
+func Make(twin, current []byte) *Diff {
+	mustPage(twin)
+	mustPage(current)
+	var d Diff
+	w := 0
+	for w < Words {
+		off := w * WordBytes
+		if bytes.Equal(twin[off:off+WordBytes], current[off:off+WordBytes]) {
+			w++
+			continue
+		}
+		start := w
+		for w < Words {
+			off = w * WordBytes
+			if bytes.Equal(twin[off:off+WordBytes], current[off:off+WordBytes]) {
+				break
+			}
+			w++
+		}
+		data := make([]byte, (w-start)*WordBytes)
+		copy(data, current[start*WordBytes:w*WordBytes])
+		d.Runs = append(d.Runs, Run{Word: uint16(start), Data: data})
+	}
+	if len(d.Runs) == 0 {
+		return nil
+	}
+	return &d
+}
+
+// Apply writes the diff's runs into dst, which must be exactly one
+// page. Applying diffs from concurrent writers of a race-free program
+// is order-independent because their modified words are disjoint;
+// applying diffs from successive intervals must happen in interval
+// order.
+func (d *Diff) Apply(dst []byte) {
+	mustPage(dst)
+	if d == nil {
+		return
+	}
+	for _, r := range d.Runs {
+		off := int(r.Word) * WordBytes
+		if off+len(r.Data) > Size {
+			panic(fmt.Sprintf("page: diff run at word %d with %d bytes overflows page", r.Word, len(r.Data)))
+		}
+		copy(dst[off:], r.Data)
+	}
+}
+
+// WireSize returns the encoded size of the diff in bytes: payload plus
+// per-run headers plus a fixed diff header. This is the payload charged
+// to the network when a diff is fetched.
+func (d *Diff) WireSize() int {
+	if d == nil {
+		return 0
+	}
+	n := runHeaderBytes // diff header: page id + run count
+	for _, r := range d.Runs {
+		n += runHeaderBytes + len(r.Data)
+	}
+	return n
+}
+
+// DataBytes returns the number of payload bytes carried by the diff.
+func (d *Diff) DataBytes() int {
+	if d == nil {
+		return 0
+	}
+	n := 0
+	for _, r := range d.Runs {
+		n += len(r.Data)
+	}
+	return n
+}
+
+// Overlaps reports whether two diffs modify any common word. Race-free
+// programs produce non-overlapping diffs within one interval; the DSM
+// asserts this in tests.
+func (d *Diff) Overlaps(o *Diff) bool {
+	if d == nil || o == nil {
+		return false
+	}
+	var mask [Words]bool
+	for _, r := range d.Runs {
+		for w := 0; w < len(r.Data)/WordBytes; w++ {
+			mask[int(r.Word)+w] = true
+		}
+	}
+	for _, r := range o.Runs {
+		for w := 0; w < len(r.Data)/WordBytes; w++ {
+			if mask[int(r.Word)+w] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the diff.
+func (d *Diff) Clone() *Diff {
+	if d == nil {
+		return nil
+	}
+	c := &Diff{Runs: make([]Run, len(d.Runs))}
+	for i, r := range d.Runs {
+		data := make([]byte, len(r.Data))
+		copy(data, r.Data)
+		c.Runs[i] = Run{Word: r.Word, Data: data}
+	}
+	return c
+}

@@ -1,0 +1,269 @@
+package page
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func fill(b []byte, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	r.Read(b)
+}
+
+func TestCount(t *testing.T) {
+	cases := []struct{ bytes, want int }{
+		{0, 0}, {1, 1}, {Size, 1}, {Size + 1, 2}, {10 * Size, 10}, {10*Size - 1, 10},
+	}
+	for _, c := range cases {
+		if got := Count(c.bytes); got != c.want {
+			t.Errorf("Count(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestCountNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Count(-1) must panic")
+		}
+	}()
+	Count(-1)
+}
+
+func TestTwinIsIndependentCopy(t *testing.T) {
+	p := make([]byte, Size)
+	fill(p, 1)
+	tw := Twin(p)
+	if !bytes.Equal(tw, p) {
+		t.Fatal("twin must equal page at creation")
+	}
+	p[0] ^= 0xff
+	if bytes.Equal(tw, p) {
+		t.Fatal("twin must be an independent copy")
+	}
+}
+
+func TestMakeNilOnUnchanged(t *testing.T) {
+	p := make([]byte, Size)
+	fill(p, 2)
+	if d := Make(Twin(p), p); d != nil {
+		t.Fatalf("diff of unchanged page = %v, want nil", d)
+	}
+}
+
+func TestDiffRoundTrip(t *testing.T) {
+	p := make([]byte, Size)
+	fill(p, 3)
+	tw := Twin(p)
+	// Scatter writes: single word, a run, and the last word.
+	p[0] = ^p[0]
+	for i := 100 * WordBytes; i < 140*WordBytes; i++ {
+		p[i] ^= 0x55
+	}
+	p[Size-1] ^= 0x01
+
+	d := Make(tw, p)
+	if d == nil {
+		t.Fatal("expected non-nil diff")
+	}
+	got := Twin(tw) // fresh copy of the pristine page
+	d.Apply(got)
+	if !bytes.Equal(got, p) {
+		t.Fatal("twin + diff != current page")
+	}
+}
+
+func TestDiffRunCoalescing(t *testing.T) {
+	p := make([]byte, Size)
+	tw := Twin(p)
+	// Two adjacent words then a gap then one word: expect 2 runs.
+	copy(p[0:16], bytes.Repeat([]byte{1}, 16))
+	p[64*WordBytes] = 9
+	d := Make(tw, p)
+	if len(d.Runs) != 2 {
+		t.Fatalf("got %d runs, want 2: %+v", len(d.Runs), d.Runs)
+	}
+	if d.Runs[0].Word != 0 || len(d.Runs[0].Data) != 16 {
+		t.Errorf("run 0 = word %d len %d, want word 0 len 16", d.Runs[0].Word, len(d.Runs[0].Data))
+	}
+	if d.Runs[1].Word != 64 || len(d.Runs[1].Data) != WordBytes {
+		t.Errorf("run 1 = word %d len %d, want word 64 len 8", d.Runs[1].Word, len(d.Runs[1].Data))
+	}
+}
+
+func TestWireSizeBounds(t *testing.T) {
+	p := make([]byte, Size)
+	tw := Twin(p)
+	for i := range p {
+		p[i] = 0xaa
+	}
+	d := Make(tw, p)
+	if d.DataBytes() != Size {
+		t.Fatalf("full-page diff payload = %d, want %d", d.DataBytes(), Size)
+	}
+	if d.WireSize() != Size+2*runHeaderBytes {
+		t.Fatalf("full-page diff wire size = %d, want %d", d.WireSize(), Size+2*runHeaderBytes)
+	}
+	if (*Diff)(nil).WireSize() != 0 {
+		t.Fatal("nil diff must have zero wire size")
+	}
+}
+
+func TestDisjointWritersMerge(t *testing.T) {
+	base := make([]byte, Size)
+	fill(base, 4)
+	// Writer A modifies the first half, writer B the second half,
+	// both starting from the same base (the multiple-writer scenario
+	// on a partition-straddling page).
+	a, b := Twin(base), Twin(base)
+	for i := 0; i < Size/2; i++ {
+		a[i] ^= 0x0f
+	}
+	for i := Size / 2; i < Size; i++ {
+		b[i] ^= 0xf0
+	}
+	da := Make(Twin(base), a)
+	db := Make(Twin(base), b)
+	if da.Overlaps(db) {
+		t.Fatal("disjoint writers must produce non-overlapping diffs")
+	}
+	m1 := Twin(base)
+	da.Apply(m1)
+	db.Apply(m1)
+	m2 := Twin(base)
+	db.Apply(m2)
+	da.Apply(m2)
+	if !bytes.Equal(m1, m2) {
+		t.Fatal("disjoint diff application must be order-independent")
+	}
+	for i := 0; i < Size/2; i++ {
+		if m1[i] != base[i]^0x0f {
+			t.Fatalf("merged page wrong at %d", i)
+		}
+	}
+	for i := Size / 2; i < Size; i++ {
+		if m1[i] != base[i]^0xf0 {
+			t.Fatalf("merged page wrong at %d", i)
+		}
+	}
+}
+
+func TestOverlapsDetectsConflict(t *testing.T) {
+	base := make([]byte, Size)
+	a, b := Twin(base), Twin(base)
+	a[8] = 1
+	b[9] = 2 // same word as a's write (word 1)
+	da := Make(Twin(base), a)
+	db := Make(Twin(base), b)
+	if !da.Overlaps(db) {
+		t.Fatal("same-word writers must overlap")
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := make([]byte, Size)
+	fill(p, 5)
+	tw := Twin(p)
+	p[42] ^= 1
+	d := Make(tw, p)
+	c := d.Clone()
+	c.Runs[0].Data[0] ^= 0xff
+	out1, out2 := Twin(tw), Twin(tw)
+	d.Apply(out1)
+	c.Apply(out2)
+	if bytes.Equal(out1, out2) {
+		t.Fatal("clone must be deep: mutating the clone changed the original")
+	}
+	if (*Diff)(nil).Clone() != nil {
+		t.Fatal("nil diff clone must be nil")
+	}
+}
+
+// Property: for arbitrary mutations, twin+diff reconstructs the page
+// and WireSize >= DataBytes.
+func TestDiffReconstructionProperty(t *testing.T) {
+	f := func(seed int64, writes []uint16) bool {
+		p := make([]byte, Size)
+		fill(p, seed)
+		tw := Twin(p)
+		for _, w := range writes {
+			p[int(w)%Size] ^= byte(w >> 8)
+		}
+		d := Make(tw, p)
+		got := Twin(tw)
+		d.Apply(got)
+		if !bytes.Equal(got, p) {
+			return false
+		}
+		return d.WireSize() >= d.DataBytes()
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: diff payload is always a multiple of the word size and runs
+// are sorted, non-adjacent and in-bounds.
+func TestDiffShapeProperty(t *testing.T) {
+	f := func(seed int64, writes []uint16) bool {
+		p := make([]byte, Size)
+		fill(p, seed)
+		tw := Twin(p)
+		for _, w := range writes {
+			p[int(w)%Size] ^= 0xff
+		}
+		d := Make(tw, p)
+		if d == nil {
+			return len(writes) == 0 || bytes.Equal(tw, p)
+		}
+		prevEnd := -1
+		for _, r := range d.Runs {
+			if len(r.Data) == 0 || len(r.Data)%WordBytes != 0 {
+				return false
+			}
+			if int(r.Word) <= prevEnd { // must leave a gap, else runs coalesce
+				return false
+			}
+			end := int(r.Word) + len(r.Data)/WordBytes
+			if end > Words {
+				return false
+			}
+			prevEnd = end
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDiffMakeSparse(b *testing.B) {
+	p := make([]byte, Size)
+	fill(p, 7)
+	tw := Twin(p)
+	p[100] ^= 1
+	p[2000] ^= 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Make(tw, p)
+	}
+}
+
+func BenchmarkDiffApplyFull(b *testing.B) {
+	p := make([]byte, Size)
+	fill(p, 8)
+	tw := Twin(p)
+	for i := range p {
+		p[i] ^= 0x5a
+	}
+	d := Make(tw, p)
+	dst := Twin(tw)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Apply(dst)
+	}
+}

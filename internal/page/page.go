@@ -1,0 +1,49 @@
+// Package page implements the 4 KB shared-memory page primitives of the
+// TreadMarks protocol: twins (pristine copies taken at the first write
+// of an interval) and word-granularity diffs (run-length encodings of
+// the words that changed between a twin and the current page). Diffs
+// are what make the multiple-writer protocol possible: two processes
+// may modify disjoint words of the same page concurrently, and their
+// diffs merge without conflict at the next synchronisation.
+package page
+
+import "fmt"
+
+const (
+	// Size is the shared-memory page size in bytes, matching the 4 KB
+	// pages of the paper's FreeBSD/Pentium II testbed (Table 1 counts
+	// transfers in 4 KB pages).
+	Size = 4096
+
+	// WordBytes is the diffing granularity. TreadMarks diffs at machine
+	// word granularity; race-free programs never write the same word
+	// from two processes in one interval, so word-granularity diffs
+	// merge safely.
+	WordBytes = 8
+
+	// Words is the number of diffable words in a page.
+	Words = Size / WordBytes
+)
+
+// Count returns the number of pages needed to hold the given byte size.
+func Count(bytes int) int {
+	if bytes < 0 {
+		panic(fmt.Sprintf("page: negative region size %d", bytes))
+	}
+	return (bytes + Size - 1) / Size
+}
+
+// Twin returns a pristine copy of the page taken before the first write
+// of an interval. The input must be exactly one page.
+func Twin(data []byte) []byte {
+	mustPage(data)
+	t := make([]byte, Size)
+	copy(t, data)
+	return t
+}
+
+func mustPage(b []byte) {
+	if len(b) != Size {
+		panic(fmt.Sprintf("page: got %d bytes, want exactly %d", len(b), Size))
+	}
+}

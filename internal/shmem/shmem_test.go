@@ -1,0 +1,254 @@
+package shmem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nowomp/internal/dsm"
+	"nowomp/internal/simtime"
+)
+
+func testCluster(t *testing.T, hosts int) (*dsm.Cluster, []Context) {
+	t.Helper()
+	c, err := dsm.New(dsm.Config{MaxHosts: hosts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxs := make([]Context, hosts)
+	ctxs[0] = Context{Host: c.Master(), Clock: simtime.NewClock(0)}
+	for i := 1; i < hosts; i++ {
+		if _, err := c.Join(dsm.HostID(i)); err != nil {
+			t.Fatal(err)
+		}
+		ctxs[i] = Context{Host: c.Host(dsm.HostID(i)), Clock: simtime.NewClock(0)}
+	}
+	return c, ctxs
+}
+
+func syncAll(c *dsm.Cluster, ctxs []Context) {
+	active := c.ActiveHosts()
+	arr := make([]simtime.Seconds, len(active))
+	for i, id := range active {
+		arr[i] = ctxs[id].Clock.Now()
+	}
+	res := c.Barrier(active, arr)
+	for _, id := range active {
+		ctxs[id].Clock.AdvanceTo(res.ReleaseTime)
+	}
+}
+
+func TestFloat64ArrayRoundTrip(t *testing.T) {
+	c, ctxs := testCluster(t, 2)
+	a, err := AllocFloat64(c, "v", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Len(); i += 97 {
+		a.Set(ctxs[0], i, float64(i)*1.5)
+	}
+	syncAll(c, ctxs)
+	for i := 0; i < a.Len(); i += 97 {
+		if got := a.Get(ctxs[1], i); got != float64(i)*1.5 {
+			t.Fatalf("a[%d] = %g, want %g", i, got, float64(i)*1.5)
+		}
+	}
+}
+
+func TestFloat64SpecialValues(t *testing.T) {
+	c, ctxs := testCluster(t, 2)
+	a, _ := AllocFloat64(c, "v", 8)
+	vals := []float64{0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1), math.NaN(), math.MaxFloat64, math.SmallestNonzeroFloat64, -1.25}
+	a.WriteRange(ctxs[0], 0, vals)
+	syncAll(c, ctxs)
+	got := make([]float64, 8)
+	a.ReadRange(ctxs[1], 0, 8, got)
+	for i, want := range vals {
+		if math.IsNaN(want) {
+			if !math.IsNaN(got[i]) {
+				t.Fatalf("elem %d = %g, want NaN", i, got[i])
+			}
+			continue
+		}
+		if got[i] != want || math.Signbit(got[i]) != math.Signbit(want) {
+			t.Fatalf("elem %d = %g, want %g", i, got[i], want)
+		}
+	}
+}
+
+func TestMatrixRows(t *testing.T) {
+	c, ctxs := testCluster(t, 3)
+	mx, err := AllocFloat64Matrix(c, "m", 20, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]float64, mx.Cols())
+	for i := 0; i < mx.Rows(); i++ {
+		for j := range row {
+			row[j] = float64(i*1000 + j)
+		}
+		mx.WriteRow(ctxs[i%3], i, row)
+	}
+	syncAll(c, ctxs)
+	got := make([]float64, mx.Cols())
+	for i := 0; i < mx.Rows(); i++ {
+		mx.ReadRow(ctxs[(i+1)%3], i, got)
+		for j := range got {
+			if got[j] != float64(i*1000+j) {
+				t.Fatalf("m[%d][%d] = %g, want %d", i, j, got[j], i*1000+j)
+			}
+		}
+	}
+	if mx.Get(ctxs[0], 7, 13) != 7013 {
+		t.Fatal("Get(7,13) wrong")
+	}
+	mx.Set(ctxs[0], 7, 13, -1)
+	if mx.Get(ctxs[0], 7, 13) != -1 {
+		t.Fatal("Set(7,13) did not stick")
+	}
+}
+
+func TestComplexArray(t *testing.T) {
+	c, ctxs := testCluster(t, 2)
+	a, err := AllocComplex128(c, "z", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := make([]complex128, 256)
+	for i := range src {
+		src[i] = complex(float64(i), -float64(i)/3)
+	}
+	a.WriteRange(ctxs[0], 0, src)
+	syncAll(c, ctxs)
+	dst := make([]complex128, 256)
+	a.ReadRange(ctxs[1], 0, 256, dst)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("z[%d] = %v, want %v", i, dst[i], src[i])
+		}
+	}
+	a.Set(ctxs[1], 3, 5+7i)
+	if got := a.Get(ctxs[1], 3); got != 5+7i {
+		t.Fatalf("Get(3) = %v, want 5+7i", got)
+	}
+}
+
+func TestInt32Array(t *testing.T) {
+	c, ctxs := testCluster(t, 2)
+	a, err := AllocInt32(c, "idx", 513)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := make([]int32, 513)
+	for i := range src {
+		src[i] = int32(i*3 - 700)
+	}
+	a.WriteRange(ctxs[0], 0, src)
+	syncAll(c, ctxs)
+	dst := make([]int32, 513)
+	a.ReadRange(ctxs[1], 0, 513, dst)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("idx[%d] = %d, want %d", i, dst[i], src[i])
+		}
+	}
+	if got := a.Get(ctxs[1], 512); got != src[512] {
+		t.Fatalf("Get(512) = %d", got)
+	}
+}
+
+func TestBoundsPanics(t *testing.T) {
+	c, ctxs := testCluster(t, 1)
+	a, _ := AllocFloat64(c, "v", 10)
+	mx, _ := AllocFloat64Matrix(c, "m", 4, 4)
+	cases := []func(){
+		func() { a.Get(ctxs[0], 10) },
+		func() { a.Set(ctxs[0], -1, 0) },
+		func() { a.ReadRange(ctxs[0], 5, 11, make([]float64, 6)) },
+		func() { a.ReadRange(ctxs[0], 0, 5, make([]float64, 4)) },
+		func() { mx.Get(ctxs[0], 4, 0) },
+		func() { mx.WriteRow(ctxs[0], 0, make([]float64, 3)) },
+		func() { a.Get(Context{}, 0) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAllocErrors(t *testing.T) {
+	c, _ := testCluster(t, 1)
+	if _, err := AllocFloat64(c, "bad", 0); err == nil {
+		t.Fatal("AllocFloat64(0) must fail")
+	}
+	if _, err := AllocFloat64Matrix(c, "bad", 0, 5); err == nil {
+		t.Fatal("AllocFloat64Matrix(0,5) must fail")
+	}
+	if _, err := AllocComplex128(c, "bad", -1); err == nil {
+		t.Fatal("AllocComplex128(-1) must fail")
+	}
+	if _, err := AllocInt32(c, "bad", 0); err == nil {
+		t.Fatal("AllocInt32(0) must fail")
+	}
+}
+
+// Property: WriteRange then ReadRange is the identity for arbitrary
+// offsets and payloads (single host, no sync needed).
+func TestFloat64RangeRoundTripProperty(t *testing.T) {
+	c, ctxs := testCluster(t, 1)
+	a, _ := AllocFloat64(c, "v", 2048)
+	f := func(off uint16, raw []float64) bool {
+		lo := int(off) % 1024
+		if len(raw) > 1024 {
+			raw = raw[:1024]
+		}
+		a.WriteRange(ctxs[0], lo, raw)
+		got := make([]float64, len(raw))
+		a.ReadRange(ctxs[0], lo, lo+len(raw), got)
+		for i := range raw {
+			if got[i] != raw[i] && !(math.IsNaN(got[i]) && math.IsNaN(raw[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaved writers on disjoint stripes merge correctly
+// through barriers.
+func TestStripedWritersProperty(t *testing.T) {
+	const n = 4096
+	c, ctxs := testCluster(t, 4)
+	a, _ := AllocFloat64(c, "v", n)
+	rng := rand.New(rand.NewSource(99))
+	ref := make([]float64, n)
+	for round := 0; round < 5; round++ {
+		for h := 0; h < 4; h++ {
+			// Host h writes stripe h::4 — disjoint words, shared pages.
+			for i := h; i < n; i += 4 {
+				if rng.Intn(3) == 0 {
+					v := rng.NormFloat64()
+					ref[i] = v
+					a.Set(ctxs[h], i, v)
+				}
+			}
+		}
+		syncAll(c, ctxs)
+		for h := 0; h < 4; h++ {
+			i := rng.Intn(n)
+			if got := a.Get(ctxs[h], i); got != ref[i] {
+				t.Fatalf("round %d host %d: a[%d] = %g, want %g", round, h, i, got, ref[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Package simnet models the switched full-duplex 100 Mbps Ethernet of
+// the paper's experimental environment (section 5.1). Because the
+// switch isolates links, the network performance of individual links is
+// independent; the paper's key micro-result is that adaptation cost is
+// proportional to the maximum traffic on any single link. The fabric
+// therefore tracks bytes and messages per directed link and can answer
+// bottleneck queries over arbitrary measurement windows.
+package simnet
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MachineID identifies a physical workstation on the fabric. Logical
+// processes bind to machines; after an urgent-leave migration two
+// processes may share one machine (and hence one pair of link
+// directions) until the next adaptation point.
+type MachineID int
+
+// Fabric is a switched network of n machines. All methods are safe for
+// concurrent use by the process goroutines of a running team.
+type Fabric struct {
+	mu    sync.Mutex
+	n     int
+	bytes []int64 // [from*n+to] payload bytes, from != to
+	msgs  []int64
+}
+
+// New returns a fabric connecting n machines. n must be positive.
+func New(n int) *Fabric {
+	if n <= 0 {
+		panic(fmt.Sprintf("simnet: invalid machine count %d", n))
+	}
+	return &Fabric{n: n, bytes: make([]int64, n*n), msgs: make([]int64, n*n)}
+}
+
+// Machines returns the number of machines on the fabric.
+func (f *Fabric) Machines() int { return f.n }
+
+// Record accounts one message of the given payload size on the directed
+// link from src to dst. Loopback traffic (src == dst) is free and not
+// recorded, matching a process talking to a co-located process after
+// migration.
+func (f *Fabric) Record(src, dst MachineID, payload int) {
+	if src == dst {
+		return
+	}
+	f.check(src)
+	f.check(dst)
+	i := int(src)*f.n + int(dst)
+	f.mu.Lock()
+	f.bytes[i] += int64(payload)
+	f.msgs[i]++
+	f.mu.Unlock()
+}
+
+func (f *Fabric) check(m MachineID) {
+	if m < 0 || int(m) >= f.n {
+		panic(fmt.Sprintf("simnet: machine %d out of range [0,%d)", m, f.n))
+	}
+}
+
+// Counters is a snapshot of the fabric's per-link accounting.
+type Counters struct {
+	n     int
+	bytes []int64
+	msgs  []int64
+}
+
+// Snapshot captures the current counters.
+func (f *Fabric) Snapshot() Counters {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c := Counters{n: f.n, bytes: make([]int64, len(f.bytes)), msgs: make([]int64, len(f.msgs))}
+	copy(c.bytes, f.bytes)
+	copy(c.msgs, f.msgs)
+	return c
+}
+
+// Sub returns the traffic accumulated between an earlier snapshot and
+// this one: the measurement-window primitive used by the adaptation
+// micro-analysis.
+func (c Counters) Sub(earlier Counters) Counters {
+	if c.n != earlier.n {
+		panic("simnet: snapshots from different fabrics")
+	}
+	d := Counters{n: c.n, bytes: make([]int64, len(c.bytes)), msgs: make([]int64, len(c.msgs))}
+	for i := range c.bytes {
+		d.bytes[i] = c.bytes[i] - earlier.bytes[i]
+		d.msgs[i] = c.msgs[i] - earlier.msgs[i]
+	}
+	return d
+}
+
+// TotalBytes returns the sum of payload bytes over all links.
+func (c Counters) TotalBytes() int64 {
+	var t int64
+	for _, b := range c.bytes {
+		t += b
+	}
+	return t
+}
+
+// TotalMessages returns the sum of messages over all links.
+func (c Counters) TotalMessages() int64 {
+	var t int64
+	for _, m := range c.msgs {
+		t += m
+	}
+	return t
+}
+
+// LinkBytes returns the payload bytes recorded on the directed link
+// src -> dst.
+func (c Counters) LinkBytes(src, dst MachineID) int64 {
+	if src == dst {
+		return 0
+	}
+	return c.bytes[int(src)*c.n+int(dst)]
+}
+
+// MaxLink returns the busiest directed link in the window and its byte
+// count: the bottleneck that, per section 5.4, determines the cost of
+// an adaptation on a switched network.
+func (c Counters) MaxLink() (src, dst MachineID, bytes int64) {
+	var best int64 = -1
+	for s := 0; s < c.n; s++ {
+		for d := 0; d < c.n; d++ {
+			if s == d {
+				continue
+			}
+			if b := c.bytes[s*c.n+d]; b > best {
+				best, src, dst = b, MachineID(s), MachineID(d)
+			}
+		}
+	}
+	if best < 0 {
+		best = 0
+	}
+	return src, dst, best
+}
+
+// MachineBytes returns the total bytes entering and leaving machine m:
+// the load on its full-duplex link (in, out).
+func (c Counters) MachineBytes(m MachineID) (in, out int64) {
+	for s := 0; s < c.n; s++ {
+		if MachineID(s) == m {
+			continue
+		}
+		in += c.bytes[s*c.n+int(m)]
+		out += c.bytes[int(m)*c.n+s]
+	}
+	return in, out
+}

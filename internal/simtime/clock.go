@@ -1,0 +1,68 @@
+package simtime
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Clock is the virtual clock of one logical process. Exactly one
+// goroutine advances a clock, but other goroutines may read it
+// concurrently (the conservative lock scheduler observes all running
+// processes' clocks), so the instant is stored atomically.
+type Clock struct {
+	bits atomic.Uint64
+}
+
+// NewClock returns a clock set to the given instant.
+func NewClock(at Seconds) *Clock {
+	c := &Clock{}
+	c.bits.Store(math.Float64bits(float64(at)))
+	return c
+}
+
+// Now returns the current virtual instant.
+func (c *Clock) Now() Seconds {
+	return Seconds(math.Float64frombits(c.bits.Load()))
+}
+
+func (c *Clock) set(at Seconds) {
+	c.bits.Store(math.Float64bits(float64(at)))
+}
+
+// Advance moves the clock forward by d. Negative advances are ignored:
+// virtual time never runs backwards.
+func (c *Clock) Advance(d Seconds) {
+	if d > 0 {
+		c.set(c.Now() + d)
+	}
+}
+
+// AdvanceTo moves the clock forward to at if at is in the future.
+func (c *Clock) AdvanceTo(at Seconds) {
+	if at > c.Now() {
+		c.set(at)
+	}
+}
+
+// Sync sets both clocks to the later of the two instants, modelling a
+// synchronous rendezvous. Both clocks must be quiescent (no concurrent
+// advancement).
+func Sync(a, b *Clock) {
+	if a.Now() > b.Now() {
+		b.set(a.Now())
+	} else {
+		a.set(b.Now())
+	}
+}
+
+// Max returns the latest instant among the given clocks, or zero if
+// none are given.
+func Max(clocks ...*Clock) Seconds {
+	var m Seconds
+	for _, c := range clocks {
+		if c != nil && c.Now() > m {
+			m = c.Now()
+		}
+	}
+	return m
+}

@@ -1,0 +1,91 @@
+// Package vc implements the interval vector timestamps of lazy release
+// consistency. Each process numbers its intervals; a vector records,
+// per process, the most recent interval whose modifications are covered.
+// The adaptive DSM uses vectors to decide which write notices a process
+// must honour after a lock acquire and to validate the coverage
+// invariants of barriers in tests.
+package vc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Vector maps process index to the latest covered interval sequence
+// number. The zero-length vector covers nothing.
+type Vector []int32
+
+// New returns a vector of n zeroed entries.
+func New(n int) Vector { return make(Vector, n) }
+
+// Clone returns an independent copy.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// Get returns the covered interval for process p, or zero if the vector
+// is shorter than p+1 (processes added by joins start at interval 0).
+func (v Vector) Get(p int) int32 {
+	if p < 0 || p >= len(v) {
+		return 0
+	}
+	return v[p]
+}
+
+// Set records that intervals of process p up to seq are covered,
+// growing the vector if needed. Set never lowers an entry.
+func (v *Vector) Set(p int, seq int32) {
+	if p < 0 {
+		panic(fmt.Sprintf("vc: negative process index %d", p))
+	}
+	for len(*v) <= p {
+		*v = append(*v, 0)
+	}
+	if (*v)[p] < seq {
+		(*v)[p] = seq
+	}
+}
+
+// Merge raises every entry of v to at least the corresponding entry of
+// o, growing v if o is longer. Merge implements the acquire-side union
+// of consistency information.
+func (v *Vector) Merge(o Vector) {
+	for p, s := range o {
+		v.Set(p, s)
+	}
+}
+
+// Covers reports whether v covers interval seq of process p.
+func (v Vector) Covers(p int, seq int32) bool { return v.Get(p) >= seq }
+
+// CoversAll reports whether v covers every entry of o.
+func (v Vector) CoversAll(o Vector) bool {
+	for p, s := range o {
+		if !v.Covers(p, s) {
+			return false
+		}
+	}
+	return true
+}
+
+// Concurrent reports whether neither vector covers the other: the
+// defining condition for concurrent intervals in LRC.
+func Concurrent(a, b Vector) bool {
+	return !a.CoversAll(b) && !b.CoversAll(a)
+}
+
+// String formats the vector as <s0,s1,...>.
+func (v Vector) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	for i, s := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", s)
+	}
+	b.WriteByte('>')
+	return b.String()
+}

@@ -1,0 +1,150 @@
+package vc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGrowAndGet(t *testing.T) {
+	var v Vector
+	v.Set(3, 7)
+	if got := v.Get(3); got != 7 {
+		t.Fatalf("Get(3) = %d, want 7", got)
+	}
+	if got := v.Get(0); got != 0 {
+		t.Fatalf("Get(0) = %d, want 0", got)
+	}
+	if got := v.Get(99); got != 0 {
+		t.Fatalf("Get beyond length = %d, want 0", got)
+	}
+	if len(v) != 4 {
+		t.Fatalf("len = %d, want 4", len(v))
+	}
+}
+
+func TestSetNeverLowers(t *testing.T) {
+	v := New(2)
+	v.Set(1, 5)
+	v.Set(1, 3)
+	if got := v.Get(1); got != 5 {
+		t.Fatalf("Set lowered entry to %d, want 5", got)
+	}
+}
+
+func TestSetNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set(-1, ...) must panic")
+		}
+	}()
+	var v Vector
+	v.Set(-1, 1)
+}
+
+func TestMergeAndCovers(t *testing.T) {
+	a := Vector{3, 0, 2}
+	b := Vector{1, 4}
+	a.Merge(b)
+	want := Vector{3, 4, 2}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("merge = %v, want %v", a, want)
+		}
+	}
+	if !a.CoversAll(b) {
+		t.Fatal("merged vector must cover its input")
+	}
+	if !a.Covers(2, 2) || a.Covers(2, 3) {
+		t.Fatal("Covers boundary wrong")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	a := Vector{2, 0}
+	b := Vector{0, 2}
+	if !Concurrent(a, b) {
+		t.Fatal("crossing vectors must be concurrent")
+	}
+	c := Vector{2, 2}
+	if Concurrent(a, c) {
+		t.Fatal("dominated vectors are not concurrent")
+	}
+	if Concurrent(a, a.Clone()) {
+		t.Fatal("equal vectors are not concurrent")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := Vector{1, 2}
+	c := a.Clone()
+	c.Set(0, 9)
+	if a.Get(0) != 1 {
+		t.Fatal("clone must be independent")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (Vector{1, 0, 3}).String(); got != "<1,0,3>" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := (Vector{}).String(); got != "<>" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+// Property: merge is a least upper bound — it covers both inputs, and
+// any vector covering both inputs covers the merge.
+func TestMergeIsLUB(t *testing.T) {
+	norm := func(raw []int32) Vector {
+		v := New(len(raw))
+		for i, x := range raw {
+			if x < 0 {
+				x = -x
+			}
+			v[i] = x % 100
+		}
+		return v
+	}
+	f := func(ra, rb, rc []int32) bool {
+		a, b := norm(ra), norm(rb)
+		m := a.Clone()
+		m.Merge(b)
+		if !m.CoversAll(a) || !m.CoversAll(b) {
+			return false
+		}
+		c := norm(rc)
+		c.Merge(a)
+		c.Merge(b) // c now covers both
+		return c.CoversAll(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merge is commutative and idempotent.
+func TestMergeAlgebra(t *testing.T) {
+	f := func(ra, rb []int32) bool {
+		a := New(0)
+		for i, x := range ra {
+			a.Set(i, x&0x7fff)
+		}
+		b := New(0)
+		for i, x := range rb {
+			b.Set(i, x&0x7fff)
+		}
+		ab := a.Clone()
+		ab.Merge(b)
+		ba := b.Clone()
+		ba.Merge(a)
+		if !ab.CoversAll(ba) || !ba.CoversAll(ab) {
+			return false
+		}
+		aa := a.Clone()
+		aa.Merge(a)
+		return aa.CoversAll(a) && a.CoversAll(aa)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

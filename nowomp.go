@@ -1,0 +1,161 @@
+// Package nowomp is the public API of the adaptive OpenMP-on-NOW
+// runtime: a reproduction of Scherer, Lu, Gross and Zwaenepoel,
+// "Transparent Adaptive Parallelism on NOWs using OpenMP" (PPoPP
+// 1999). See the repository README for an overview and DESIGN.md for
+// the system inventory.
+//
+// A minimal program:
+//
+//	rt, err := nowomp.New(nowomp.Config{Hosts: 8, Procs: 4, Adaptive: true})
+//	if err != nil { ... }
+//	a, err := rt.AllocFloat64("v", 1<<20)
+//	rt.ParallelFor("scale", 0, a.Len(), func(p *nowomp.Proc, lo, hi int) {
+//		buf := make([]float64, hi-lo)
+//		a.ReadRange(p.Mem(), lo, hi, buf)
+//		for i := range buf { buf[i] *= 2 }
+//		a.WriteRange(p.Mem(), lo, buf)
+//	})
+//
+// Workstations join and leave the running computation via Submit;
+// iteration re-partitioning is automatic because every ParallelFor
+// recomputes its partition from (process id, team size) at the fork,
+// exactly like the SUIF-compiled TreadMarks programs of the paper.
+package nowomp
+
+import (
+	"nowomp/internal/adapt"
+	"nowomp/internal/apps"
+	"nowomp/internal/ckpt"
+	"nowomp/internal/dsm"
+	"nowomp/internal/omp"
+	"nowomp/internal/shmem"
+	"nowomp/internal/simtime"
+)
+
+// Core runtime types.
+type (
+	// Config parameterises a runtime; see omp.Config for field
+	// documentation.
+	Config = omp.Config
+	// Runtime executes one OpenMP program on the simulated NOW.
+	Runtime = omp.Runtime
+	// Proc is the per-process handle passed to parallel bodies.
+	Proc = omp.Proc
+	// AdaptationPoint records an applied adaptation for measurement.
+	AdaptationPoint = omp.AdaptationPoint
+)
+
+// Virtual time.
+type (
+	// Seconds is virtual time; the simulation's clock unit.
+	Seconds = simtime.Seconds
+	// CostModel holds the calibrated NOW constants (section 5.1).
+	CostModel = simtime.CostModel
+)
+
+// DefaultModel returns the cost model calibrated from the paper's
+// measured constants.
+func DefaultModel() CostModel { return simtime.Default() }
+
+// Adaptation events.
+type (
+	// Event is a join or leave signal.
+	Event = adapt.Event
+	// EventKind distinguishes joins from leaves.
+	EventKind = adapt.Kind
+	// ReassignStrategy selects process-id reassignment.
+	ReassignStrategy = adapt.ReassignStrategy
+	// LeaveStrategy selects the normal-leave state handoff.
+	LeaveStrategy = dsm.LeaveStrategy
+	// HostID identifies a workstation in the pool.
+	HostID = dsm.HostID
+)
+
+// Event kinds and strategies, re-exported for configuration.
+const (
+	Join               = adapt.KindJoin
+	Leave              = adapt.KindLeave
+	ShiftDown          = adapt.ShiftDown
+	SwapLast           = adapt.SwapLast
+	LeaveViaMaster     = dsm.LeaveViaMaster
+	LeaveDirectHandoff = dsm.LeaveDirectHandoff
+)
+
+// DefaultGrace is the paper's 3-second leave grace period.
+const DefaultGrace = adapt.DefaultGrace
+
+// Shared-memory views.
+type (
+	// Mem is the access context carried by a Proc.
+	Mem = shmem.Context
+	// Float64Array is a shared float64 vector.
+	Float64Array = shmem.Float64Array
+	// Float32Array is a shared float32 vector.
+	Float32Array = shmem.Float32Array
+	// Float64Matrix is a shared float64 matrix.
+	Float64Matrix = shmem.Float64Matrix
+	// Float32Matrix is a shared float32 matrix.
+	Float32Matrix = shmem.Float32Matrix
+	// Complex128Array is a shared complex vector.
+	Complex128Array = shmem.Complex128Array
+	// Int32Array is a shared int32 vector.
+	Int32Array = shmem.Int32Array
+)
+
+// New creates a runtime on a fresh simulated NOW.
+func New(cfg Config) (*Runtime, error) { return omp.New(cfg) }
+
+// Checkpointing (section 4.3).
+type (
+	// Restored gives access to application state saved in a checkpoint.
+	Restored = ckpt.Restored
+)
+
+// Checkpoint writes a checkpoint of the runtime to path at an
+// adaptation point; state carries the master program's resumption
+// data (for example its outer iteration counter).
+func Checkpoint(rt *Runtime, path string, state map[string]any) error {
+	_, err := ckpt.SaveFile(rt, path, state)
+	return err
+}
+
+// Restore rebuilds a runtime from the checkpoint at path. The program
+// must replay its allocations and then resume from the restored state.
+func Restore(cfg Config, path string) (*Runtime, *Restored, error) {
+	return ckpt.RestoreFile(cfg, path)
+}
+
+// Application kernels of the paper's evaluation, exposed for examples
+// and tools.
+type (
+	// AppResult summarises one kernel run (Table 1 columns).
+	AppResult = apps.Result
+	// JacobiConfig parameterises the Jacobi kernel.
+	JacobiConfig = apps.JacobiConfig
+	// GaussConfig parameterises Gaussian elimination.
+	GaussConfig = apps.GaussConfig
+	// FFT3DConfig parameterises the 3-D FFT.
+	FFT3DConfig = apps.FFT3DConfig
+	// NBFConfig parameterises the non-bonded-force kernel.
+	NBFConfig = apps.NBFConfig
+)
+
+// Kernel entry points.
+var (
+	RunJacobi = apps.RunJacobi
+	RunGauss  = apps.RunGauss
+	RunFFT3D  = apps.RunFFT3D
+	RunNBF    = apps.RunNBF
+)
+
+// Default kernel configurations at the paper's problem sizes.
+func DefaultJacobi() JacobiConfig { return apps.DefaultJacobi() }
+
+// DefaultGauss returns the paper's Gauss configuration.
+func DefaultGauss() GaussConfig { return apps.DefaultGauss() }
+
+// DefaultFFT3D returns the paper's 3D-FFT configuration.
+func DefaultFFT3D() FFT3DConfig { return apps.DefaultFFT3D() }
+
+// DefaultNBF returns the paper's NBF configuration.
+func DefaultNBF() NBFConfig { return apps.DefaultNBF() }
