@@ -69,7 +69,7 @@ func run(file string, restore bool, crashAt, procs int) error {
 
 	// The program replays its allocations identically on restart; in
 	// restore mode they rebind to the checkpointed contents.
-	acc, err := rt.AllocFloat64("acc", length)
+	acc, err := omp.Alloc[float64](rt, "acc", length)
 	if err != nil {
 		return err
 	}
@@ -79,7 +79,7 @@ func run(file string, restore bool, crashAt, procs int) error {
 			return fmt.Errorf("%w at iteration %d; rerun with -restore", errCrash, it)
 		}
 		it := it
-		rt.ParallelFor("step", 0, length, func(p *omp.Proc, lo, hi int) {
+		rt.For("step", 0, length, func(p *omp.Proc, lo, hi int) {
 			buf := make([]float64, hi-lo)
 			acc.ReadRange(p.Mem(), lo, hi, buf)
 			for i := range buf {

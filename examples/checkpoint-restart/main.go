@@ -19,8 +19,8 @@ const (
 	iters = 16
 )
 
-func step(rt *nowomp.Runtime, acc *nowomp.Float64Array, it int) {
-	rt.ParallelFor("step", 0, n, func(p *nowomp.Proc, lo, hi int) {
+func step(rt *nowomp.Runtime, acc *nowomp.Array[float64], it int) {
+	rt.For("step", 0, n, func(p *nowomp.Proc, lo, hi int) {
 		buf := make([]float64, hi-lo)
 		acc.ReadRange(p.Mem(), lo, hi, buf)
 		for i := range buf {
@@ -30,18 +30,16 @@ func step(rt *nowomp.Runtime, acc *nowomp.Float64Array, it int) {
 	})
 }
 
-func checksum(rt *nowomp.Runtime, acc *nowomp.Float64Array) float64 {
-	return rt.ParallelForReduce("sum", 0, n, 0,
-		func(a, b float64) float64 { return a + b },
-		func(p *nowomp.Proc, lo, hi int) float64 {
-			buf := make([]float64, hi-lo)
-			acc.ReadRange(p.Mem(), lo, hi, buf)
-			s := 0.0
-			for _, v := range buf {
-				s += v
-			}
-			return s
-		})
+func checksum(rt *nowomp.Runtime, acc *nowomp.Array[float64]) float64 {
+	return rt.For("sum", 0, n, func(p *nowomp.Proc, lo, hi int) {
+		buf := make([]float64, hi-lo)
+		acc.ReadRange(p.Mem(), lo, hi, buf)
+		s := 0.0
+		for _, v := range buf {
+			s += v
+		}
+		p.Contribute(s)
+	}, nowomp.WithReduce(0, func(a, b float64) float64 { return a + b }))
 }
 
 func main() {
@@ -54,7 +52,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	refAcc, err := ref.AllocFloat64("acc", n)
+	refAcc, err := nowomp.Alloc[float64](ref, "acc", n)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,7 +66,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	acc, err := rt.AllocFloat64("acc", n)
+	acc, err := nowomp.Alloc[float64](rt, "acc", n)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -92,7 +90,7 @@ func main() {
 	if err := restored.State("iter", &resume); err != nil {
 		log.Fatal(err)
 	}
-	acc2, err := rt2.AllocFloat64("acc", n)
+	acc2, err := nowomp.Alloc[float64](rt2, "acc", n)
 	if err != nil {
 		log.Fatal(err)
 	}

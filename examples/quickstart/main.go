@@ -18,14 +18,14 @@ func main() {
 	}
 
 	const n = 1 << 16
-	v, err := rt.AllocFloat64("v", n)
+	v, err := nowomp.Alloc[float64](rt, "v", n)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// #pragma omp parallel for — the body receives its block of the
 	// iteration space, recomputed from (id, nprocs) at every fork.
-	rt.ParallelFor("fill", 0, n, func(p *nowomp.Proc, lo, hi int) {
+	rt.For("fill", 0, n, func(p *nowomp.Proc, lo, hi int) {
 		buf := make([]float64, hi-lo)
 		for i := range buf {
 			buf[i] = float64(lo+i) * 0.5
@@ -43,17 +43,18 @@ func main() {
 	rt.Parallel("work", func(p *nowomp.Proc) { p.Charge(1.0) })
 	rt.Parallel("work", func(p *nowomp.Proc) { p.Charge(1.0) })
 
-	sum := rt.ParallelForReduce("sum", 0, n, 0,
-		func(a, b float64) float64 { return a + b },
-		func(p *nowomp.Proc, lo, hi int) float64 {
-			buf := make([]float64, hi-lo)
-			v.ReadRange(p.Mem(), lo, hi, buf)
-			s := 0.0
-			for _, x := range buf {
-				s += x
-			}
-			return s
-		})
+	// #pragma omp parallel for reduction(+:sum) — each process folds
+	// its block into a partial via Contribute; the master combines the
+	// partials deterministically at the join.
+	sum := rt.For("sum", 0, n, func(p *nowomp.Proc, lo, hi int) {
+		buf := make([]float64, hi-lo)
+		v.ReadRange(p.Mem(), lo, hi, buf)
+		s := 0.0
+		for _, x := range buf {
+			s += x
+		}
+		p.Contribute(s)
+	}, nowomp.WithReduce(0, func(a, b float64) float64 { return a + b }))
 
 	fmt.Printf("team grew to %d processes after the join\n", rt.NProcs())
 	fmt.Printf("sum = %.1f (want %.1f)\n", sum, 0.5*float64(n-1)*float64(n)/2)

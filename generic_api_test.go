@@ -1,0 +1,84 @@
+package nowomp_test
+
+import (
+	"errors"
+	"testing"
+
+	"nowomp"
+)
+
+// TestGenericPublicAPI exercises the generic facade: Alloc[T],
+// AllocMatrix[T], the unified For with schedule and reduce options,
+// and the sentinel errors — the README migration-table surface, as a
+// test.
+func TestGenericPublicAPI(t *testing.T) {
+	rt, err := nowomp.New(nowomp.Config{Hosts: 4, Procs: 4, Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v, err := nowomp.Alloc[int64](rt, "v", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx, err := nowomp.AllocMatrix[uint8](rt, "mx", 16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rt.For("fill", 0, v.Len(), func(p *nowomp.Proc, lo, hi int) {
+		buf := make([]int64, hi-lo)
+		for i := range buf {
+			buf[i] = int64(lo+i) * 3
+		}
+		v.WriteRange(p.Mem(), lo, buf)
+	}, nowomp.WithSchedule(nowomp.Guided, 16))
+
+	rt.For("rows", 0, mx.Rows(), func(p *nowomp.Proc, lo, hi int) {
+		row := make([]uint8, mx.Cols())
+		for i := lo; i < hi; i++ {
+			for j := range row {
+				row[j] = uint8(i + j)
+			}
+			mx.WriteRow(p.Mem(), i, row)
+		}
+	})
+
+	sum := rt.For("sum", 0, v.Len(), func(p *nowomp.Proc, lo, hi int) {
+		buf := make([]int64, hi-lo)
+		v.ReadRange(p.Mem(), lo, hi, buf)
+		s := 0.0
+		for _, x := range buf {
+			s += float64(x)
+		}
+		p.Contribute(s)
+	}, nowomp.WithSchedule(nowomp.StaticChunk, 64),
+		nowomp.WithReduce(0, func(a, b float64) float64 { return a + b }))
+	if want := 3 * float64(1023) * 1024 / 2; sum != want {
+		t.Fatalf("sum = %g, want %g", sum, want)
+	}
+	if got := mx.Get(rt.MasterProc().Mem(), 3, 5); got != 8 {
+		t.Fatalf("mx(3,5) = %d, want 8", got)
+	}
+
+	// A legacy alias handle is the same type as its generic view.
+	f64, err := rt.AllocFloat64("legacy", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var asGeneric *nowomp.Array[float64] = f64
+	asGeneric.Set(rt.MasterProc().Mem(), 0, 2.5)
+	if got := f64.Get(rt.MasterProc().Mem(), 0); got != 2.5 {
+		t.Fatalf("alias read %v, want 2.5", got)
+	}
+}
+
+func TestPublicSentinelErrors(t *testing.T) {
+	rt, err := nowomp.New(nowomp.Config{Hosts: 2, Procs: 1}) // non-adaptive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Submit(nowomp.Event{Kind: nowomp.Join, Host: 1}); !errors.Is(err, nowomp.ErrNotAdaptive) {
+		t.Fatalf("Submit = %v, want ErrNotAdaptive", err)
+	}
+}

@@ -1,0 +1,3 @@
+module nowomp
+
+go 1.24

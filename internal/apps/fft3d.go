@@ -81,9 +81,9 @@ func RunFFT3D(rt *omp.Runtime, cfg FFT3DConfig) (Result, error) {
 		return Result{}, err
 	}
 	total := cfg.NX * cfg.NY * cfg.NZ
-	arrs := make([]*shmem.Complex128Array, 2)
+	arrs := make([]*shmem.Array[complex128], 2)
 	for i := range arrs {
-		a, err := rt.AllocComplex128(fmt.Sprintf("fft.a%d", i), total)
+		a, err := omp.Alloc[complex128](rt, fmt.Sprintf("fft.a%d", i), total)
 		if err != nil {
 			return Result{}, err
 		}
@@ -91,7 +91,7 @@ func RunFFT3D(rt *omp.Runtime, cfg FFT3DConfig) (Result, error) {
 	}
 	procs := rt.NProcs()
 
-	rt.ParallelFor("fft.init", 0, total, func(p *omp.Proc, lo, hi int) {
+	rt.For("fft.init", 0, total, func(p *omp.Proc, lo, hi int) {
 		buf := make([]complex128, hi-lo)
 		for i := range buf {
 			buf[i] = fftInit(lo+i, total)
@@ -109,7 +109,7 @@ func RunFFT3D(rt *omp.Runtime, cfg FFT3DConfig) (Result, error) {
 		// x-plane. Planes are contiguous and block-partitioned, so this
 		// phase is all local after the plane is resident.
 		dyz := dy * dz
-		rt.ParallelFor("fft.planes", 0, dx, func(p *omp.Proc, lo, hi int) {
+		rt.For("fft.planes", 0, dx, func(p *omp.Proc, lo, hi int) {
 			plane := make([]complex128, dyz)
 			col := make([]complex128, dy)
 			for x := lo; x < hi; x++ {
@@ -135,7 +135,7 @@ func RunFFT3D(rt *omp.Runtime, cfg FFT3DConfig) (Result, error) {
 		// destination z-plane. Each process reads a z-slab of every
 		// (x, y) pencil — the all-to-all exchange.
 		dyx := dy * dx
-		rt.ParallelFor("fft.transpose", 0, dz, func(p *omp.Proc, lo, hi int) {
+		rt.For("fft.transpose", 0, dz, func(p *omp.Proc, lo, hi int) {
 			nzb := hi - lo
 			slab := make([]complex128, nzb)
 			out := make([]complex128, nzb*dyx)
@@ -152,7 +152,7 @@ func RunFFT3D(rt *omp.Runtime, cfg FFT3DConfig) (Result, error) {
 		})
 
 		// Pass 3: transform along x, now the fastest axis of dst.
-		rt.ParallelFor("fft.third", 0, dz, func(p *omp.Proc, lo, hi int) {
+		rt.For("fft.third", 0, dz, func(p *omp.Proc, lo, hi int) {
 			row := make([]complex128, dx)
 			for z := lo; z < hi; z++ {
 				for y := 0; y < dy; y++ {

@@ -72,13 +72,13 @@ func RunGauss(rt *omp.Runtime, cfg GaussConfig) (Result, error) {
 		return Result{}, err
 	}
 	n := cfg.N
-	a, err := rt.AllocFloat32Matrix("gauss.a", n, n)
+	a, err := omp.AllocMatrix[float32](rt, "gauss.a", n, n)
 	if err != nil {
 		return Result{}, err
 	}
 	procs := rt.NProcs()
 
-	rt.ParallelFor("gauss.init", 0, n, func(p *omp.Proc, lo, hi int) {
+	rt.For("gauss.init", 0, n, func(p *omp.Proc, lo, hi int) {
 		row := make([]float32, n)
 		for i := lo; i < hi; i++ {
 			for j := 0; j < n; j++ {
@@ -91,7 +91,7 @@ func RunGauss(rt *omp.Runtime, cfg GaussConfig) (Result, error) {
 
 	for k := 0; k < n-1; k++ {
 		k := k
-		rt.ParallelFor("gauss.elim", 0, n, func(p *omp.Proc, lo, hi int) {
+		rt.For("gauss.elim", 0, n, func(p *omp.Proc, lo, hi int) {
 			if hi <= k+1 {
 				return // all of this block is already triangularised
 			}

@@ -58,9 +58,9 @@ func RunJacobi(rt *omp.Runtime, cfg JacobiConfig) (Result, error) {
 		return Result{}, err
 	}
 	n := cfg.N
-	grids := make([]*shmem.Float32Matrix, 2)
+	grids := make([]*shmem.Matrix[float32], 2)
 	for g := 0; g < 2; g++ {
-		mx, err := rt.AllocFloat32Matrix(fmt.Sprintf("jacobi.grid%d", g), n, n)
+		mx, err := omp.AllocMatrix[float32](rt, fmt.Sprintf("jacobi.grid%d", g), n, n)
 		if err != nil {
 			return Result{}, err
 		}
@@ -71,7 +71,7 @@ func RunJacobi(rt *omp.Runtime, cfg JacobiConfig) (Result, error) {
 	// Initialisation: each process writes its block of both arrays
 	// (first-touch distribution; the boundary must exist in both since
 	// it is never rewritten).
-	rt.ParallelFor("jacobi.init", 0, n, func(p *omp.Proc, lo, hi int) {
+	rt.For("jacobi.init", 0, n, func(p *omp.Proc, lo, hi int) {
 		row := make([]float32, n)
 		for i := lo; i < hi; i++ {
 			for j := 0; j < n; j++ {
@@ -86,7 +86,7 @@ func RunJacobi(rt *omp.Runtime, cfg JacobiConfig) (Result, error) {
 	cur := 0
 	for it := 0; it < cfg.Iters; it++ {
 		src, dst := grids[cur], grids[1-cur]
-		rt.ParallelFor("jacobi.sweep", 1, n-1, func(p *omp.Proc, lo, hi int) {
+		rt.For("jacobi.sweep", 1, n-1, func(p *omp.Proc, lo, hi int) {
 			up := make([]float32, n)
 			mid := make([]float32, n)
 			down := make([]float32, n)

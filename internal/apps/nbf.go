@@ -121,24 +121,24 @@ func RunNBF(rt *omp.Runtime, cfg NBFConfig) (Result, error) {
 	n, k := cfg.Atoms, cfg.Partners
 	window := cfg.window()
 
-	pos := make([]*shmem.Float64Array, 3)
-	frc := make([]*shmem.Float64Array, 3)
+	pos := make([]*shmem.Array[float64], 3)
+	frc := make([]*shmem.Array[float64], 3)
 	for d := 0; d < 3; d++ {
 		var err error
-		if pos[d], err = rt.AllocFloat64(fmt.Sprintf("nbf.pos%d", d), n); err != nil {
+		if pos[d], err = omp.Alloc[float64](rt, fmt.Sprintf("nbf.pos%d", d), n); err != nil {
 			return Result{}, err
 		}
-		if frc[d], err = rt.AllocFloat64(fmt.Sprintf("nbf.frc%d", d), n); err != nil {
+		if frc[d], err = omp.Alloc[float64](rt, fmt.Sprintf("nbf.frc%d", d), n); err != nil {
 			return Result{}, err
 		}
 	}
-	partners, err := rt.AllocInt32("nbf.partners", n*k)
+	partners, err := omp.Alloc[int32](rt, "nbf.partners", n*k)
 	if err != nil {
 		return Result{}, err
 	}
 	procs := rt.NProcs()
 
-	rt.ParallelFor("nbf.init", 0, n, func(p *omp.Proc, lo, hi int) {
+	rt.For("nbf.init", 0, n, func(p *omp.Proc, lo, hi int) {
 		buf := make([]float64, hi-lo)
 		for d := 0; d < 3; d++ {
 			for i := range buf {
@@ -162,7 +162,7 @@ func RunNBF(rt *omp.Runtime, cfg NBFConfig) (Result, error) {
 
 	for it := 0; it < cfg.Iters; it++ {
 		// Force phase: irregular reads of partner positions.
-		rt.ParallelFor("nbf.force", 0, n, func(p *omp.Proc, lo, hi int) {
+		rt.For("nbf.force", 0, n, func(p *omp.Proc, lo, hi int) {
 			cnt := hi - lo
 			fx := make([]float64, cnt)
 			fy := make([]float64, cnt)
@@ -196,7 +196,7 @@ func RunNBF(rt *omp.Runtime, cfg NBFConfig) (Result, error) {
 		})
 
 		// Integration phase: each process updates its own positions.
-		rt.ParallelFor("nbf.update", 0, n, func(p *omp.Proc, lo, hi int) {
+		rt.For("nbf.update", 0, n, func(p *omp.Proc, lo, hi int) {
 			cnt := hi - lo
 			pbuf := make([]float64, cnt)
 			fbuf := make([]float64, cnt)

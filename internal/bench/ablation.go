@@ -181,11 +181,11 @@ func graceAblation(opt Options) ([]GraceRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		a, err := rt.AllocFloat64("work", 64*1024)
+		a, err := omp.Alloc[float64](rt, "work", 64*1024)
 		if err != nil {
 			return nil, err
 		}
-		rt.ParallelFor("warm", 0, a.Len(), func(p *omp.Proc, lo, hi int) {
+		rt.For("warm", 0, a.Len(), func(p *omp.Proc, lo, hi int) {
 			buf := make([]float64, hi-lo)
 			for i := range buf {
 				buf[i] = 1

@@ -62,6 +62,9 @@ func TestTable1ShapesAndParity(t *testing.T) {
 }
 
 func TestTable2CellMechanics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("half-minute experiment; skipped in -short (CI race) runs")
+	}
 	// One cell with a reduced pair count and scale floor: asserts the
 	// methodology (events fire, average nodes fractional, cost finite
 	// and positive).
@@ -158,6 +161,9 @@ func TestMigrationWhatIf(t *testing.T) {
 }
 
 func TestMicroShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("half-minute experiment; skipped in -short (CI race) runs")
+	}
 	m, err := Micro(tiny())
 	if err != nil {
 		t.Fatal(err)

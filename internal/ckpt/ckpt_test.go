@@ -2,6 +2,7 @@ package ckpt
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -225,8 +226,8 @@ func TestRestoreErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rt2.AllocFloat64("other-name", 128); err == nil {
-		t.Fatal("mismatched allocation replay must fail")
+	if _, err := rt2.AllocFloat64("other-name", 128); !errors.Is(err, omp.ErrRestoreMismatch) {
+		t.Fatalf("mismatched allocation replay must fail with ErrRestoreMismatch, got %v", err)
 	}
 	// Missing state key.
 	var r Restored

@@ -1,0 +1,179 @@
+package ckpt
+
+import (
+	"bytes"
+	"testing"
+
+	"nowomp/internal/omp"
+	"nowomp/internal/shmem"
+)
+
+// roundTrip checkpoints a runtime holding an Array[T] and a Matrix[T],
+// restores it into a fresh runtime, replays the allocations, and
+// verifies the contents survived byte-exactly. This covers the
+// element-size-aware region replay for one Element instantiation.
+func roundTrip[T shmem.Element](t *testing.T, at func(i int) T) {
+	t.Helper()
+	cfg := omp.Config{Hosts: 3, Procs: 2, Adaptive: true}
+	rt, err := omp.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, rows, cols = 64, 8, 6
+	arr, err := omp.Alloc[T](rt, "arr", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx, err := omp.AllocMatrix[T](rt, "mx", rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rt.MasterProc().Mem()
+	vals := make([]T, n)
+	for i := range vals {
+		vals[i] = at(i)
+	}
+	arr.WriteRange(m, 0, vals)
+	row := make([]T, cols)
+	for i := 0; i < rows; i++ {
+		for j := range row {
+			row[j] = at(i*cols + j)
+		}
+		mx.WriteRow(m, i, row)
+	}
+
+	var buf bytes.Buffer
+	if _, err := Save(rt, &buf, map[string]any{"it": 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	rt2, restored, err := Restore(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr2, err := omp.Alloc[T](rt2, "arr", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx2, err := omp.AllocMatrix[T](rt2, "mx", rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := rt2.MasterProc().Mem()
+	got := make([]T, n)
+	arr2.ReadRange(m2, 0, n, got)
+	for i := range got {
+		if got[i] != at(i) {
+			t.Fatalf("restored arr[%d] = %v, want %v", i, got[i], at(i))
+		}
+	}
+	for i := 0; i < rows; i++ {
+		mx2.ReadRow(m2, i, row)
+		for j := range row {
+			if row[j] != at(i*cols+j) {
+				t.Fatalf("restored mx(%d,%d) = %v, want %v", i, j, row[j], at(i*cols+j))
+			}
+		}
+	}
+	var it int
+	if err := restored.State("it", &it); err != nil || it != 3 {
+		t.Fatalf("restored state it = %d, err %v", it, err)
+	}
+}
+
+func TestRoundTripAllElementTypes(t *testing.T) {
+	roundTrip(t, func(i int) float32 { return float32(i) * 1.5 })
+	roundTrip(t, func(i int) float64 { return float64(i)*0.25 - 3 })
+	roundTrip(t, func(i int) complex128 { return complex(float64(i), -float64(i)) })
+	roundTrip(t, func(i int) int32 { return int32(i*7 - 100) })
+	roundTrip(t, func(i int) int64 { return int64(i)<<33 - 5 })
+	roundTrip(t, func(i int) uint8 { return uint8(i * 3) })
+}
+
+// TestRoundTripLegacyAliases saves through the legacy typed
+// allocators and replays through the generic ones (and vice versa),
+// pinning that the alias types share the generic codec and region
+// layout byte-for-byte.
+func TestRoundTripLegacyAliases(t *testing.T) {
+	cfg := omp.Config{Hosts: 2, Procs: 1, Adaptive: true}
+	rt, err := omp.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rt.MasterProc().Mem()
+
+	f64, err := rt.AllocFloat64("f64", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f64.WriteRange(m, 0, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f32, err := rt.AllocFloat32("f32", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f32.WriteRange(m, 0, []float32{0.5, 1.5, 2.5, 3.5, 4.5, 5.5, 6.5, 7.5})
+	z, err := rt.AllocComplex128("z", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z.WriteRange(m, 0, []complex128{1i, 2, 3 + 4i, -5})
+	i32, err := rt.AllocInt32("i32", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i32.WriteRange(m, 0, []int32{-1, 2, -3, 4, -5, 6, -7, 8})
+	m64, err := rt.AllocFloat64Matrix("m64", 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m64.WriteRow(m, 1, []float64{9, 8, 7, 6})
+	m32, err := rt.AllocFloat32Matrix("m32", 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m32.WriteRow(m, 0, []float32{1, 2, 3, 4})
+
+	var buf bytes.Buffer
+	if _, err := Save(rt, &buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	rt2, _, err := Restore(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay through the generic allocators: same names, same element
+	// sizes, so the byte-based replay must accept them.
+	gf64, err := omp.Alloc[float64](rt2, "f64", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := omp.Alloc[float32](rt2, "f32", 8); err != nil {
+		t.Fatal(err)
+	}
+	gz, err := omp.Alloc[complex128](rt2, "z", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := omp.Alloc[int32](rt2, "i32", 8); err != nil {
+		t.Fatal(err)
+	}
+	gm64, err := omp.AllocMatrix[float64](rt2, "m64", 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := omp.AllocMatrix[float32](rt2, "m32", 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	m2 := rt2.MasterProc().Mem()
+	if v := gf64.Get(m2, 9); v != 10 {
+		t.Fatalf("f64[9] = %v, want 10", v)
+	}
+	if v := gz.Get(m2, 2); v != 3+4i {
+		t.Fatalf("z[2] = %v, want 3+4i", v)
+	}
+	rowBuf := make([]float64, 4)
+	gm64.ReadRow(m2, 1, rowBuf)
+	if rowBuf[0] != 9 || rowBuf[3] != 6 {
+		t.Fatalf("m64 row 1 = %v, want [9 8 7 6]", rowBuf)
+	}
+}

@@ -1,0 +1,17 @@
+package omp
+
+import "errors"
+
+// Sentinel errors, exposed so callers can classify failures with
+// errors.Is instead of string-matching.
+var (
+	// ErrNotAdaptive reports an adapt event submitted to a runtime
+	// built without Config.Adaptive (the non-adaptive base TreadMarks
+	// variant).
+	ErrNotAdaptive = errors.New("omp: adapt event on non-adaptive runtime")
+
+	// ErrRestoreMismatch reports an allocation replay that diverged
+	// from the checkpointed sequence during restore: wrong name, wrong
+	// byte size, or an allocation with no checkpointed region.
+	ErrRestoreMismatch = errors.New("omp: restore allocation mismatch")
+)

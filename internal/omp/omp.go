@@ -85,7 +85,7 @@ type Runtime struct {
 	phases   int64
 	adaptLog []AdaptationPoint
 	forkHook func(*Runtime)
-	dynCtr   *sharedInt64
+	dynCtr   *shmem.Int64Array
 
 	// restore payload, when the runtime was rebuilt from a checkpoint.
 	restoring  []RegionDump
@@ -184,10 +184,11 @@ func (rt *Runtime) Manager() *adapt.Manager { return rt.mgr }
 // Team(), Now() and Forks() and call Submit safely.
 func (rt *Runtime) SetForkHook(hook func(*Runtime)) { rt.forkHook = hook }
 
-// Submit queues an adapt event (adaptive runtimes only).
+// Submit queues an adapt event (adaptive runtimes only). On a
+// non-adaptive runtime the error matches ErrNotAdaptive.
 func (rt *Runtime) Submit(e adapt.Event) error {
 	if rt.mgr == nil {
-		return fmt.Errorf("omp: adapt event on non-adaptive runtime; set Config.Adaptive")
+		return fmt.Errorf("%w; set Config.Adaptive", ErrNotAdaptive)
 	}
 	return rt.mgr.Submit(e)
 }
@@ -200,76 +201,35 @@ func (rt *Runtime) MasterProc() *Proc {
 
 // AllocFloat64 allocates a shared float64 vector; on a restored
 // runtime it rebinds to (and reloads) the checkpointed region instead.
+// Legacy wrapper over the generic Alloc.
 func (rt *Runtime) AllocFloat64(name string, n int) (*shmem.Float64Array, error) {
-	if err := rt.restoreCheck(name, n*8); err != nil {
-		return nil, err
-	}
-	a, err := shmem.AllocFloat64(rt.cluster, name, n)
-	if err != nil {
-		return nil, err
-	}
-	return a, rt.restoreFill(a.Region())
+	return Alloc[float64](rt, name, n)
 }
 
 // AllocFloat64Matrix allocates a shared matrix (see AllocFloat64).
 func (rt *Runtime) AllocFloat64Matrix(name string, rows, cols int) (*shmem.Float64Matrix, error) {
-	if err := rt.restoreCheck(name, rows*cols*8); err != nil {
-		return nil, err
-	}
-	mx, err := shmem.AllocFloat64Matrix(rt.cluster, name, rows, cols)
-	if err != nil {
-		return nil, err
-	}
-	return mx, rt.restoreFill(mx.Region())
+	return AllocMatrix[float64](rt, name, rows, cols)
 }
 
 // AllocFloat32 allocates a shared float32 vector (see AllocFloat64).
 func (rt *Runtime) AllocFloat32(name string, n int) (*shmem.Float32Array, error) {
-	if err := rt.restoreCheck(name, n*4); err != nil {
-		return nil, err
-	}
-	a, err := shmem.AllocFloat32(rt.cluster, name, n)
-	if err != nil {
-		return nil, err
-	}
-	return a, rt.restoreFill(a.Region())
+	return Alloc[float32](rt, name, n)
 }
 
 // AllocFloat32Matrix allocates a shared float32 matrix (see
 // AllocFloat64).
 func (rt *Runtime) AllocFloat32Matrix(name string, rows, cols int) (*shmem.Float32Matrix, error) {
-	if err := rt.restoreCheck(name, rows*cols*4); err != nil {
-		return nil, err
-	}
-	mx, err := shmem.AllocFloat32Matrix(rt.cluster, name, rows, cols)
-	if err != nil {
-		return nil, err
-	}
-	return mx, rt.restoreFill(mx.Region())
+	return AllocMatrix[float32](rt, name, rows, cols)
 }
 
 // AllocComplex128 allocates a shared complex vector (see AllocFloat64).
 func (rt *Runtime) AllocComplex128(name string, n int) (*shmem.Complex128Array, error) {
-	if err := rt.restoreCheck(name, n*16); err != nil {
-		return nil, err
-	}
-	a, err := shmem.AllocComplex128(rt.cluster, name, n)
-	if err != nil {
-		return nil, err
-	}
-	return a, rt.restoreFill(a.Region())
+	return Alloc[complex128](rt, name, n)
 }
 
 // AllocInt32 allocates a shared int32 vector (see AllocFloat64).
 func (rt *Runtime) AllocInt32(name string, n int) (*shmem.Int32Array, error) {
-	if err := rt.restoreCheck(name, n*4); err != nil {
-		return nil, err
-	}
-	a, err := shmem.AllocInt32(rt.cluster, name, n)
-	if err != nil {
-		return nil, err
-	}
-	return a, rt.restoreFill(a.Region())
+	return Alloc[int32](rt, name, n)
 }
 
 // Restored reports whether this runtime was rebuilt from a checkpoint.
@@ -342,17 +302,23 @@ func (rt *Runtime) BeginRestore(dumps []RegionDump, masterTime simtime.Seconds, 
 	rt.forks = forks
 }
 
+// restoreCheck validates one step of the allocation replay against the
+// checkpointed region sequence. Sizes are compared in bytes, so any
+// Element instantiation replays correctly as long as its element size
+// times its length matches the dump. Mismatches wrap
+// ErrRestoreMismatch.
 func (rt *Runtime) restoreCheck(name string, bytes int) error {
 	if rt.restoring == nil {
 		return nil
 	}
 	if rt.allocIndex >= len(rt.restoring) {
-		return fmt.Errorf("omp: restore: allocation %q has no checkpointed region (only %d were dumped)", name, len(rt.restoring))
+		return fmt.Errorf("%w: allocation %q has no checkpointed region (only %d were dumped)",
+			ErrRestoreMismatch, name, len(rt.restoring))
 	}
 	d := rt.restoring[rt.allocIndex]
 	if d.Name != name || d.Bytes != bytes {
-		return fmt.Errorf("omp: restore: allocation %d is %q (%d bytes), checkpoint has %q (%d bytes); the program must replay the same allocations",
-			rt.allocIndex, name, bytes, d.Name, d.Bytes)
+		return fmt.Errorf("%w: allocation %d is %q (%d bytes), checkpoint has %q (%d bytes); the program must replay the same allocations",
+			ErrRestoreMismatch, rt.allocIndex, name, bytes, d.Name, d.Bytes)
 	}
 	return nil
 }

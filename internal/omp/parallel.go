@@ -13,31 +13,19 @@ import (
 // re-partitioning mechanism adaptation relies on. The construct forks,
 // runs, and joins at a barrier; the fork boundary is an adaptation
 // point where pending adapt events are applied first.
+//
+// Legacy wrapper over For with the default Static schedule.
 func (rt *Runtime) ParallelFor(name string, lo, hi int, body func(p *Proc, lo, hi int)) {
-	rt.Parallel(name, func(p *Proc) {
-		mylo, myhi := p.Block(lo, hi)
-		if mylo < myhi {
-			body(p, mylo, myhi)
-		}
-	})
+	rt.For(name, lo, hi, body)
 }
 
 // ParallelForChunk executes body with a static cyclic schedule of the
 // given chunk size (OpenMP schedule(static, chunk)): process i runs
 // chunks i, i+N, i+2N, ... Body is invoked once per chunk.
+//
+// Legacy wrapper over For with WithSchedule(StaticChunk, chunk).
 func (rt *Runtime) ParallelForChunk(name string, lo, hi, chunk int, body func(p *Proc, lo, hi int)) {
-	if chunk <= 0 {
-		panic(fmt.Sprintf("omp: chunk size must be positive, got %d", chunk))
-	}
-	rt.Parallel(name, func(p *Proc) {
-		for start := lo + p.ID*chunk; start < hi; start += p.N * chunk {
-			end := start + chunk
-			if end > hi {
-				end = hi
-			}
-			body(p, start, end)
-		}
-	})
+	rt.For(name, lo, hi, body, WithSchedule(StaticChunk, chunk))
 }
 
 // Parallel executes body once on every process of the team: the bare
@@ -53,33 +41,15 @@ func (rt *Runtime) Parallel(name string, body func(p *Proc)) {
 // each process folds its block into a partial starting from identity,
 // and the master combines the partials in process-id order at the
 // join (deterministic regardless of scheduling).
+//
+// Legacy wrapper over For with WithReduce; body's return value is the
+// process's contribution for its block.
 func (rt *Runtime) ParallelForReduce(name string, lo, hi int, identity float64,
 	op func(a, b float64) float64, body func(p *Proc, lo, hi int) float64) float64 {
 
-	procs := rt.fork(name)
-	partials := make([]float64, len(procs))
-	for i := range partials {
-		partials[i] = identity
-	}
-	rt.run(procs, func(p *Proc) {
-		mylo, myhi := p.Block(lo, hi)
-		if mylo < myhi {
-			partials[p.ID] = body(p, mylo, myhi)
-		}
-	})
-	// Each slave ships its partial to the master with its barrier
-	// arrival message.
-	master := rt.cluster.Master()
-	for _, p := range procs[1:] {
-		rt.cluster.Fabric().Record(p.host.Machine(), master.Machine(), 8)
-	}
-	rt.join(procs)
-	acc := identity
-	for _, v := range partials {
-		acc = op(acc, v)
-	}
-	rt.master.Advance(rt.cluster.Model().MsgOverhead)
-	return acc
+	return rt.For(name, lo, hi, func(p *Proc, lo, hi int) {
+		p.Contribute(body(p, lo, hi))
+	}, WithReduce(identity, op))
 }
 
 // fork applies pending adapt events (this is the adaptation point),

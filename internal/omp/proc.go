@@ -22,6 +22,23 @@ type Proc struct {
 	rt   *Runtime
 	host *dsm.Host
 	clk  *simtime.Clock
+
+	// Reduction state, set by For when WithReduce is active. partial
+	// points at this process's slot of the construct's partials; only
+	// this process writes it.
+	partial *float64
+	redOp   func(a, b float64) float64
+}
+
+// Contribute folds v into this process's reduction partial. It may be
+// called any number of times within the construct (once per chunk,
+// say) and only inside a For given WithReduce; the master combines the
+// per-process partials in id order at the join.
+func (p *Proc) Contribute(v float64) {
+	if p.redOp == nil {
+		panic("omp: Contribute called outside a WithReduce loop")
+	}
+	*p.partial = p.redOp(*p.partial, v)
 }
 
 // Mem returns the shared-memory access context for this process.

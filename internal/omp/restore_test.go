@@ -1,7 +1,7 @@
 package omp
 
 import (
-	"strings"
+	"errors"
 	"testing"
 
 	"nowomp/internal/adapt"
@@ -23,12 +23,12 @@ func TestRestoreCheckMismatches(t *testing.T) {
 		t.Fatalf("restored forks = %d, want 7", rt.Forks())
 	}
 	// Wrong name.
-	if _, err := rt.AllocFloat64("b", 100); err == nil || !strings.Contains(err.Error(), "replay") {
-		t.Fatalf("mismatched name must fail with replay hint, got %v", err)
+	if _, err := rt.AllocFloat64("b", 100); !errors.Is(err, ErrRestoreMismatch) {
+		t.Fatalf("mismatched name must fail with ErrRestoreMismatch, got %v", err)
 	}
 	// Wrong size.
-	if _, err := rt.AllocFloat64("a", 50); err == nil {
-		t.Fatal("mismatched size must fail")
+	if _, err := rt.AllocFloat64("a", 50); !errors.Is(err, ErrRestoreMismatch) {
+		t.Fatalf("mismatched size must fail with ErrRestoreMismatch, got %v", err)
 	}
 	// Correct replay succeeds and loads data.
 	a, err := rt.AllocFloat64("a", 100)
@@ -37,8 +37,8 @@ func TestRestoreCheckMismatches(t *testing.T) {
 	}
 	_ = a
 	// A second allocation has no checkpointed region.
-	if _, err := rt.AllocFloat64("extra", 10); err == nil || !strings.Contains(err.Error(), "no checkpointed region") {
-		t.Fatalf("extra allocation must fail, got %v", err)
+	if _, err := rt.AllocFloat64("extra", 10); !errors.Is(err, ErrRestoreMismatch) {
+		t.Fatalf("extra allocation must fail with ErrRestoreMismatch, got %v", err)
 	}
 }
 

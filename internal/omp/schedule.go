@@ -1,7 +1,6 @@
 package omp
 
 import (
-	"encoding/binary"
 	"fmt"
 
 	"nowomp/internal/page"
@@ -52,9 +51,9 @@ func (rt *Runtime) ParallelSections(name string, sections ...func(p *Proc)) {
 	})
 }
 
-// dynLock is the Tmk lock guarding the shared chunk counter of dynamic
-// schedules. Lock ids are a global namespace managed by host 0; user
-// code should avoid this id.
+// dynLock is the Tmk lock guarding the shared chunk counter of the
+// counter-based (Dynamic, Guided) schedules. Lock ids are a global
+// namespace managed by host 0; user code should avoid this id.
 const dynLock = 1 << 30
 
 // ParallelForDynamic executes body with the OpenMP dynamic schedule:
@@ -63,78 +62,23 @@ const dynLock = 1 << 30
 // Claiming costs real lock and page traffic, exactly as it would on
 // the NOW — dynamic scheduling on a DSM is priced, not free.
 //
-// The counter region is allocated on first use and reset at every
-// construct; like all shared allocation this must first happen before
-// any adaptation (master-side), which ParallelForDynamic guarantees by
-// allocating in the sequential section.
+// Legacy wrapper over For with WithSchedule(Dynamic, chunk).
 func (rt *Runtime) ParallelForDynamic(name string, lo, hi, chunk int, body func(p *Proc, lo, hi int)) {
-	if chunk <= 0 {
-		panic(fmt.Sprintf("omp: chunk size must be positive, got %d", chunk))
-	}
-	ctr := rt.dynCounter()
-	// Reset the counter in the sequential section.
-	mp := rt.MasterProc()
-	ctr.Set(mp.Mem(), 0, int64(lo))
-
-	rt.Parallel(name, func(p *Proc) {
-		for {
-			p.Lock(dynLock)
-			next := int(ctr.Get(p.Mem(), 0))
-			if next < hi {
-				ctr.Set(p.Mem(), 0, int64(min(next+chunk, hi)))
-			}
-			p.Unlock(dynLock)
-			if next >= hi {
-				return
-			}
-			end := next + chunk
-			if end > hi {
-				end = hi
-			}
-			body(p, next, end)
-		}
-	})
+	rt.For(name, lo, hi, body, WithSchedule(Dynamic, chunk))
 }
 
-// dynCounter lazily allocates the shared chunk counter.
-func (rt *Runtime) dynCounter() *sharedInt64 {
+// dynCounter lazily allocates the shared chunk counter backing the
+// counter-based schedules: one page of int64 slots (slot 0 is the
+// counter), reset at every construct in the sequential section. Like
+// all shared allocation, the first use must happen master-side before
+// any adaptation, which For guarantees by allocating before the fork.
+func (rt *Runtime) dynCounter() *shmem.Int64Array {
 	if rt.dynCtr == nil {
-		a, err := rt.AllocInt32("omp.dynamic-counter", page.Size/4)
+		a, err := Alloc[int64](rt, "omp.dynamic-counter", page.Size/8)
 		if err != nil {
 			panic(fmt.Sprintf("omp: allocating dynamic-schedule counter: %v", err))
 		}
-		rt.dynCtr = &sharedInt64{arr: a}
+		rt.dynCtr = a
 	}
 	return rt.dynCtr
-}
-
-// sharedInt64 stores one int64 in a shared int32 region (two words),
-// giving dynamic schedules a DSM-resident counter.
-type sharedInt64 struct {
-	arr *shmem.Int32Array
-}
-
-// Get reads the counter under the caller's lock.
-func (c *sharedInt64) Get(m shmem.Context, i int) int64 {
-	var raw [2]int32
-	c.arr.ReadRange(m, 2*i, 2*i+2, raw[:])
-	var b [8]byte
-	binary.LittleEndian.PutUint32(b[0:], uint32(raw[0]))
-	binary.LittleEndian.PutUint32(b[4:], uint32(raw[1]))
-	return int64(binary.LittleEndian.Uint64(b[:]))
-}
-
-// Set writes the counter under the caller's lock.
-func (c *sharedInt64) Set(m shmem.Context, i int, v int64) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], uint64(v))
-	raw := []int32{int32(binary.LittleEndian.Uint32(b[0:])), int32(binary.LittleEndian.Uint32(b[4:]))}
-	c.arr.WriteRange(m, 2*i, raw)
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,12 +1,6 @@
 package shmem
 
-import (
-	"encoding/binary"
-	"fmt"
-	"math"
-
-	"nowomp/internal/dsm"
-)
+import "nowomp/internal/dsm"
 
 // Float32Array is a shared vector of float32. The paper's numeric
 // kernels (Jacobi, Gauss) use single precision — their Table 1 memory
@@ -15,156 +9,19 @@ import (
 // Caution: diffs merge at 8-byte word granularity, so two processes
 // must not write the two halves of the same word in one interval.
 // Row-partitioned matrices with even row lengths satisfy this.
-type Float32Array struct {
-	region *dsm.Region
-	n      int
-}
-
-// AllocFloat32 allocates a shared float32 vector.
-func AllocFloat32(c *dsm.Cluster, name string, n int) (*Float32Array, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("shmem: array %q must have positive length, got %d", name, n)
-	}
-	r, err := c.Alloc(name, n*4)
-	if err != nil {
-		return nil, err
-	}
-	return &Float32Array{region: r, n: n}, nil
-}
-
-// Len returns the number of elements.
-func (a *Float32Array) Len() int { return a.n }
-
-// Region exposes the backing region.
-func (a *Float32Array) Region() *dsm.Region { return a.region }
-
-func (a *Float32Array) check(lo, hi int) {
-	if lo < 0 || hi > a.n || lo > hi {
-		panic(fmt.Sprintf("shmem: range [%d,%d) outside array %q of %d elements",
-			lo, hi, a.region.Name, a.n))
-	}
-}
-
-// Get reads element i.
-func (a *Float32Array) Get(m Context, i int) float32 {
-	mustContext(m)
-	a.check(i, i+1)
-	var b [4]byte
-	m.Host.Read(a.region.ID, i*4, b[:], m.Clock)
-	return math.Float32frombits(binary.LittleEndian.Uint32(b[:]))
-}
-
-// Set writes element i.
-func (a *Float32Array) Set(m Context, i int, v float32) {
-	mustContext(m)
-	a.check(i, i+1)
-	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
-	m.Host.Write(a.region.ID, i*4, b[:], m.Clock)
-}
-
-// ReadRange copies elements [lo,hi) into dst (length hi-lo).
-func (a *Float32Array) ReadRange(m Context, lo, hi int, dst []float32) {
-	mustContext(m)
-	a.check(lo, hi)
-	if len(dst) != hi-lo {
-		panic(fmt.Sprintf("shmem: dst has %d elements, want %d", len(dst), hi-lo))
-	}
-	buf := make([]byte, (hi-lo)*4)
-	m.Host.Read(a.region.ID, lo*4, buf, m.Clock)
-	for i := range dst {
-		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
-	}
-}
-
-// WriteRange copies src into elements [lo, lo+len(src)).
-func (a *Float32Array) WriteRange(m Context, lo int, src []float32) {
-	mustContext(m)
-	a.check(lo, lo+len(src))
-	buf := make([]byte, len(src)*4)
-	for i, v := range src {
-		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
-	}
-	m.Host.Write(a.region.ID, lo*4, buf, m.Clock)
-}
+type Float32Array = Array[float32]
 
 // Float32Matrix is a shared row-major rows x cols float32 matrix.
 // Rows with an even number of elements are word-aligned, so row-
 // partitioned writers never collide within a diff word.
-type Float32Matrix struct {
-	arr  Float32Array
-	rows int
-	cols int
+type Float32Matrix = Matrix[float32]
+
+// AllocFloat32 allocates a shared float32 vector.
+func AllocFloat32(c *dsm.Cluster, name string, n int) (*Float32Array, error) {
+	return Alloc[float32](c, name, n)
 }
 
 // AllocFloat32Matrix allocates a shared float32 matrix.
 func AllocFloat32Matrix(c *dsm.Cluster, name string, rows, cols int) (*Float32Matrix, error) {
-	if rows <= 0 || cols <= 0 {
-		return nil, fmt.Errorf("shmem: matrix %q needs positive dims, got %dx%d", name, rows, cols)
-	}
-	a, err := AllocFloat32(c, name, rows*cols)
-	if err != nil {
-		return nil, err
-	}
-	return &Float32Matrix{arr: *a, rows: rows, cols: cols}, nil
-}
-
-// Rows returns the row count.
-func (mx *Float32Matrix) Rows() int { return mx.rows }
-
-// Cols returns the column count.
-func (mx *Float32Matrix) Cols() int { return mx.cols }
-
-// Region exposes the backing region.
-func (mx *Float32Matrix) Region() *dsm.Region { return mx.arr.region }
-
-func (mx *Float32Matrix) checkRow(i int) {
-	if i < 0 || i >= mx.rows {
-		panic(fmt.Sprintf("shmem: row %d outside matrix %q with %d rows", i, mx.arr.region.Name, mx.rows))
-	}
-}
-
-// Get reads element (i, j).
-func (mx *Float32Matrix) Get(m Context, i, j int) float32 {
-	mx.checkRow(i)
-	return mx.arr.Get(m, i*mx.cols+j)
-}
-
-// Set writes element (i, j).
-func (mx *Float32Matrix) Set(m Context, i, j int, v float32) {
-	mx.checkRow(i)
-	mx.arr.Set(m, i*mx.cols+j, v)
-}
-
-// ReadRow copies row i into dst (length cols).
-func (mx *Float32Matrix) ReadRow(m Context, i int, dst []float32) {
-	mx.checkRow(i)
-	mx.arr.ReadRange(m, i*mx.cols, (i+1)*mx.cols, dst)
-}
-
-// WriteRow copies src (length cols) into row i.
-func (mx *Float32Matrix) WriteRow(m Context, i int, src []float32) {
-	mx.checkRow(i)
-	if len(src) != mx.cols {
-		panic(fmt.Sprintf("shmem: row has %d elements, want %d", len(src), mx.cols))
-	}
-	mx.arr.WriteRange(m, i*mx.cols, src)
-}
-
-// ReadRowRange copies row i columns [jlo,jhi) into dst.
-func (mx *Float32Matrix) ReadRowRange(m Context, i, jlo, jhi int, dst []float32) {
-	mx.checkRow(i)
-	if jlo < 0 || jhi > mx.cols || jlo > jhi {
-		panic(fmt.Sprintf("shmem: columns [%d,%d) outside matrix with %d cols", jlo, jhi, mx.cols))
-	}
-	mx.arr.ReadRange(m, i*mx.cols+jlo, i*mx.cols+jhi, dst)
-}
-
-// WriteRowRange copies src into row i starting at column jlo.
-func (mx *Float32Matrix) WriteRowRange(m Context, i, jlo int, src []float32) {
-	mx.checkRow(i)
-	if jlo < 0 || jlo+len(src) > mx.cols {
-		panic(fmt.Sprintf("shmem: columns [%d,%d) outside matrix with %d cols", jlo, jlo+len(src), mx.cols))
-	}
-	mx.arr.WriteRange(m, i*mx.cols+jlo, src)
+	return AllocMatrix[float32](c, name, rows, cols)
 }

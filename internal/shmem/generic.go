@@ -1,0 +1,260 @@
+package shmem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"unsafe"
+
+	"nowomp/internal/dsm"
+)
+
+// Element is the set of element types a shared view can hold. Every
+// element is marshalled little-endian into the byte-addressed DSM
+// region, so checkpoints and diffs are layout-stable across the
+// instantiations.
+//
+// Caution: diffs merge at 8-byte word granularity, so for element
+// types smaller than a word two processes must not write within the
+// same word in one interval. Row-partitioned matrices whose rows are
+// a multiple of 8 bytes (even float32/int32 rows, 8-aligned uint8
+// rows) satisfy this.
+type Element interface {
+	float32 | float64 | complex128 | int32 | int64 | uint8
+}
+
+// Sizeof returns the byte size of T's shared-memory representation.
+func Sizeof[T Element]() int {
+	var z T
+	return int(unsafe.Sizeof(z))
+}
+
+// encodeSlice marshals src into buf (little-endian bit patterns); buf
+// must hold len(src)*Sizeof[T] bytes. Together with decodeSlice it is
+// the single codec path shared by every Element instantiation.
+func encodeSlice[T Element](src []T, buf []byte) {
+	switch s := any(src).(type) {
+	case []float32:
+		for i, v := range s {
+			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+		}
+	case []float64:
+		for i, v := range s {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		}
+	case []complex128:
+		for i, v := range s {
+			binary.LittleEndian.PutUint64(buf[i*16:], math.Float64bits(real(v)))
+			binary.LittleEndian.PutUint64(buf[i*16+8:], math.Float64bits(imag(v)))
+		}
+	case []int32:
+		for i, v := range s {
+			binary.LittleEndian.PutUint32(buf[i*4:], uint32(v))
+		}
+	case []int64:
+		for i, v := range s {
+			binary.LittleEndian.PutUint64(buf[i*8:], uint64(v))
+		}
+	case []uint8:
+		copy(buf, s)
+	}
+}
+
+// decodeSlice unmarshals buf into dst; buf must hold
+// len(dst)*Sizeof[T] bytes.
+func decodeSlice[T Element](buf []byte, dst []T) {
+	switch d := any(dst).(type) {
+	case []float32:
+		for i := range d {
+			d[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+		}
+	case []float64:
+		for i := range d {
+			d[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+	case []complex128:
+		for i := range d {
+			re := math.Float64frombits(binary.LittleEndian.Uint64(buf[i*16:]))
+			im := math.Float64frombits(binary.LittleEndian.Uint64(buf[i*16+8:]))
+			d[i] = complex(re, im)
+		}
+	case []int32:
+		for i := range d {
+			d[i] = int32(binary.LittleEndian.Uint32(buf[i*4:]))
+		}
+	case []int64:
+		for i := range d {
+			d[i] = int64(binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+	case []uint8:
+		copy(d, buf)
+	}
+}
+
+// Array is a shared vector of T backed by one DSM region. The same
+// handle is shared by all processes (the Tmk_distribute idiom); faults
+// and costs accrue to the accessing process named by the Context.
+type Array[T Element] struct {
+	region *dsm.Region
+	n      int
+	elem   int
+}
+
+// Alloc allocates a shared vector of n elements of T. Master-only,
+// before the first fork, like Tmk_malloc.
+func Alloc[T Element](c *dsm.Cluster, name string, n int) (*Array[T], error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("shmem: array %q must have positive length, got %d", name, n)
+	}
+	elem := Sizeof[T]()
+	r, err := c.Alloc(name, n*elem)
+	if err != nil {
+		return nil, err
+	}
+	return &Array[T]{region: r, n: n, elem: elem}, nil
+}
+
+// Len returns the number of elements.
+func (a *Array[T]) Len() int { return a.n }
+
+// Region exposes the backing region (checkpoint and test hook).
+func (a *Array[T]) Region() *dsm.Region { return a.region }
+
+func (a *Array[T]) check(lo, hi int) {
+	if lo < 0 || hi > a.n || lo > hi {
+		panic(fmt.Sprintf("shmem: range [%d,%d) outside array %q of %d elements",
+			lo, hi, a.region.Name, a.n))
+	}
+}
+
+// Get reads element i.
+func (a *Array[T]) Get(m Context, i int) T {
+	mustContext(m)
+	a.check(i, i+1)
+	var b [16]byte
+	buf := b[:a.elem]
+	m.Host.Read(a.region.ID, i*a.elem, buf, m.Clock)
+	var one [1]T
+	decodeSlice(buf, one[:])
+	return one[0]
+}
+
+// Set writes element i.
+func (a *Array[T]) Set(m Context, i int, v T) {
+	mustContext(m)
+	a.check(i, i+1)
+	var b [16]byte
+	buf := b[:a.elem]
+	encodeSlice([]T{v}, buf)
+	m.Host.Write(a.region.ID, i*a.elem, buf, m.Clock)
+}
+
+// ReadRange copies elements [lo,hi) into dst, which must have length
+// hi-lo. Bulk accessors amortise the page-granularity fault checks
+// over the whole range, which is how compiled OpenMP loop bodies
+// access shared arrays.
+func (a *Array[T]) ReadRange(m Context, lo, hi int, dst []T) {
+	mustContext(m)
+	a.check(lo, hi)
+	if len(dst) != hi-lo {
+		panic(fmt.Sprintf("shmem: dst has %d elements, want %d", len(dst), hi-lo))
+	}
+	buf := make([]byte, (hi-lo)*a.elem)
+	m.Host.Read(a.region.ID, lo*a.elem, buf, m.Clock)
+	decodeSlice(buf, dst)
+}
+
+// WriteRange copies src into elements [lo, lo+len(src)).
+func (a *Array[T]) WriteRange(m Context, lo int, src []T) {
+	mustContext(m)
+	a.check(lo, lo+len(src))
+	buf := make([]byte, len(src)*a.elem)
+	encodeSlice(src, buf)
+	m.Host.Write(a.region.ID, lo*a.elem, buf, m.Clock)
+}
+
+// Matrix is a shared row-major rows x cols matrix of T.
+type Matrix[T Element] struct {
+	arr  Array[T]
+	rows int
+	cols int
+}
+
+// AllocMatrix allocates a shared rows x cols matrix of T.
+func AllocMatrix[T Element](c *dsm.Cluster, name string, rows, cols int) (*Matrix[T], error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("shmem: matrix %q needs positive dims, got %dx%d", name, rows, cols)
+	}
+	a, err := Alloc[T](c, name, rows*cols)
+	if err != nil {
+		return nil, err
+	}
+	return &Matrix[T]{arr: *a, rows: rows, cols: cols}, nil
+}
+
+// Rows returns the row count.
+func (mx *Matrix[T]) Rows() int { return mx.rows }
+
+// Cols returns the column count.
+func (mx *Matrix[T]) Cols() int { return mx.cols }
+
+// Region exposes the backing region.
+func (mx *Matrix[T]) Region() *dsm.Region { return mx.arr.region }
+
+func (mx *Matrix[T]) checkRow(i int) {
+	if i < 0 || i >= mx.rows {
+		panic(fmt.Sprintf("shmem: row %d outside matrix %q with %d rows", i, mx.arr.region.Name, mx.rows))
+	}
+}
+
+func (mx *Matrix[T]) checkElem(i, j int) {
+	mx.checkRow(i)
+	if j < 0 || j >= mx.cols {
+		panic(fmt.Sprintf("shmem: column %d outside matrix %q with %d cols", j, mx.arr.region.Name, mx.cols))
+	}
+}
+
+// Get reads element (i, j).
+func (mx *Matrix[T]) Get(m Context, i, j int) T {
+	mx.checkElem(i, j)
+	return mx.arr.Get(m, i*mx.cols+j)
+}
+
+// Set writes element (i, j).
+func (mx *Matrix[T]) Set(m Context, i, j int, v T) {
+	mx.checkElem(i, j)
+	mx.arr.Set(m, i*mx.cols+j, v)
+}
+
+// ReadRow copies row i into dst (length cols).
+func (mx *Matrix[T]) ReadRow(m Context, i int, dst []T) {
+	mx.checkRow(i)
+	mx.arr.ReadRange(m, i*mx.cols, (i+1)*mx.cols, dst)
+}
+
+// WriteRow copies src (length cols) into row i.
+func (mx *Matrix[T]) WriteRow(m Context, i int, src []T) {
+	mx.checkRow(i)
+	if len(src) != mx.cols {
+		panic(fmt.Sprintf("shmem: row has %d elements, want %d", len(src), mx.cols))
+	}
+	mx.arr.WriteRange(m, i*mx.cols, src)
+}
+
+// ReadRowRange copies row i columns [jlo,jhi) into dst.
+func (mx *Matrix[T]) ReadRowRange(m Context, i, jlo, jhi int, dst []T) {
+	mx.checkRow(i)
+	if jlo < 0 || jhi > mx.cols || jlo > jhi {
+		panic(fmt.Sprintf("shmem: columns [%d,%d) outside matrix with %d cols", jlo, jhi, mx.cols))
+	}
+	mx.arr.ReadRange(m, i*mx.cols+jlo, i*mx.cols+jhi, dst)
+}
+
+// WriteRowRange copies src into row i starting at column jlo.
+func (mx *Matrix[T]) WriteRowRange(m Context, i, jlo int, src []T) {
+	mx.checkRow(i)
+	if jlo < 0 || jlo+len(src) > mx.cols {
+		panic(fmt.Sprintf("shmem: columns [%d,%d) outside matrix with %d cols", jlo, jlo+len(src), mx.cols))
+	}
+	mx.arr.WriteRange(m, i*mx.cols+jlo, src)
+}

@@ -1,20 +1,21 @@
 // Package shmem provides typed views over DSM shared-memory regions:
-// float64 vectors/matrices, complex vectors, and int32 vectors, with
-// both element and bulk-row accessors. Bulk accessors amortise the
-// page-granularity fault checks over whole rows, which is how the
-// compiled OpenMP loop bodies access shared arrays.
+// generic vectors (Array[T]) and row-major matrices (Matrix[T]) over
+// the Element constraint, with both element and bulk-row accessors.
+// Bulk accessors amortise the page-granularity fault checks over whole
+// rows, which is how the compiled OpenMP loop bodies access shared
+// arrays.
 //
 // Every accessor takes a Context naming the accessing process's address
 // space and virtual clock; the same array handle is shared by all
 // processes (the Tmk_distribute idiom) while faults and costs accrue to
 // the accessing process.
+//
+// The legacy typed views (Float64Array, Float32Matrix, ...) are
+// aliases of the generic ones and share a single accessor and codec
+// implementation; see generic.go.
 package shmem
 
 import (
-	"encoding/binary"
-	"fmt"
-	"math"
-
 	"nowomp/internal/dsm"
 	"nowomp/internal/simtime"
 )
@@ -33,287 +34,54 @@ func mustContext(m Context) {
 	}
 }
 
-// Float64Array is a shared vector of float64.
-type Float64Array struct {
-	region *dsm.Region
-	n      int
-}
+// Legacy typed views, kept so existing kernels compile unchanged. Each
+// is an alias of the generic view, not a distinct type.
+type (
+	// Float64Array is a shared vector of float64.
+	Float64Array = Array[float64]
+	// Float64Matrix is a shared row-major float64 matrix.
+	Float64Matrix = Matrix[float64]
+	// Complex128Array is a shared vector of complex128, stored as
+	// interleaved real/imaginary float64 words.
+	Complex128Array = Array[complex128]
+	// Int32Array is a shared vector of int32 (partner lists,
+	// permutations).
+	Int32Array = Array[int32]
+	// Int64Array is a shared vector of int64 (counters, offsets).
+	Int64Array = Array[int64]
+	// ByteArray is a shared vector of raw bytes. Remember the 8-byte
+	// diff-word granularity: concurrent writers must stay 8 bytes
+	// apart within an interval.
+	ByteArray = Array[uint8]
+)
 
 // AllocFloat64 allocates a shared float64 vector. Master-only, before
 // the first fork, like Tmk_malloc.
 func AllocFloat64(c *dsm.Cluster, name string, n int) (*Float64Array, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("shmem: array %q must have positive length, got %d", name, n)
-	}
-	r, err := c.Alloc(name, n*8)
-	if err != nil {
-		return nil, err
-	}
-	return &Float64Array{region: r, n: n}, nil
+	return Alloc[float64](c, name, n)
 }
 
-// Len returns the number of elements.
-func (a *Float64Array) Len() int { return a.n }
-
-// Region exposes the backing region (checkpoint and test hook).
-func (a *Float64Array) Region() *dsm.Region { return a.region }
-
-func (a *Float64Array) check(lo, hi int) {
-	if lo < 0 || hi > a.n || lo > hi {
-		panic(fmt.Sprintf("shmem: range [%d,%d) outside array %q of %d elements",
-			lo, hi, a.region.Name, a.n))
-	}
-}
-
-// Get reads element i.
-func (a *Float64Array) Get(m Context, i int) float64 {
-	mustContext(m)
-	a.check(i, i+1)
-	var b [8]byte
-	m.Host.Read(a.region.ID, i*8, b[:], m.Clock)
-	return math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
-}
-
-// Set writes element i.
-func (a *Float64Array) Set(m Context, i int, v float64) {
-	mustContext(m)
-	a.check(i, i+1)
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
-	m.Host.Write(a.region.ID, i*8, b[:], m.Clock)
-}
-
-// ReadRange copies elements [lo,hi) into dst, which must have length
-// hi-lo.
-func (a *Float64Array) ReadRange(m Context, lo, hi int, dst []float64) {
-	mustContext(m)
-	a.check(lo, hi)
-	if len(dst) != hi-lo {
-		panic(fmt.Sprintf("shmem: dst has %d elements, want %d", len(dst), hi-lo))
-	}
-	buf := make([]byte, (hi-lo)*8)
-	m.Host.Read(a.region.ID, lo*8, buf, m.Clock)
-	decodeFloats(buf, dst)
-}
-
-// WriteRange copies src into elements [lo, lo+len(src)).
-func (a *Float64Array) WriteRange(m Context, lo int, src []float64) {
-	mustContext(m)
-	a.check(lo, lo+len(src))
-	buf := make([]byte, len(src)*8)
-	encodeFloats(src, buf)
-	m.Host.Write(a.region.ID, lo*8, buf, m.Clock)
-}
-
-func decodeFloats(buf []byte, dst []float64) {
-	for i := range dst {
-		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
-	}
-}
-
-func encodeFloats(src []float64, buf []byte) {
-	for i, v := range src {
-		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
-	}
-}
-
-// Float64Matrix is a shared row-major rows x cols matrix.
-type Float64Matrix struct {
-	arr  Float64Array
-	rows int
-	cols int
-}
-
-// AllocFloat64Matrix allocates a shared matrix.
+// AllocFloat64Matrix allocates a shared float64 matrix.
 func AllocFloat64Matrix(c *dsm.Cluster, name string, rows, cols int) (*Float64Matrix, error) {
-	if rows <= 0 || cols <= 0 {
-		return nil, fmt.Errorf("shmem: matrix %q needs positive dims, got %dx%d", name, rows, cols)
-	}
-	a, err := AllocFloat64(c, name, rows*cols)
-	if err != nil {
-		return nil, err
-	}
-	return &Float64Matrix{arr: *a, rows: rows, cols: cols}, nil
-}
-
-// Rows returns the row count.
-func (mx *Float64Matrix) Rows() int { return mx.rows }
-
-// Cols returns the column count.
-func (mx *Float64Matrix) Cols() int { return mx.cols }
-
-// Region exposes the backing region.
-func (mx *Float64Matrix) Region() *dsm.Region { return mx.arr.region }
-
-func (mx *Float64Matrix) checkRow(i int) {
-	if i < 0 || i >= mx.rows {
-		panic(fmt.Sprintf("shmem: row %d outside matrix %q with %d rows", i, mx.arr.region.Name, mx.rows))
-	}
-}
-
-// Get reads element (i, j).
-func (mx *Float64Matrix) Get(m Context, i, j int) float64 {
-	mx.checkRow(i)
-	return mx.arr.Get(m, i*mx.cols+j)
-}
-
-// Set writes element (i, j).
-func (mx *Float64Matrix) Set(m Context, i, j int, v float64) {
-	mx.checkRow(i)
-	mx.arr.Set(m, i*mx.cols+j, v)
-}
-
-// ReadRow copies row i into dst (length cols).
-func (mx *Float64Matrix) ReadRow(m Context, i int, dst []float64) {
-	mx.checkRow(i)
-	mx.arr.ReadRange(m, i*mx.cols, (i+1)*mx.cols, dst)
-}
-
-// WriteRow copies src (length cols) into row i.
-func (mx *Float64Matrix) WriteRow(m Context, i int, src []float64) {
-	mx.checkRow(i)
-	if len(src) != mx.cols {
-		panic(fmt.Sprintf("shmem: row has %d elements, want %d", len(src), mx.cols))
-	}
-	mx.arr.WriteRange(m, i*mx.cols, src)
-}
-
-// Complex128Array is a shared vector of complex128, stored as
-// interleaved real/imaginary float64 words.
-type Complex128Array struct {
-	region *dsm.Region
-	n      int
+	return AllocMatrix[float64](c, name, rows, cols)
 }
 
 // AllocComplex128 allocates a shared complex vector.
 func AllocComplex128(c *dsm.Cluster, name string, n int) (*Complex128Array, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("shmem: array %q must have positive length, got %d", name, n)
-	}
-	r, err := c.Alloc(name, n*16)
-	if err != nil {
-		return nil, err
-	}
-	return &Complex128Array{region: r, n: n}, nil
-}
-
-// Len returns the number of elements.
-func (a *Complex128Array) Len() int { return a.n }
-
-// Region exposes the backing region.
-func (a *Complex128Array) Region() *dsm.Region { return a.region }
-
-func (a *Complex128Array) check(lo, hi int) {
-	if lo < 0 || hi > a.n || lo > hi {
-		panic(fmt.Sprintf("shmem: range [%d,%d) outside array %q of %d elements",
-			lo, hi, a.region.Name, a.n))
-	}
-}
-
-// ReadRange copies elements [lo,hi) into dst.
-func (a *Complex128Array) ReadRange(m Context, lo, hi int, dst []complex128) {
-	mustContext(m)
-	a.check(lo, hi)
-	if len(dst) != hi-lo {
-		panic(fmt.Sprintf("shmem: dst has %d elements, want %d", len(dst), hi-lo))
-	}
-	buf := make([]byte, (hi-lo)*16)
-	m.Host.Read(a.region.ID, lo*16, buf, m.Clock)
-	for i := range dst {
-		re := math.Float64frombits(binary.LittleEndian.Uint64(buf[i*16:]))
-		im := math.Float64frombits(binary.LittleEndian.Uint64(buf[i*16+8:]))
-		dst[i] = complex(re, im)
-	}
-}
-
-// WriteRange copies src into elements [lo, lo+len(src)).
-func (a *Complex128Array) WriteRange(m Context, lo int, src []complex128) {
-	mustContext(m)
-	a.check(lo, lo+len(src))
-	buf := make([]byte, len(src)*16)
-	for i, v := range src {
-		binary.LittleEndian.PutUint64(buf[i*16:], math.Float64bits(real(v)))
-		binary.LittleEndian.PutUint64(buf[i*16+8:], math.Float64bits(imag(v)))
-	}
-	m.Host.Write(a.region.ID, lo*16, buf, m.Clock)
-}
-
-// Get reads element i.
-func (a *Complex128Array) Get(m Context, i int) complex128 {
-	var one [1]complex128
-	a.ReadRange(m, i, i+1, one[:])
-	return one[0]
-}
-
-// Set writes element i.
-func (a *Complex128Array) Set(m Context, i int, v complex128) {
-	a.WriteRange(m, i, []complex128{v})
-}
-
-// Int32Array is a shared vector of int32 (partner lists, permutations).
-type Int32Array struct {
-	region *dsm.Region
-	n      int
+	return Alloc[complex128](c, name, n)
 }
 
 // AllocInt32 allocates a shared int32 vector.
 func AllocInt32(c *dsm.Cluster, name string, n int) (*Int32Array, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("shmem: array %q must have positive length, got %d", name, n)
-	}
-	r, err := c.Alloc(name, n*4)
-	if err != nil {
-		return nil, err
-	}
-	return &Int32Array{region: r, n: n}, nil
+	return Alloc[int32](c, name, n)
 }
 
-// Len returns the number of elements.
-func (a *Int32Array) Len() int { return a.n }
-
-// Region exposes the backing region.
-func (a *Int32Array) Region() *dsm.Region { return a.region }
-
-func (a *Int32Array) check(lo, hi int) {
-	if lo < 0 || hi > a.n || lo > hi {
-		panic(fmt.Sprintf("shmem: range [%d,%d) outside array %q of %d elements",
-			lo, hi, a.region.Name, a.n))
-	}
+// AllocInt64 allocates a shared int64 vector.
+func AllocInt64(c *dsm.Cluster, name string, n int) (*Int64Array, error) {
+	return Alloc[int64](c, name, n)
 }
 
-// ReadRange copies elements [lo,hi) into dst.
-func (a *Int32Array) ReadRange(m Context, lo, hi int, dst []int32) {
-	mustContext(m)
-	a.check(lo, hi)
-	if len(dst) != hi-lo {
-		panic(fmt.Sprintf("shmem: dst has %d elements, want %d", len(dst), hi-lo))
-	}
-	buf := make([]byte, (hi-lo)*4)
-	m.Host.Read(a.region.ID, lo*4, buf, m.Clock)
-	for i := range dst {
-		dst[i] = int32(binary.LittleEndian.Uint32(buf[i*4:]))
-	}
-}
-
-// WriteRange copies src into elements [lo, lo+len(src)).
-func (a *Int32Array) WriteRange(m Context, lo int, src []int32) {
-	mustContext(m)
-	a.check(lo, lo+len(src))
-	buf := make([]byte, len(src)*4)
-	for i, v := range src {
-		binary.LittleEndian.PutUint32(buf[i*4:], uint32(v))
-	}
-	m.Host.Write(a.region.ID, lo*4, buf, m.Clock)
-}
-
-// Get reads element i.
-func (a *Int32Array) Get(m Context, i int) int32 {
-	var one [1]int32
-	a.ReadRange(m, i, i+1, one[:])
-	return one[0]
-}
-
-// Set writes element i.
-func (a *Int32Array) Set(m Context, i int, v int32) {
-	a.WriteRange(m, i, []int32{v})
+// AllocBytes allocates a shared byte vector.
+func AllocBytes(c *dsm.Cluster, name string, n int) (*ByteArray, error) {
+	return Alloc[uint8](c, name, n)
 }

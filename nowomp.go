@@ -8,8 +8,8 @@
 //
 //	rt, err := nowomp.New(nowomp.Config{Hosts: 8, Procs: 4, Adaptive: true})
 //	if err != nil { ... }
-//	a, err := rt.AllocFloat64("v", 1<<20)
-//	rt.ParallelFor("scale", 0, a.Len(), func(p *nowomp.Proc, lo, hi int) {
+//	a, err := nowomp.Alloc[float64](rt, "v", 1<<20)
+//	rt.For("scale", 0, a.Len(), func(p *nowomp.Proc, lo, hi int) {
 //		buf := make([]float64, hi-lo)
 //		a.ReadRange(p.Mem(), lo, hi, buf)
 //		for i := range buf { buf[i] *= 2 }
@@ -17,7 +17,7 @@
 //	})
 //
 // Workstations join and leave the running computation via Submit;
-// iteration re-partitioning is automatic because every ParallelFor
+// iteration re-partitioning is automatic because every For construct
 // recomputes its partition from (process id, team size) at the fork,
 // exactly like the SUIF-compiled TreadMarks programs of the paper.
 package nowomp
@@ -84,10 +84,17 @@ const (
 // DefaultGrace is the paper's 3-second leave grace period.
 const DefaultGrace = adapt.DefaultGrace
 
-// Shared-memory views.
+// Shared-memory views. Array and Matrix are the generic views; the
+// typed names are aliases kept for existing programs.
 type (
 	// Mem is the access context carried by a Proc.
 	Mem = shmem.Context
+	// Element is the constraint on shared-view element types.
+	Element = shmem.Element
+	// Array is a shared vector of T.
+	Array[T Element] = shmem.Array[T]
+	// Matrix is a shared row-major matrix of T.
+	Matrix[T Element] = shmem.Matrix[T]
 	// Float64Array is a shared float64 vector.
 	Float64Array = shmem.Float64Array
 	// Float32Array is a shared float32 vector.
@@ -100,6 +107,61 @@ type (
 	Complex128Array = shmem.Complex128Array
 	// Int32Array is a shared int32 vector.
 	Int32Array = shmem.Int32Array
+	// Int64Array is a shared int64 vector.
+	Int64Array = shmem.Int64Array
+	// ByteArray is a shared byte vector.
+	ByteArray = shmem.ByteArray
+)
+
+// Alloc allocates a shared vector of n elements of T; on a restored
+// runtime it rebinds to (and reloads) the checkpointed region instead.
+// Go has no generic methods, so the generic allocators take the
+// runtime as their first argument; rt.AllocFloat64 and friends remain
+// as typed shorthands.
+func Alloc[T Element](rt *Runtime, name string, n int) (*Array[T], error) {
+	return omp.Alloc[T](rt, name, n)
+}
+
+// AllocMatrix allocates a shared rows x cols matrix of T (see Alloc).
+func AllocMatrix[T Element](rt *Runtime, name string, rows, cols int) (*Matrix[T], error) {
+	return omp.AllocMatrix[T](rt, name, rows, cols)
+}
+
+// Loop scheduling. rt.For(name, lo, hi, body, opts...) is the unified
+// parallel-loop entry point; these configure it.
+type (
+	// Schedule identifies an iteration-scheduling policy for For.
+	Schedule = omp.Schedule
+	// ForOption configures one For construct.
+	ForOption = omp.ForOption
+)
+
+// Schedules for WithSchedule.
+const (
+	Static      = omp.Static
+	StaticChunk = omp.StaticChunk
+	Dynamic     = omp.Dynamic
+	Guided      = omp.Guided
+)
+
+// WithSchedule selects the iteration schedule of a For construct;
+// chunk is the (minimum, for Guided) chunk size.
+func WithSchedule(s Schedule, chunk int) ForOption { return omp.WithSchedule(s, chunk) }
+
+// WithReduce attaches a floating-point reduction to a For construct;
+// bodies contribute via Proc.Contribute and For returns the combined
+// value.
+func WithReduce(identity float64, op func(a, b float64) float64) ForOption {
+	return omp.WithReduce(identity, op)
+}
+
+// Sentinel errors for errors.Is.
+var (
+	// ErrNotAdaptive reports an adapt event on a non-adaptive runtime.
+	ErrNotAdaptive = omp.ErrNotAdaptive
+	// ErrRestoreMismatch reports an allocation replay that diverged
+	// from the checkpointed sequence.
+	ErrRestoreMismatch = omp.ErrRestoreMismatch
 )
 
 // New creates a runtime on a fresh simulated NOW.
