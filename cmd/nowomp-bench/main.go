@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: table1, table2, fig3, migration, micro, ablation or all")
+		exp   = flag.String("exp", "all", "experiment: table1, table2, fig3, migration, micro, ablation, tasking or all")
 		scale = flag.Float64("scale", 0.15, "problem scale (1.0 = the paper's sizes; some experiments enforce larger floors)")
 		hosts = flag.Int("hosts", 10, "workstation pool size")
 		pairs = flag.Int("pairs", 3, "leave/join pairs per Table 2 run")
@@ -115,9 +115,19 @@ func run(exp string, opt bench.Options) error {
 	}); err != nil {
 		return err
 	}
+	if err := step("tasking", func() error {
+		rows, err := bench.Tasking(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTasking(rows))
+		return nil
+	}); err != nil {
+		return err
+	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (want %s)", exp,
-			strings.Join([]string{"table1", "table2", "fig3", "migration", "micro", "ablation", "all"}, ", "))
+			strings.Join([]string{"table1", "table2", "fig3", "migration", "micro", "ablation", "tasking", "all"}, ", "))
 	}
 	return nil
 }

@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		app      = flag.String("app", "jacobi", "application: gauss, jacobi, fft3d or nbf")
+		app      = flag.String("app", "jacobi", "application: gauss, jacobi, fft3d, nbf, mergesort or quadrature")
 		procs    = flag.Int("procs", 8, "initial team size")
 		hosts    = flag.Int("hosts", 10, "workstation pool size")
 		scale    = flag.Float64("scale", 0.2, "problem scale (1.0 = the paper's sizes)")

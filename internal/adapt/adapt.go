@@ -198,22 +198,27 @@ type PointResult struct {
 // ones, section 5.4), then normal leaves, then joins, then process-id
 // reassignment. All processes must be parked.
 func (m *Manager) AtAdaptationPoint(c *dsm.Cluster, team []dsm.HostID, now simtime.Seconds) (PointResult, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	return m.AtAdaptationPointWhere(c, team, now, nil)
+}
 
-	model := c.Model()
+// classify splits the pending queue into matured-and-eligible leaves
+// and joins plus the untouched remainder. eligible (nil = all) lets a
+// caller hold back specific events: the task runtime defers a leave
+// until the departing process holds no task state, while joins and
+// other leaves proceed. Caller holds m.mu.
+func (m *Manager) classify(model simtime.CostModel, team []dsm.HostID, now simtime.Seconds,
+	eligible func(Event) bool) (leaves, joins, rest []*pending) {
+
 	inTeam := make(map[dsm.HostID]bool, len(team))
 	for _, h := range team {
 		inTeam[h] = true
 	}
-
-	var leaves, joins []*pending
-	var rest []*pending
 	for _, p := range m.pending {
+		ok := eligible == nil || eligible(p.ev)
 		switch {
-		case p.ev.Kind == KindLeave && p.ev.At <= now && inTeam[p.ev.Host]:
+		case ok && p.ev.Kind == KindLeave && p.ev.At <= now && inTeam[p.ev.Host]:
 			leaves = append(leaves, p)
-		case p.ev.Kind == KindJoin && p.ev.At+model.SpawnTime+model.ConnectSetupTime <= now && !inTeam[p.ev.Host]:
+		case ok && p.ev.Kind == KindJoin && p.ev.At+model.SpawnTime+model.ConnectSetupTime <= now && !inTeam[p.ev.Host]:
 			// The new process was spawned asynchronously when the event
 			// arrived; it is ready once its connections are set up.
 			joins = append(joins, p)
@@ -221,6 +226,31 @@ func (m *Manager) AtAdaptationPoint(c *dsm.Cluster, team []dsm.HostID, now simti
 			rest = append(rest, p)
 		}
 	}
+	return leaves, joins, rest
+}
+
+// HasEligible reports whether AtAdaptationPointWhere would apply at
+// least one event at virtual instant now under the given eligibility
+// filter. The task runtime polls it at every task scheduling point and
+// only pays for an adaptation (interval flushes, GC) when one will
+// actually happen.
+func (m *Manager) HasEligible(c *dsm.Cluster, team []dsm.HostID, now simtime.Seconds, eligible func(Event) bool) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	leaves, joins, _ := m.classify(c.Model(), team, now, eligible)
+	return len(leaves) > 0 || len(joins) > 0
+}
+
+// AtAdaptationPointWhere is AtAdaptationPoint restricted to events the
+// eligibility filter accepts (nil accepts all). Ineligible events stay
+// queued for a later point.
+func (m *Manager) AtAdaptationPointWhere(c *dsm.Cluster, team []dsm.HostID, now simtime.Seconds,
+	eligible func(Event) bool) (PointResult, error) {
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	leaves, joins, rest := m.classify(c.Model(), team, now, eligible)
 	if len(leaves) == 0 && len(joins) == 0 {
 		return PointResult{Team: team}, nil
 	}

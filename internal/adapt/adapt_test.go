@@ -307,3 +307,67 @@ func TestLogAccumulates(t *testing.T) {
 		t.Fatalf("log order wrong: %+v", log)
 	}
 }
+
+// The filtered adaptation entry point: ineligible events stay queued
+// while eligible ones apply, which is how the task runtime holds a
+// leave until the departing process holds no task state.
+func TestAtAdaptationPointWhereFiltersEvents(t *testing.T) {
+	c := cluster(t, 6, 4)
+	m := NewManager(Config{})
+	if err := m.Submit(Event{Kind: KindLeave, Host: 2, At: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Submit(Event{Kind: KindLeave, Host: 3, At: 1}); err != nil {
+		t.Fatal(err)
+	}
+	holdHost3 := func(e Event) bool { return e.Host != 3 }
+
+	if !m.HasEligible(c, team(4), 10, holdHost3) {
+		t.Fatal("host 2's leave should be eligible")
+	}
+	res, err := m.AtAdaptationPointWhere(c, team(4), 10, holdHost3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Applied) != 1 || res.Applied[0].Event.Host != 2 {
+		t.Fatalf("applied %+v, want exactly host 2's leave", res.Applied)
+	}
+	if want := []dsm.HostID{0, 1, 3}; !reflect.DeepEqual(res.Team, want) {
+		t.Fatalf("team %v, want %v", res.Team, want)
+	}
+	if m.PendingCount() != 1 {
+		t.Fatalf("pending %d, want the held leave", m.PendingCount())
+	}
+
+	// Released filter: the held leave now applies.
+	res, err = m.AtAdaptationPointWhere(c, res.Team, 11, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Applied) != 1 || res.Applied[0].Event.Host != 3 {
+		t.Fatalf("applied %+v, want host 3's leave", res.Applied)
+	}
+	if m.PendingCount() != 0 {
+		t.Fatalf("pending %d after release, want 0", m.PendingCount())
+	}
+}
+
+// HasEligible mirrors the apply-side classification, including join
+// maturity, without consuming anything.
+func TestHasEligibleMaturity(t *testing.T) {
+	c := cluster(t, 6, 2)
+	m := NewManager(Config{})
+	if err := m.Submit(Event{Kind: KindJoin, Host: 4, At: 1}); err != nil {
+		t.Fatal(err)
+	}
+	lead := c.Model().SpawnTime + c.Model().ConnectSetupTime
+	if m.HasEligible(c, team(2), 1+lead-0.001, nil) {
+		t.Fatal("join eligible before its spawn lead time")
+	}
+	if !m.HasEligible(c, team(2), 1+lead, nil) {
+		t.Fatal("join not eligible after its spawn lead time")
+	}
+	if m.PendingCount() != 1 {
+		t.Fatal("HasEligible must not consume events")
+	}
+}

@@ -127,9 +127,32 @@ func Runners() []Runner {
 	}
 }
 
-// RunnerByName returns the runner with the given name, or false.
+// TaskRunners lists the irregular kernels built on the task runtime
+// (rt.Tasks). They are kept out of Runners so the Table 1 regeneration
+// stays exactly the paper's four applications.
+func TaskRunners() []Runner {
+	return []Runner{
+		{
+			Name: "mergesort",
+			Run: func(rt *omp.Runtime, s float64) (Result, error) {
+				return RunMergesort(rt, DefaultSort().Scaled(s))
+			},
+			Reference: func(s float64) float64 { return MergesortReference(DefaultSort().Scaled(s)) },
+		},
+		{
+			Name: "quadrature",
+			Run: func(rt *omp.Runtime, s float64) (Result, error) {
+				return RunQuadrature(rt, DefaultQuad().Scaled(s))
+			},
+			Reference: func(s float64) float64 { return QuadratureReference(DefaultQuad().Scaled(s)) },
+		},
+	}
+}
+
+// RunnerByName returns the runner with the given name, or false. Both
+// the loop kernels and the task kernels are in scope.
 func RunnerByName(name string) (Runner, bool) {
-	for _, r := range Runners() {
+	for _, r := range append(Runners(), TaskRunners()...) {
 		if r.Name == name {
 			return r, true
 		}

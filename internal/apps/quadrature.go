@@ -1,0 +1,203 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"nowomp/internal/omp"
+	"nowomp/internal/simtime"
+)
+
+// QuadConfig parameterises the adaptive-quadrature kernel: recursive
+// Simpson integration of a sharply peaked integrand tabulated in
+// shared memory. The recursion refines only where the integrand is
+// hard, so subtree costs differ by orders of magnitude — the skewed,
+// input-dependent work distribution that defeats static partitioning
+// and that tasking absorbs by stealing.
+type QuadConfig struct {
+	// Samples is the shared table resolution; evaluations interpolate
+	// it linearly (two shared reads per evaluation).
+	Samples int
+	// Tol is the global error tolerance driving the refinement.
+	Tol float64
+	// SpawnDepth bounds task creation: intervals at depth < SpawnDepth
+	// split into subtasks, deeper refinement runs inline.
+	SpawnDepth int
+	// MaxDepth caps the recursion.
+	MaxDepth int
+	// EvalCost is the compute charge per integrand evaluation
+	// (0 = the calibrated default).
+	EvalCost simtime.Seconds
+}
+
+// DefaultQuad returns the reference quadrature configuration.
+func DefaultQuad() QuadConfig {
+	return QuadConfig{Samples: 1 << 16, Tol: 2e-10, SpawnDepth: 9, MaxDepth: 40}
+}
+
+// Scaled loosens the tolerance (fewer refinement nodes) and shrinks
+// the table; scale 1.0 is the reference setting.
+func (c QuadConfig) Scaled(s float64) QuadConfig {
+	if s <= 0 {
+		s = 1
+	}
+	c.Samples = scalePow2(c.Samples, s, 1<<12)
+	c.Tol = c.Tol / (s * s * s)
+	return c
+}
+
+func (c QuadConfig) validate() error {
+	if c.Samples < 16 {
+		return fmt.Errorf("apps: quadrature needs Samples >= 16, got %d", c.Samples)
+	}
+	if c.Tol <= 0 {
+		return fmt.Errorf("apps: quadrature needs a positive tolerance, got %g", c.Tol)
+	}
+	if c.SpawnDepth < 1 || c.MaxDepth <= c.SpawnDepth {
+		return fmt.Errorf("apps: quadrature needs 1 <= SpawnDepth < MaxDepth, got %d, %d", c.SpawnDepth, c.MaxDepth)
+	}
+	return nil
+}
+
+// quadF is the tabulated integrand: a narrow Lorentzian peak riding on
+// a smooth oscillation. Almost all refinement happens under the peak.
+func quadF(x float64) float64 {
+	d := x - 0.37
+	return 1/(d*d+4e-4) + 2*math.Sin(8*x)
+}
+
+// quadSample evaluates the table-interpolated integrand. eval abstracts
+// the table access so the parallel kernel (shared reads, priced) and
+// the sequential reference (slice reads) share the arithmetic exactly.
+func quadSample(eval func(j int) float64, samples int, x float64) float64 {
+	pos := x * float64(samples-1)
+	j := int(pos)
+	if j >= samples-1 {
+		j = samples - 2
+	}
+	frac := pos - float64(j)
+	return eval(j)*(1-frac) + eval(j+1)*frac
+}
+
+func simpson(fa, fm, fb, h float64) float64 {
+	return h / 6 * (fa + 4*fm + fb)
+}
+
+// quadAccept applies the Richardson acceptance test and returns the
+// refined estimate when the interval is converged (or the depth cap is
+// hit). Shared verbatim by the parallel kernel and the reference, so
+// their recursion trees and floating-point results are identical.
+func quadAccept(left, right, whole, tol float64, depth, maxDepth int) (float64, bool) {
+	if depth >= maxDepth || math.Abs(left+right-whole) <= 15*tol {
+		return left + right + (left+right-whole)/15, true
+	}
+	return 0, false
+}
+
+// RunQuadrature executes the kernel: the table is built by a parallel
+// loop, then one task region integrates [0,1]. Each interval refine
+// evaluates the two quarter points (two shared table reads and one
+// EvalCost charge apiece, on the process that runs the task) and, when
+// unconverged, descends — spawning its halves as tasks down to
+// SpawnDepth, inline below. Results combine as left+right at every
+// node regardless of where the children ran, so the value is
+// schedule-independent and bit-identical to the sequential reference.
+func RunQuadrature(rt *omp.Runtime, cfg QuadConfig) (Result, error) {
+	if cfg.EvalCost == 0 {
+		cfg.EvalCost = QuadEvalCost
+	}
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	s := cfg.Samples
+	table, err := omp.Alloc[float64](rt, "quad.table", s)
+	if err != nil {
+		return Result{}, err
+	}
+	procs := rt.NProcs()
+
+	rt.For("quad.init", 0, s, func(p *omp.Proc, lo, hi int) {
+		buf := make([]float64, hi-lo)
+		for i := range buf {
+			buf[i] = quadF(float64(lo+i) / float64(s-1))
+		}
+		table.WriteRange(p.Mem(), lo, buf)
+		p.ChargeUnits(hi-lo, InitCostPerElement)
+	})
+
+	feval := func(tp *omp.TaskProc, x float64) float64 {
+		tp.Charge(cfg.EvalCost)
+		return quadSample(func(j int) float64 { return table.Get(tp.Mem(), j) }, s, x)
+	}
+	var rec func(tp *omp.TaskProc, a, b, fa, fm, fb, whole, tol float64, depth int) float64
+	rec = func(tp *omp.TaskProc, a, b, fa, fm, fb, whole, tol float64, depth int) float64 {
+		m := (a + b) / 2
+		flm := feval(tp, (a+m)/2)
+		frm := feval(tp, (m+b)/2)
+		left := simpson(fa, flm, fm, m-a)
+		right := simpson(fm, frm, fb, b-m)
+		if v, done := quadAccept(left, right, whole, tol, depth, cfg.MaxDepth); done {
+			return v
+		}
+		if depth < cfg.SpawnDepth {
+			var l, r float64
+			tp.Spawn(func(c *omp.TaskProc) {
+				l = rec(c, a, m, fa, flm, fm, left, tol/2, depth+1)
+			})
+			tp.Spawn(func(c *omp.TaskProc) {
+				r = rec(c, m, b, fm, frm, fb, right, tol/2, depth+1)
+			})
+			tp.TaskWait()
+			return l + r
+		}
+		return rec(tp, a, m, fa, flm, fm, left, tol/2, depth+1) +
+			rec(tp, m, b, fm, frm, fb, right, tol/2, depth+1)
+	}
+
+	var integral float64
+	rt.Tasks("quad", func(tp *omp.TaskProc) {
+		fa, fm, fb := feval(tp, 0), feval(tp, 0.5), feval(tp, 1)
+		whole := simpson(fa, fm, fb, 1)
+		integral = rec(tp, 0, 1, fa, fm, fb, whole, cfg.Tol, 0)
+	})
+
+	res := measure(rt, "quadrature", procs)
+	res.Checksum = integral
+	return res, nil
+}
+
+// QuadratureReference integrates the same configuration sequentially
+// (plain slice, no runtime) with the identical recursion, for the
+// bit-exact reference checksum.
+func QuadratureReference(cfg QuadConfig) float64 {
+	if cfg.EvalCost == 0 {
+		cfg.EvalCost = QuadEvalCost
+	}
+	if err := cfg.validate(); err != nil {
+		return math.NaN()
+	}
+	s := cfg.Samples
+	table := make([]float64, s)
+	for i := range table {
+		table[i] = quadF(float64(i) / float64(s-1))
+	}
+	f := func(x float64) float64 {
+		return quadSample(func(j int) float64 { return table[j] }, s, x)
+	}
+	var rec func(a, b, fa, fm, fb, whole, tol float64, depth int) float64
+	rec = func(a, b, fa, fm, fb, whole, tol float64, depth int) float64 {
+		m := (a + b) / 2
+		flm := f((a + m) / 2)
+		frm := f((m + b) / 2)
+		left := simpson(fa, flm, fm, m-a)
+		right := simpson(fm, frm, fb, b-m)
+		if v, done := quadAccept(left, right, whole, tol, depth, cfg.MaxDepth); done {
+			return v
+		}
+		return rec(a, m, fa, flm, fm, left, tol/2, depth+1) +
+			rec(m, b, fm, frm, fb, right, tol/2, depth+1)
+	}
+	fa, fm, fb := f(0), f(0.5), f(1)
+	whole := simpson(fa, fm, fb, 1)
+	return rec(0, 1, fa, fm, fb, whole, cfg.Tol, 0)
+}

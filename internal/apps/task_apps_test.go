@@ -1,0 +1,123 @@
+package apps
+
+import (
+	"testing"
+
+	"nowomp/internal/adapt"
+	"nowomp/internal/omp"
+)
+
+// Both tasking kernels at test scale.
+func testSortConfig() SortConfig { return SortConfig{N: 1 << 15, Cutoff: 1 << 11} }
+func testQuadConfig() QuadConfig {
+	return QuadConfig{Samples: 1 << 13, Tol: 2e-7, SpawnDepth: 7, MaxDepth: 30}
+}
+
+// Mergesort checksums are bit-identical to the sequential reference
+// across team sizes.
+func TestMergesortMatchesReferenceAcrossTeamSizes(t *testing.T) {
+	cfg := testSortConfig()
+	want := MergesortReference(cfg)
+	for _, procs := range []int{1, 2, 4, 7} {
+		rt, err := omp.New(omp.Config{Hosts: 8, Procs: procs, Adaptive: true})
+		if err != nil {
+			t.Fatalf("New(%d): %v", procs, err)
+		}
+		res, err := RunMergesort(rt, cfg)
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		if res.Checksum != want {
+			t.Errorf("procs=%d: checksum %.17g, reference %.17g", procs, res.Checksum, want)
+		}
+	}
+}
+
+// Quadrature is schedule-independent: the integral is bit-identical to
+// the sequential recursion for every team size.
+func TestQuadratureMatchesReferenceAcrossTeamSizes(t *testing.T) {
+	cfg := testQuadConfig()
+	want := QuadratureReference(cfg)
+	for _, procs := range []int{1, 2, 4, 7} {
+		rt, err := omp.New(omp.Config{Hosts: 8, Procs: procs, Adaptive: true})
+		if err != nil {
+			t.Fatalf("New(%d): %v", procs, err)
+		}
+		res, err := RunQuadrature(rt, cfg)
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		if res.Checksum != want {
+			t.Errorf("procs=%d: integral %.17g, reference %.17g", procs, res.Checksum, want)
+		}
+	}
+}
+
+// Mid-run join and leave events leave both kernels' checksums exact.
+func TestTaskKernelsUnderAdaptEvents(t *testing.T) {
+	type kernel struct {
+		name string
+		run  func(rt *omp.Runtime) (Result, error)
+		want float64
+	}
+	// Inflated per-unit costs stretch the regions past the ~0.76s spawn
+	// lead a join event needs to mature mid-run.
+	sortCfg, quadCfg := testSortConfig(), testQuadConfig()
+	sortCfg.CompareCost = SortCompareCost * 100
+	sortCfg.MergeCost = SortMergeCost * 100
+	quadCfg.EvalCost = QuadEvalCost * 40
+	kernels := []kernel{
+		{"mergesort", func(rt *omp.Runtime) (Result, error) { return RunMergesort(rt, sortCfg) },
+			MergesortReference(sortCfg)},
+		{"quadrature", func(rt *omp.Runtime) (Result, error) { return RunQuadrature(rt, quadCfg) },
+			QuadratureReference(quadCfg)},
+	}
+	for _, k := range kernels {
+		rt, err := omp.New(omp.Config{Hosts: 8, Procs: 3, Adaptive: true})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if err := rt.Submit(adapt.Event{Kind: adapt.KindJoin, Host: 6, At: 0.01}); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		if err := rt.Submit(adapt.Event{Kind: adapt.KindLeave, Host: 1, At: 0.9, Grace: 60}); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		res, err := k.run(rt)
+		if err != nil {
+			t.Fatalf("%s: %v", k.name, err)
+		}
+		if res.Checksum != k.want {
+			t.Errorf("%s under adapt events: checksum %.17g, reference %.17g", k.name, res.Checksum, k.want)
+		}
+		if len(rt.AdaptLog()) == 0 {
+			t.Errorf("%s: no adaptation applied (run too short for the schedule?) final team %v, t=%v",
+				k.name, rt.Team(), rt.Now())
+		}
+	}
+}
+
+// The task runners are registered and verify like the loop runners.
+func TestTaskRunnersRegistered(t *testing.T) {
+	for _, name := range []string{"mergesort", "quadrature"} {
+		r, ok := RunnerByName(name)
+		if !ok {
+			t.Fatalf("RunnerByName(%q) not found", name)
+		}
+		rt, err := omp.New(omp.Config{Hosts: 4, Procs: 2, Adaptive: true})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		res, err := r.Run(rt, 0.05)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if want := r.Reference(0.05); res.Checksum != want {
+			t.Errorf("%s at scale 0.05: checksum %.17g, reference %.17g", name, res.Checksum, want)
+		}
+	}
+	// Table 1 regeneration keeps exactly the paper's four applications.
+	if got := len(Runners()); got != 4 {
+		t.Errorf("Runners() lists %d kernels, want the paper's 4", got)
+	}
+}

@@ -1,0 +1,63 @@
+package bench
+
+import "testing"
+
+// The tasking-versus-loop-schedule shapes the experiment exists to
+// show: on skewed work tasking beats Dynamic at every team size; on
+// uniform work a coarse-chunk Dynamic beats tasking at the small team
+// sizes where claiming costs almost nothing (the gap closes as claim
+// serialisation grows with the team).
+func TestTaskingShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-variant sweep; skipped with -short")
+	}
+	rows, err := Tasking(Options{Scale: 0.15})
+	if err != nil {
+		t.Fatalf("Tasking: %v", err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		switch r.Workload {
+		case "skewed":
+			if r.Tasks >= r.Dynamic {
+				t.Errorf("skewed procs=%d: tasks %v not faster than dynamic %v", r.Procs, r.Tasks, r.Dynamic)
+			}
+			if r.TasksMB >= r.DynamicMB {
+				t.Errorf("skewed procs=%d: tasks moved %.3f MB, dynamic %.3f MB — claiming should dominate",
+					r.Procs, r.TasksMB, r.DynamicMB)
+			}
+		case "uniform":
+			if r.Procs <= 4 && r.Tasks <= r.Dynamic {
+				t.Errorf("uniform procs=%d: tasks %v not slower than dynamic %v", r.Procs, r.Tasks, r.Dynamic)
+			}
+		}
+		if r.Procs > 1 && r.Steals == 0 {
+			t.Errorf("%s procs=%d: no steals recorded", r.Workload, r.Procs)
+		}
+	}
+}
+
+// Determinism: the whole table reproduces exactly.
+func TestTaskingDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-variant sweep; skipped with -short")
+	}
+	a, err := Tasking(Options{Scale: 0.1})
+	if err != nil {
+		t.Fatalf("Tasking: %v", err)
+	}
+	b, err := Tasking(Options{Scale: 0.1})
+	if err != nil {
+		t.Fatalf("Tasking: %v", err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("row %d diverges across identical runs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}

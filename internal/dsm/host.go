@@ -82,8 +82,14 @@ func newPage() []byte { return make([]byte, page.Size) }
 
 func pageCount(bytes int) int { return page.Count(bytes) }
 
+// MsgHeader is the protocol message header size charged for requests
+// and responses, exported so the layers above (fork broadcasts, task
+// steal/completion messages) price their messages with the same
+// constant as the DSM itself.
+const MsgHeader = 32
+
 // message header size charged for protocol requests and responses.
-const msgHeader = 32
+const msgHeader = MsgHeader
 
 // ResidentBytes returns the bytes of shared pages this host currently
 // holds a copy of: the dominant component of its migration image.

@@ -117,6 +117,7 @@ func (c *Cluster) closePage(pk pageKey, writers []HostID, s int32, active []Host
 
 	noticed := make(map[HostID]bool, len(writers))
 	if multi {
+		var made []writerDiff
 		for _, w := range writers {
 			h := c.Host(w)
 			h.mu.Lock()
@@ -131,9 +132,11 @@ func (c *Cluster) closePage(pk pageKey, writers []HostID, s int32, active []Host
 				pm.notices = append(pm.notices, notice{writer: w, seq: s})
 				noticed[w] = true
 				flush[w] += c.model.DiffCreateByteCost * simtime.Seconds(page.Size)
+				made = append(made, writerDiff{writer: w, diff: d})
 			}
 			h.mu.Unlock()
 		}
+		c.checkWordRaces(pk, made)
 	} else {
 		w := writers[0]
 		h := c.Host(w)
@@ -180,6 +183,33 @@ func (c *Cluster) closePage(pk pageKey, writers []HostID, s int32, active []Host
 		h.mu.Lock()
 		h.pages[pk.region][pk.page].appliedSeq = s
 		h.mu.Unlock()
+	}
+}
+
+// writerDiff pairs a diff produced at one interval close with its
+// writer, for the word-race check.
+type writerDiff struct {
+	writer HostID
+	diff   *page.Diff
+}
+
+// checkWordRaces verifies that the diffs of concurrent writers of one
+// page are word-disjoint. Diffs merge at 8-byte word granularity
+// (page.WordBytes), so two processes writing within the same word in
+// one interval silently lose one of the updates — the sub-word caveat
+// on shmem.Array and Matrix. That is a program error (a data race on
+// the real TreadMarks too); failing loudly here turns silent
+// corruption into a diagnosable panic.
+func (c *Cluster) checkWordRaces(pk pageKey, made []writerDiff) {
+	for i := 0; i < len(made); i++ {
+		for j := i + 1; j < len(made); j++ {
+			if made[i].diff.Overlaps(made[j].diff) {
+				panic(fmt.Sprintf(
+					"dsm: hosts %d and %d both wrote within one %d-byte word of page %d of region %q in the same interval; sub-word concurrent writes lose updates (keep concurrent writers %d bytes apart)",
+					made[i].writer, made[j].writer, page.WordBytes,
+					pk.page, c.regions[pk.region].Name, page.WordBytes))
+			}
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package dsm
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -90,6 +91,17 @@ func (lk *lockState) release(holder HostID, at simtime.Seconds) {
 	lk.everHeld = true
 	lk.cond.Broadcast()
 	lk.mu.Unlock()
+}
+
+// LockHeld reports whether lock id is currently held. The task layer
+// uses it to turn a would-block acquire inside a task region — where
+// the holder is a parked worker that can only resume after the caller
+// parks, a certain deadlock — into a diagnosable panic.
+func (c *Cluster) LockHeld(id int) bool {
+	lk := c.locks.get(id)
+	lk.mu.Lock()
+	defer lk.mu.Unlock()
+	return lk.held
 }
 
 type lockTable struct {
@@ -216,15 +228,30 @@ func (c *Cluster) ReleaseLock(id int, h *Host, clk *simtime.Clock) {
 	lk := c.locks.get(id)
 
 	c.dir.mu.Lock()
+	c.flushIntervalLocked(h, clk)
+	c.dir.mu.Unlock()
+
+	clk.Advance(c.model.MsgOverhead)
+	lk.release(h.id, clk.Now())
+}
+
+// flushIntervalLocked closes h's open interval as a lock release does:
+// pages written since the interval opened become diffs with fresh write
+// notices, and affected pages go on the release log so later acquirers
+// (and the next barrier) honour the writes. Pages flushed this way are
+// diff-managed even if they previously had a single writer: without the
+// barrier's global conflict detection, full-page ownership transfers
+// would be unsound under concurrent readers. Diff-creation time is
+// charged to clk. Returns the number of diffs created. The caller holds
+// the directory write lock.
+func (c *Cluster) flushIntervalLocked(h *Host, clk *simtime.Clock) int {
 	c.seq++
 	s := c.seq
+	made := 0
 	for _, pk := range h.takeWritten() {
 		pm := c.dir.metaLocked(pk.region, pk.page)
 		prevLatest := pm.latestSeq()
 		if pm.mode == ModeSingle {
-			// Pages written under locks are diff-managed: without the
-			// barrier's global conflict detection, full-page ownership
-			// transfers would be unsound under concurrent readers.
 			pm.baseSeq = prevLatest
 			pm.mode = ModeMulti
 		}
@@ -245,11 +272,40 @@ func (c *Cluster) ReleaseLock(id int, h *Host, clk *simtime.Clock) {
 				st.valid = false // concurrent writers under other locks
 			}
 			clk.Advance(c.model.DiffCreateByteCost * simtime.Seconds(page.Size))
+			made++
 		}
 		h.mu.Unlock()
+		if d != nil {
+			c.checkDirtyPeerRaces(h.id, pk, d)
+		}
 	}
-	c.dir.mu.Unlock()
+	return made
+}
 
-	clk.Advance(c.model.MsgOverhead)
-	lk.release(h.id, clk.Now())
+// checkDirtyPeerRaces extends the sub-word race check to flush-path
+// interval closes (lock releases and task handoffs): a peer host that
+// currently holds the same page dirty wrote it concurrently with the
+// interval just closed — no synchronisation orders the two — so any
+// common modified word is a lost update in the making. The caller
+// holds the directory write lock, which serialises all interval
+// closes.
+func (c *Cluster) checkDirtyPeerRaces(writer HostID, pk pageKey, d *page.Diff) {
+	for _, h2 := range c.hosts {
+		if h2.id == writer || !h2.active {
+			continue
+		}
+		h2.mu.Lock()
+		st2 := &h2.pages[pk.region][pk.page]
+		var d2 *page.Diff
+		if st2.dirty && st2.twin != nil {
+			d2 = page.Make(st2.twin, st2.data)
+		}
+		h2.mu.Unlock()
+		if d2 != nil && d.Overlaps(d2) {
+			panic(fmt.Sprintf(
+				"dsm: hosts %d and %d both wrote within one %d-byte word of page %d of region %q without synchronisation; sub-word concurrent writes lose updates (keep concurrent writers %d bytes apart)",
+				writer, h2.id, page.WordBytes,
+				pk.page, c.regions[pk.region].Name, page.WordBytes))
+		}
+	}
 }

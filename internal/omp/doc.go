@@ -1,0 +1,34 @@
+// Package omp is the OpenMP-style execution runtime of the adaptive
+// system: the execution model of section 2 of Scherer et al. (PPoPP
+// 1999), extended with OpenMP 3.0-style tasking. A master process
+// executes sequential code; each parallel construct forks a team of
+// processes, runs its body, and joins at a barrier. Because every
+// construct recomputes its work assignment from (process id, team
+// size) or shared scheduling state at the fork — exactly what the
+// SUIF-generated TreadMarks code does — the runtime can change the
+// team between any two constructs, which is what makes adaptation
+// transparent (section 3).
+//
+// Two construct families share that fork/join skeleton:
+//
+//   - Loops: Runtime.For runs an iteration space under a Static,
+//     StaticChunk, Dynamic or Guided schedule (WithSchedule), with
+//     optional deterministic reductions (WithReduce). The fork
+//     boundary is the adaptation point.
+//
+//   - Tasks: Runtime.Tasks runs a work-stealing task region for
+//     irregular, recursive parallelism. Bodies receive a TaskProc and
+//     call Spawn and TaskWait; idle processes steal, with closure
+//     shipping and release/acquire consistency priced through the
+//     simulated fabric (see internal/task). Every task scheduling
+//     point — spawn, taskwait, steal, completion — is an adaptation
+//     point, so join/leave events apply mid-region and deques re-home
+//     onto the new team.
+//
+// The API mirrors the *output* of the paper's OpenMP-to-TreadMarks
+// compiler rather than pragma syntax: For's body receives
+// (proc, lo, hi) just as the encapsulated loop procedure receives the
+// TreadMarks process id and computes its iteration range, and a task
+// body receives the TaskProc of whichever process ended up executing
+// it.
+package omp

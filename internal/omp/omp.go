@@ -1,17 +1,3 @@
-// Package omp is the OpenMP-style fork-join runtime of the adaptive
-// system: the execution model of section 2 of Scherer et al. (PPoPP
-// 1999). A master process executes sequential code; each parallel
-// construct forks a team of processes, divides loop iterations among
-// them by (process id, team size), and joins at a barrier. Because the
-// partition is recomputed from (id, nprocs) at every fork — exactly
-// what the SUIF-generated TreadMarks code does — the runtime can change
-// the team between any two constructs, which is what makes adaptation
-// transparent (section 3).
-//
-// The API mirrors the *output* of the paper's OpenMP-to-TreadMarks
-// compiler rather than pragma syntax: ParallelFor's body receives
-// (proc, lo, hi) just as the encapsulated loop procedure receives the
-// TreadMarks process id and computes its iteration range.
 package omp
 
 import (
@@ -86,6 +72,9 @@ type Runtime struct {
 	adaptLog []AdaptationPoint
 	forkHook func(*Runtime)
 	dynCtr   *shmem.Int64Array
+	// inTasks is set while a Tasks region runs, so lock acquires can
+	// detect certain-deadlock contention (see Proc.Lock).
+	inTasks bool
 
 	// restore payload, when the runtime was rebuilt from a checkpoint.
 	restoring  []RegionDump

@@ -2,6 +2,7 @@ package omp
 
 import (
 	"fmt"
+	"nowomp/internal/dsm"
 	"sync"
 
 	"nowomp/internal/simtime"
@@ -82,8 +83,8 @@ func (rt *Runtime) fork(name string) []*Proc {
 	return procs
 }
 
-// msgHeader mirrors the DSM protocol header size for fork messages.
-const msgHeader = 32
+// msgHeader is the DSM protocol header size, charged for fork messages.
+const msgHeader = dsm.MsgHeader
 
 // run executes body on every proc concurrently. The master process
 // (proc 0) runs on the calling goroutine, like the real system where

@@ -72,8 +72,19 @@ func (p *Proc) ChargeUnits(n int, perUnit simtime.Seconds) {
 	p.clk.Advance(simtime.Seconds(n) * perUnit)
 }
 
-// Lock acquires the numbered Tmk lock for this process.
-func (p *Proc) Lock(id int) { p.rt.cluster.AcquireLock(id, p.host, p.clk) }
+// Lock acquires the numbered Tmk lock for this process. Inside a task
+// region an acquire that would block is a certain deadlock — the
+// holder is a parked worker that can only resume after this one parks,
+// and the deterministic scheduler runs one worker at a time — so it
+// panics with a diagnostic instead of hanging. Locks whose critical
+// sections contain no task scheduling point (no Spawn/TaskWait) can
+// never be contended there and work normally.
+func (p *Proc) Lock(id int) {
+	if p.rt.inTasks && p.rt.cluster.LockHeld(id) {
+		panic(fmt.Sprintf("omp: lock %d is held by a parked task; a Tmk lock may not be held across a task scheduling point", id))
+	}
+	p.rt.cluster.AcquireLock(id, p.host, p.clk)
+}
 
 // Unlock releases the numbered Tmk lock.
 func (p *Proc) Unlock(id int) { p.rt.cluster.ReleaseLock(id, p.host, p.clk) }

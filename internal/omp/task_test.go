@@ -1,0 +1,307 @@
+package omp
+
+import (
+	"strings"
+	"testing"
+
+	"nowomp/internal/adapt"
+	"nowomp/internal/simtime"
+)
+
+// taskTree runs a small recursive task tree over a shared array: leaf
+// tasks charge skewed compute and write their range, interior tasks
+// merge-sum their halves after a taskwait. Returns the checksum.
+func taskTree(t *testing.T, rt *Runtime, n, leaf int) (float64, TaskStats) {
+	t.Helper()
+	a, err := Alloc[float64](rt, "tree.data", n)
+	if err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	var rec func(tp *TaskProc, lo, hi int)
+	rec = func(tp *TaskProc, lo, hi int) {
+		if hi-lo <= leaf {
+			buf := make([]float64, hi-lo)
+			for i := range buf {
+				buf[i] = float64((lo+i)%97) * 1.25
+			}
+			a.WriteRange(tp.Mem(), lo, buf)
+			// Skew: early ranges are 8x more expensive.
+			per := simtime.Micros(100)
+			if lo < hi && lo < (hi-lo)*4 {
+				per *= 8
+			}
+			tp.ChargeUnits(hi-lo, per)
+			return
+		}
+		mid := lo + (hi-lo)/2
+		tp.Spawn(func(c *TaskProc) { rec(c, lo, mid) })
+		tp.Spawn(func(c *TaskProc) { rec(c, mid, hi) })
+		tp.TaskWait()
+	}
+	stats := rt.Tasks("tree", func(tp *TaskProc) { rec(tp, 0, n) })
+
+	mp := rt.MasterProc()
+	buf := make([]float64, n)
+	a.ReadRange(mp.Mem(), 0, n, buf)
+	sum := 0.0
+	for i, v := range buf {
+		sum += v * float64(i%13+1)
+	}
+	return sum, stats
+}
+
+// seqTreeChecksum is the sequential reference of taskTree's result.
+func seqTreeChecksum(n int) float64 {
+	buf := make([]float64, n)
+	for i := range buf {
+		buf[i] = float64(i%97) * 1.25
+	}
+	sum := 0.0
+	for i, v := range buf {
+		sum += v * float64(i%13+1)
+	}
+	return sum
+}
+
+// A task region on an adaptive runtime with no adapt events must cost
+// exactly what the non-adaptive variant costs, byte for byte — the
+// Table 1 headline extended to tasking.
+func TestTasksAdaptivityIsFree(t *testing.T) {
+	n, leaf := 1<<13, 1<<10
+	run := func(adaptive bool) (simtime.Seconds, int64, float64, TaskStats) {
+		rt, err := New(Config{Hosts: 8, Procs: 4, Adaptive: adaptive})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		sum, stats := taskTree(t, rt, n, leaf)
+		return rt.Now(), rt.Cluster().Fabric().Snapshot().TotalBytes(), sum, stats
+	}
+	tA, bA, sA, stA := run(true)
+	tN, bN, sN, stN := run(false)
+	if tA != tN {
+		t.Errorf("adaptive %v vs non-adaptive %v virtual time", tA, tN)
+	}
+	if bA != bN {
+		t.Errorf("adaptive %d vs non-adaptive %d traffic bytes", bA, bN)
+	}
+	if sA != sN {
+		t.Errorf("adaptive %g vs non-adaptive %g checksum", sA, sN)
+	}
+	if stA.Adaptations != 0 {
+		t.Errorf("adaptations = %d with no events", stA.Adaptations)
+	}
+	if stA.Steals != stN.Steals {
+		t.Errorf("steal counts diverge: %d vs %d", stA.Steals, stN.Steals)
+	}
+}
+
+// With a single process a task region is hand-scheduled sequential
+// execution: no steals, no task traffic, and virtual time equal to the
+// same construct's compute charges.
+func TestTasksSingleProcIsSequential(t *testing.T) {
+	rt, err := New(Config{Hosts: 4, Procs: 1, Adaptive: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	n, leaf := 1<<12, 1<<10
+	before := rt.Cluster().Fabric().Snapshot().TotalBytes()
+	sum, stats := taskTree(t, rt, n, leaf)
+	after := rt.Cluster().Fabric().Snapshot().TotalBytes()
+
+	if want := seqTreeChecksum(n); sum != want {
+		t.Errorf("checksum %g, sequential reference %g", sum, want)
+	}
+	if after != before {
+		t.Errorf("single-proc task region moved %d bytes on the network", after-before)
+	}
+	if stats.Steals != 0 || stats.MigratedExec != 0 || stats.RemoteCompletions != 0 {
+		t.Errorf("single-proc region recorded remote activity: %+v", stats)
+	}
+	if stats.Spawned != stats.Executed {
+		t.Errorf("spawned %d != executed %d", stats.Spawned, stats.Executed)
+	}
+}
+
+// Checksums are bit-identical to the sequential reference for every
+// team size, and the steal accounting invariant holds: with no
+// adaptations, a task executes away from home exactly when stolen.
+func TestTasksDeterministicAcrossTeamSizes(t *testing.T) {
+	want := seqTreeChecksum(1 << 13)
+	for _, procs := range []int{1, 2, 3, 4, 7} {
+		rt, err := New(Config{Hosts: 8, Procs: procs, Adaptive: true})
+		if err != nil {
+			t.Fatalf("New(%d): %v", procs, err)
+		}
+		sum, stats := taskTree(t, rt, 1<<13, 1<<10)
+		if sum != want {
+			t.Errorf("procs=%d: checksum %g, reference %g", procs, sum, want)
+		}
+		if stats.Spawned != stats.Executed {
+			t.Errorf("procs=%d: spawned %d != executed %d", procs, stats.Spawned, stats.Executed)
+		}
+		if stats.MigratedExec != stats.Steals {
+			t.Errorf("procs=%d: %d migrated executions but %d steals", procs, stats.MigratedExec, stats.Steals)
+		}
+		if procs > 1 && stats.Steals == 0 {
+			t.Errorf("procs=%d: no steals on a skewed tree", procs)
+		}
+		// Determinism: an identical run reproduces time, traffic and stats.
+		rt2, err := New(Config{Hosts: 8, Procs: procs, Adaptive: true})
+		if err != nil {
+			t.Fatalf("New(%d): %v", procs, err)
+		}
+		sum2, stats2 := taskTree(t, rt2, 1<<13, 1<<10)
+		if sum2 != sum {
+			t.Errorf("procs=%d: checksums diverge across identical runs", procs)
+		}
+		if rt2.Now() != rt.Now() {
+			t.Errorf("procs=%d: virtual times diverge across identical runs: %v vs %v", procs, rt2.Now(), rt.Now())
+		}
+		if stats2.Steals != stats.Steals || stats2.Executed != stats.Executed {
+			t.Errorf("procs=%d: schedules diverge across identical runs", procs)
+		}
+	}
+}
+
+// A join event submitted before the region matures mid-tree: the team
+// grows at a task scheduling point, the new process steals in, and the
+// result is still bit-identical to the sequential reference.
+func TestTasksJoinMidTree(t *testing.T) {
+	rt, err := New(Config{Hosts: 8, Procs: 2, Adaptive: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Matures ~0.85s into the region (spawn + connect lead time).
+	if err := rt.Submit(adapt.Event{Kind: adapt.KindJoin, Host: 5, At: 0.1}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	sum, stats := taskTree(t, rt, 1<<13, 1<<9)
+	if want := seqTreeChecksum(1 << 13); sum != want {
+		t.Errorf("checksum %g, reference %g", sum, want)
+	}
+	if stats.Adaptations == 0 {
+		t.Fatalf("join never applied mid-tree; stats %+v, team %v", stats, rt.Team())
+	}
+	if rt.NProcs() != 3 {
+		t.Errorf("team size %d after join, want 3", rt.NProcs())
+	}
+	if got := stats.ExecutedByHost[5]; got == 0 {
+		t.Errorf("joined host executed no tasks")
+	}
+	if len(rt.AdaptLog()) == 0 {
+		t.Errorf("adaptation not recorded in the runtime log")
+	}
+}
+
+// A leave event matures mid-tree: it is held until the departing
+// process is stackless, its deque re-homes, and the checksum is still
+// exact.
+func TestTasksLeaveMidTree(t *testing.T) {
+	rt, err := New(Config{Hosts: 8, Procs: 4, Adaptive: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := rt.Submit(adapt.Event{Kind: adapt.KindLeave, Host: 3, At: 0.5, Grace: 30}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	sum, stats := taskTree(t, rt, 1<<13, 1<<9)
+	if want := seqTreeChecksum(1 << 13); sum != want {
+		t.Errorf("checksum %g, reference %g", sum, want)
+	}
+	if stats.Adaptations == 0 {
+		t.Fatalf("leave never applied; team %v", rt.Team())
+	}
+	if rt.NProcs() != 3 {
+		t.Errorf("team size %d after leave, want 3", rt.NProcs())
+	}
+	for _, h := range rt.Team() {
+		if h == 3 {
+			t.Errorf("host 3 still in team %v", rt.Team())
+		}
+	}
+	if stats.MigratedExec > stats.Steals+stats.Rehomed {
+		t.Errorf("accounting: %d migrated executions exceed %d steals + %d rehomes",
+			stats.MigratedExec, stats.Steals, stats.Rehomed)
+	}
+	if stats.Spawned != stats.Executed {
+		t.Errorf("spawned %d != executed %d", stats.Spawned, stats.Executed)
+	}
+}
+
+// Leave and join in one region, exercising re-homing plus a fresh
+// stealer while frames are suspended across the adaptation.
+func TestTasksLeaveAndJoinMidTree(t *testing.T) {
+	rt, err := New(Config{Hosts: 8, Procs: 3, Adaptive: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := rt.Submit(adapt.Event{Kind: adapt.KindLeave, Host: 2, At: 0.4, Grace: 30}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := rt.Submit(adapt.Event{Kind: adapt.KindJoin, Host: 6, At: 0.1}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	sum, stats := taskTree(t, rt, 1<<14, 1<<9)
+	if want := seqTreeChecksum(1 << 14); sum != want {
+		t.Errorf("checksum %g, reference %g", sum, want)
+	}
+	if stats.Adaptations == 0 {
+		t.Fatalf("no adaptation applied; team %v", rt.Team())
+	}
+	if rt.NProcs() != 3 {
+		t.Errorf("team size %d, want 3 (one out, one in)", rt.NProcs())
+	}
+	if stats.Spawned != stats.Executed {
+		t.Errorf("spawned %d != executed %d", stats.Spawned, stats.Executed)
+	}
+}
+
+// Loop constructs still work after a task region (the runtime's team
+// state stays consistent through task-point adaptations).
+func TestTasksThenLoop(t *testing.T) {
+	rt, err := New(Config{Hosts: 8, Procs: 2, Adaptive: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := rt.Submit(adapt.Event{Kind: adapt.KindJoin, Host: 4, At: 0.05}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	sum, _ := taskTree(t, rt, 1<<13, 1<<9)
+	if want := seqTreeChecksum(1 << 13); sum != want {
+		t.Fatalf("checksum %g, reference %g", sum, want)
+	}
+	got := rt.For("after", 0, 1000, func(p *Proc, lo, hi int) {
+		p.Contribute(float64(hi - lo))
+	}, WithReduce(0, func(a, b float64) float64 { return a + b }))
+	if got != 1000 {
+		t.Errorf("post-region loop covered %g iterations, want 1000", got)
+	}
+}
+
+// A Tmk lock held across a task scheduling point would deadlock the
+// deterministic scheduler; the runtime turns the contended acquire
+// into a diagnosable panic instead of hanging.
+func TestTasksContendedLockPanics(t *testing.T) {
+	rt, err := New(Config{Hosts: 2, Procs: 1, Adaptive: false})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("contended in-region lock did not panic")
+		}
+		if msg, ok := v.(string); !ok || !strings.Contains(msg, "task scheduling point") {
+			t.Fatalf("unexpected panic: %v", v)
+		}
+	}()
+	rt.Tasks("locked", func(tp *TaskProc) {
+		tp.Lock(7)
+		tp.Spawn(func(c *TaskProc) {
+			c.Lock(7) // holder is parked at the TaskWait below: must panic
+			c.Unlock(7)
+		})
+		tp.TaskWait()
+		tp.Unlock(7)
+	})
+}

@@ -94,6 +94,14 @@ func decodeSlice[T Element](buf []byte, dst []T) {
 // Array is a shared vector of T backed by one DSM region. The same
 // handle is shared by all processes (the Tmk_distribute idiom); faults
 // and costs accrue to the accessing process named by the Context.
+//
+// Word granularity: diffs merge at 8-byte words (page.WordBytes), so
+// for element types smaller than a word — float32, int32, uint8 — two
+// processes must not write within the same 8-byte span in one
+// interval, or one update is lost. Partition concurrent writers on
+// boundaries that are multiples of 8 bytes (for float32, even element
+// indices; for uint8, multiples of 8). The DSM turns a violation into
+// a panic at the interval close rather than silent corruption.
 type Array[T Element] struct {
 	region *dsm.Region
 	n      int
@@ -174,6 +182,14 @@ func (a *Array[T]) WriteRange(m Context, lo int, src []T) {
 }
 
 // Matrix is a shared row-major rows x cols matrix of T.
+//
+// Word granularity: like Array, concurrent writers must stay 8 bytes
+// apart within one interval. Row-partitioned access satisfies this
+// whenever a row's byte width is a multiple of 8 — any float64 or
+// complex128 matrix, float32/int32 matrices with even column counts,
+// uint8 matrices with columns a multiple of 8. Other widths make rows
+// share words across row boundaries; the DSM flags such concurrent
+// writes at the interval close.
 type Matrix[T Element] struct {
 	arr  Array[T]
 	rows int

@@ -1,15 +1,3 @@
-// Package simtime provides the virtual-time substrate for the adaptive
-// NOW runtime: per-process clocks and a cost model calibrated from the
-// measurements published in section 5.1 of Scherer et al. (PPoPP 1999).
-//
-// All results in the paper are wall-clock times and traffic volumes on a
-// cluster of 300 MHz Pentium II machines connected by switched 100 Mbps
-// Ethernet. The DSM protocol in this repository runs for real (real
-// pages, twins, diffs, real application arithmetic); only time is
-// virtual. Every protocol action charges its cost to the clock of the
-// process that performs or waits for it, using the constants below, so
-// reported "seconds" follow the paper's own cost structure and are
-// deterministic across runs.
 package simtime
 
 import "fmt"

@@ -1,0 +1,61 @@
+// Package task is the work-stealing task runtime layered on the
+// adaptive fork-join system: OpenMP 3.0-style explicit tasks on the
+// paper's NOW, extending the transparency argument of Scherer et al.
+// (PPoPP 1999) from loops to irregular, recursive parallelism.
+//
+// # Execution model
+//
+// Each process of a forked team owns a double-ended queue of tasks.
+// A running task spawns subtasks onto its own deque (Worker.Spawn) and
+// waits for its direct children (Worker.TaskWait), popping further work
+// from the bottom of its own deque while it waits. An idle process
+// steals the oldest task from the top of the richest other deque — the
+// classic work-first discipline: local pops are LIFO for locality,
+// steals are FIFO so a thief takes the biggest remaining subtree.
+//
+// # Pricing: steals on a DSM are not free
+//
+// A steal is a request/response exchange on the simulated fabric plus
+// the closure shipping, and — because the thief must observe every
+// shared-memory write that happened before the task became stealable —
+// a release/acquire pair on the DSM: the victim's open interval is
+// flushed to diffs (dsm.FlushInterval) and the thief performs
+// acquire-side consistency (dsm.AcquireInterval). A task that completes
+// on a different process than the one waiting for it likewise flushes
+// and sends a completion notice. All of it charges virtual time and
+// per-link traffic, so the benchmark suite can show where tasking beats
+// a Dynamic-schedule loop (skewed work: few steals replace thousands of
+// priced counter claims) and where it loses (uniform work: the steal
+// consistency traffic buys nothing). Purely local execution pays none
+// of this: with one process, or when no steal occurs, a task region
+// costs exactly its compute charges plus the ordinary fork and join.
+//
+// # Task scheduling points are adaptation points
+//
+// Spawn, taskwait, steal and task completion are the runtime's task
+// scheduling points. Before dispatching any of them the scheduler
+// drains matured join/leave events: every open interval is flushed,
+// the adaptation transaction of the adapt package runs (GC, state
+// handoff, reassignment), and the deques re-home onto the new team —
+// a departing process's queued tasks ship round-robin to the survivors
+// (priced as closure traffic), a joining process starts with an empty
+// deque and steals its way into the tree. A leave is held back until
+// the departing process is *stackless* (parked between tasks with no
+// suspended ancestors), the task-level analogue of the paper's rule
+// that processes hold no private state at adaptation points; joins
+// apply immediately. An irregular computation therefore absorbs team
+// resizes mid-tree with no application code.
+//
+// # Determinism
+//
+// The runtime is a conservative discrete-event simulation. Worker
+// goroutines exist only to hold the Go stacks of suspended tasks;
+// exactly one runs at a time, and every deque action is dispatched by
+// the scheduler in ascending virtual-time order (ties broken by
+// process slot). Victim selection, re-homing and completion bookkeeping
+// are pure functions of that order, so a task program's schedule — and
+// therefore its virtual time, its traffic, and its floating-point
+// result — is reproducible run to run on any machine. Kernel results
+// are asserted bit-identical to their sequential references across
+// team sizes and under mid-run join/leave events.
+package task

@@ -1,0 +1,473 @@
+package task
+
+import (
+	"fmt"
+
+	"nowomp/internal/dsm"
+	"nowomp/internal/simtime"
+)
+
+// msgHeader is the DSM protocol header size, charged for steal
+// requests, closure shipments and completion notices.
+const msgHeader = dsm.MsgHeader
+
+// DefaultClosureBytes is the wire size assumed for a task closure when
+// the embedding runtime does not override it: a function pointer plus
+// a handful of captured scalars, as the SUIF-style outlining of a task
+// body would produce.
+const DefaultClosureBytes = 64
+
+// AdaptHooks connects the scheduler to the adaptation machinery of the
+// embedding runtime. All three callbacks run on the scheduler
+// goroutine with every worker parked.
+type AdaptHooks struct {
+	// Eligible reports whether at least one adapt event would apply at
+	// virtual instant now. stackless tells the callback whether a
+	// host's worker currently holds task state; leaves of non-stackless
+	// hosts must be held back.
+	Eligible func(now simtime.Seconds, stackless func(dsm.HostID) bool) bool
+	// Apply performs the adaptation transaction (GC, leaves, joins,
+	// reassignment) and returns the new slot-to-host mapping, the time
+	// the adaptation added, and whether any event was applied.
+	Apply func(now simtime.Seconds, stackless func(dsm.HostID) bool) (team []dsm.HostID, elapsed simtime.Seconds, applied bool)
+	// Rebound is called after the worker set has been rebuilt for the
+	// new team, slot-ordered, so the runtime can rebind process ids.
+	Rebound func(ws []*Worker)
+}
+
+// Config parameterises a Runner.
+type Config struct {
+	// Cluster is the DSM substrate tasks ship across.
+	Cluster *dsm.Cluster
+	// ClosureBytes is the wire size of one shipped task closure
+	// (0 = DefaultClosureBytes).
+	ClosureBytes int
+	// Hooks enables adaptation at task scheduling points; nil runs the
+	// region with a fixed team.
+	Hooks *AdaptHooks
+}
+
+// Runner executes one task region: a deterministic discrete-event
+// scheduler over the team's workers. It is single-use.
+type Runner struct {
+	cfg     Config
+	workers []*Worker
+	parkCh  chan park
+	live    int64 // tasks spawned and not yet completed
+	stats   Stats
+}
+
+// NewRunner returns a runner for one task region.
+func NewRunner(cfg Config) *Runner {
+	if cfg.Cluster == nil {
+		panic("task: Config.Cluster is required")
+	}
+	if cfg.ClosureBytes <= 0 {
+		cfg.ClosureBytes = DefaultClosureBytes
+	}
+	return &Runner{
+		cfg:    cfg,
+		parkCh: make(chan park),
+		stats:  Stats{ExecutedByHost: make(map[dsm.HostID]int64)},
+	}
+}
+
+// AddWorker registers a team process, in slot order, before Run.
+func (s *Runner) AddWorker(host *dsm.Host, clk *simtime.Clock) *Worker {
+	w := &Worker{s: s, slot: len(s.workers), host: host, clk: clk, resume: make(chan wakeup)}
+	s.workers = append(s.workers, w)
+	return w
+}
+
+// Workers returns the current slot-ordered worker set.
+func (s *Runner) Workers() []*Worker { return s.workers }
+
+// Run executes root on the slot-0 worker (the master) and returns when
+// every transitively spawned task has completed. The caller goroutine
+// becomes the scheduler; worker goroutines run one at a time under its
+// control, so execution is deterministic in virtual-time order.
+func (s *Runner) Run(root Body) Stats {
+	if len(s.workers) == 0 {
+		panic("task: Run with no workers")
+	}
+	w0 := s.workers[0]
+	rootTask := &Task{body: root, home: w0.host.ID(), at: w0.clk.Now()}
+	w0.deque = append(w0.deque, rootTask)
+	s.live = 1
+	s.stats.Spawned = 1
+
+	for _, w := range s.workers {
+		s.start(w)
+	}
+	for s.live > 0 || !s.allAtTop() {
+		now, w := s.next()
+		if w == nil {
+			panic(fmt.Sprintf("task: scheduler stalled with %d live tasks", s.live))
+		}
+		if s.maybeAdapt(now) {
+			continue
+		}
+		s.dispatch(w)
+	}
+	// Region over: every worker is parked at its top-level loop.
+	for _, w := range s.workers {
+		if !w.exited {
+			s.exit(w)
+		}
+	}
+	return s.stats
+}
+
+// allAtTop reports whether every worker has unwound to its top-level
+// loop: with no live tasks left, that is the region's quiescent state.
+func (s *Runner) allAtTop() bool {
+	for _, w := range s.workers {
+		if !w.exited && (w.pending == nil || w.pending.kind != parkNeed) {
+			return false
+		}
+	}
+	return true
+}
+
+// start launches a worker goroutine and absorbs its first park.
+func (s *Runner) start(w *Worker) {
+	go w.run()
+	s.awaitPark()
+}
+
+// exit resumes a worker parked at its top level with the done signal
+// and absorbs its exit notification.
+func (s *Runner) exit(w *Worker) {
+	if w.pending == nil || w.pending.kind != parkNeed {
+		panic(fmt.Sprintf("task: exiting %v parked at %d", w, w.pending.kind))
+	}
+	w.pending = nil
+	w.resume <- wakeup{done: true}
+	p := <-s.parkCh
+	if p.kind != parkExited || p.w != w {
+		panic("task: unexpected park during worker exit")
+	}
+	w.exited = true
+}
+
+// resumeWorker hands the token to a parked worker and blocks until it
+// parks again (or exits/panics). This is the only place workers run.
+func (s *Runner) resumeWorker(w *Worker, wk wakeup) {
+	w.pending = nil
+	w.resume <- wk
+	s.awaitPark()
+}
+
+func (s *Runner) awaitPark() {
+	p := <-s.parkCh
+	switch p.kind {
+	case parkPanic:
+		panic(p.pv)
+	case parkExited:
+		p.w.exited = true
+	default:
+		p.w.pending = &p
+	}
+}
+
+// action is one enabled dispatch option for a parked worker.
+type action struct {
+	w  *Worker
+	at simtime.Seconds
+	// steal victim, when the action is a steal.
+	victim *Worker
+}
+
+// next returns the enabled action with the minimal (virtual time,
+// slot), or nil if no parked worker can proceed.
+func (s *Runner) next() (simtime.Seconds, *Worker) {
+	var best *action
+	for _, w := range s.workers {
+		a := s.enabled(w)
+		if a == nil {
+			continue
+		}
+		if best == nil || a.at < best.at {
+			best = a
+		}
+	}
+	if best == nil {
+		return 0, nil
+	}
+	return best.at, best.w
+}
+
+// enabled computes whether w's parked action can be dispatched and at
+// what virtual instant.
+func (s *Runner) enabled(w *Worker) *action {
+	if w.exited || w.pending == nil {
+		return nil
+	}
+	now := w.clk.Now()
+	switch w.pending.kind {
+	case parkSpawn, parkComplete, parkResume:
+		return &action{w: w, at: now}
+	case parkWait:
+		fr := w.pending.fr
+		if fr.outstanding == 0 {
+			at := now
+			if fr.remoteDone > at {
+				at = fr.remoteDone
+			}
+			return &action{w: w, at: at}
+		}
+		if len(w.deque) > 0 {
+			return &action{w: w, at: now}
+		}
+		return nil
+	case parkNeed:
+		if len(w.deque) > 0 {
+			return &action{w: w, at: now}
+		}
+		if v := s.victim(w); v != nil {
+			at := now
+			if t := v.deque[0]; t.at > at {
+				at = t.at
+			}
+			return &action{w: w, at: at, victim: v}
+		}
+		return nil
+	}
+	return nil
+}
+
+// victim picks the steal victim for w: the other worker with the
+// longest deque, ties to the lowest slot. Deterministic because the
+// worker list is slot-ordered.
+func (s *Runner) victim(w *Worker) *Worker {
+	var best *Worker
+	for _, v := range s.workers {
+		if v == w || v.exited || len(v.deque) == 0 {
+			continue
+		}
+		if best == nil || len(v.deque) > len(best.deque) {
+			best = v
+		}
+	}
+	return best
+}
+
+// dispatch processes one parked worker's action and, where the action
+// continues that worker, hands it the token.
+func (s *Runner) dispatch(w *Worker) {
+	p := w.pending
+	switch p.kind {
+	case parkResume:
+		s.resumeWorker(w, wakeup{})
+
+	case parkSpawn:
+		t := p.task
+		t.home = w.host.ID()
+		t.at = w.clk.Now()
+		t.parent.outstanding++
+		w.deque = append(w.deque, t)
+		s.live++
+		s.stats.Spawned++
+		// Continue the spawner via a separate resume step so the
+		// spawn's continuation is itself an adaptation point and other
+		// workers with earlier clocks act first.
+		p.kind = parkResume
+
+	case parkComplete:
+		s.complete(w, p.task)
+		p.kind = parkResume
+
+	case parkWait:
+		fr := p.fr
+		if fr.outstanding == 0 {
+			w.clk.AdvanceTo(fr.remoteDone)
+			if fr.sawRemote {
+				s.cfg.Cluster.AcquireInterval(w.host, w.clk)
+				fr.sawRemote = false
+			}
+			fr.remoteDone = 0
+			s.resumeWorker(w, wakeup{done: true})
+			return
+		}
+		s.resumeWorker(w, wakeup{task: s.popOwn(w)})
+
+	case parkNeed:
+		if len(w.deque) > 0 {
+			s.resumeWorker(w, wakeup{task: s.popOwn(w)})
+			return
+		}
+		v := s.victim(w)
+		if v == nil {
+			panic("task: dispatched an idle worker with nothing to steal")
+		}
+		s.resumeWorker(w, wakeup{task: s.steal(w, v)})
+
+	default:
+		panic(fmt.Sprintf("task: dispatch of park kind %d", p.kind))
+	}
+}
+
+// popOwn takes the newest task from w's own deque (LIFO).
+func (s *Runner) popOwn(w *Worker) *Task {
+	t := w.deque[len(w.deque)-1]
+	w.deque = w.deque[:len(w.deque)-1]
+	return t
+}
+
+// steal ships the oldest task of v's deque to w, pricing the exchange
+// and the release/acquire pair that makes the victim's prior writes
+// visible to the thief. All costs charge the thief, who waits for the
+// closure; the victim is not interrupted (requester-pays, like every
+// fetch in the DSM protocol).
+func (s *Runner) steal(w, v *Worker) *Task {
+	t := v.deque[0]
+	v.deque = v.deque[1:]
+	t.stolen = true
+
+	model := s.cfg.Cluster.Model()
+	fab := s.cfg.Cluster.Fabric()
+	w.clk.AdvanceTo(t.at)
+	fab.Record(w.host.Machine(), v.host.Machine(), msgHeader)
+	fab.Record(v.host.Machine(), w.host.Machine(), s.cfg.ClosureBytes+msgHeader)
+	w.clk.Advance(2*model.OneWayLatency + 2*model.MsgOverhead + model.Wire(s.cfg.ClosureBytes+msgHeader))
+
+	// Release on the victim (charged to the waiting thief), acquire on
+	// the thief: the task may read anything written before the steal.
+	s.stats.FlushDiffs += int64(s.cfg.Cluster.FlushInterval(v.host, w.clk))
+	s.cfg.Cluster.AcquireInterval(w.host, w.clk)
+
+	s.stats.Steals++
+	s.stats.StealBytes += int64(s.cfg.ClosureBytes)
+	return t
+}
+
+// complete records a task body's completion: join bookkeeping and, for
+// a task whose parent waits on another process, the release and the
+// completion notice that lets the waiter eventually acquire.
+func (s *Runner) complete(w *Worker, t *Task) {
+	s.live--
+	s.stats.Executed++
+	w.executed++
+	s.stats.ExecutedByHost[w.host.ID()]++
+	if t.home != w.host.ID() {
+		s.stats.MigratedExec++
+	}
+	pf := t.parent
+	if pf == nil {
+		return
+	}
+	pf.outstanding--
+	if pf.owner == w || pf.owner.exited {
+		return
+	}
+	model := s.cfg.Cluster.Model()
+	s.stats.FlushDiffs += int64(s.cfg.Cluster.FlushInterval(w.host, w.clk))
+	s.cfg.Cluster.Fabric().Record(w.host.Machine(), pf.owner.host.Machine(), msgHeader)
+	w.clk.Advance(model.MsgOverhead)
+	arrival := w.clk.Now() + model.OneWayLatency
+	if arrival > pf.remoteDone {
+		pf.remoteDone = arrival
+	}
+	pf.sawRemote = true
+	s.stats.RemoteCompletions++
+}
+
+// maybeAdapt drains matured adapt events before the next dispatch, at
+// virtual instant now. Returns true if the team changed (the caller
+// re-evaluates the schedule).
+func (s *Runner) maybeAdapt(now simtime.Seconds) bool {
+	h := s.cfg.Hooks
+	if h == nil {
+		return false
+	}
+	stackless := func(id dsm.HostID) bool {
+		for _, w := range s.workers {
+			if w.host.ID() == id {
+				return w.stackless()
+			}
+		}
+		return true
+	}
+	if !h.Eligible(now, stackless) {
+		return false
+	}
+	// Close every open interval so the adaptation's GC starts from the
+	// well-defined state it requires; each process pays for its own
+	// flush, as it would arriving at a barrier.
+	for _, w := range s.workers {
+		s.stats.FlushDiffs += int64(s.cfg.Cluster.FlushInterval(w.host, w.clk))
+	}
+	team, elapsed, applied := h.Apply(now, stackless)
+	if !applied {
+		return false
+	}
+	s.rebind(team, now+elapsed)
+	s.stats.Adaptations++
+	return true
+}
+
+// rebind rebuilds the worker set for the new team at virtual instant
+// at: surviving workers keep their identity (and any suspended task
+// state) under their new slot, joining hosts get fresh workers, and
+// departing workers — stackless by construction — retire after their
+// deques re-home round-robin onto the new team, priced as closure
+// traffic.
+func (s *Runner) rebind(team []dsm.HostID, at simtime.Seconds) {
+	byHost := make(map[dsm.HostID]*Worker, len(s.workers))
+	for _, w := range s.workers {
+		byHost[w.host.ID()] = w
+	}
+	next := make([]*Worker, len(team))
+	var added []*Worker
+	for slot, h := range team {
+		if w := byHost[h]; w != nil {
+			w.slot = slot
+			next[slot] = w
+			delete(byHost, h)
+		} else {
+			w := &Worker{s: s, slot: slot, host: s.cfg.Cluster.Host(h),
+				clk: simtime.NewClock(at), resume: make(chan wakeup)}
+			next[slot] = w
+			added = append(added, w)
+		}
+	}
+
+	// Retire departed workers in old slot order, re-homing their tasks.
+	model := s.cfg.Cluster.Model()
+	fab := s.cfg.Cluster.Fabric()
+	rr := 0
+	for _, w := range s.workers {
+		if byHost[w.host.ID()] != w {
+			continue
+		}
+		if !w.stackless() {
+			panic(fmt.Sprintf("task: %v left the team holding task state", w))
+		}
+		for _, t := range w.deque {
+			dst := next[rr%len(next)]
+			rr++
+			fab.Record(w.host.Machine(), dst.host.Machine(), s.cfg.ClosureBytes+msgHeader)
+			dst.clk.Advance(model.MsgOverhead + model.Wire(s.cfg.ClosureBytes+msgHeader))
+			t.at = at
+			t.rehomed = true
+			dst.deque = append(dst.deque, t)
+			s.stats.Rehomed++
+			s.stats.RehomeBytes += int64(s.cfg.ClosureBytes)
+		}
+		w.deque = nil
+		s.exit(w)
+	}
+
+	s.workers = next
+	for _, w := range added {
+		s.start(w)
+	}
+	// The adaptation is a global synchronisation: no process proceeds
+	// before the transaction completes.
+	for _, w := range s.workers {
+		w.clk.AdvanceTo(at)
+	}
+	if s.cfg.Hooks.Rebound != nil {
+		s.cfg.Hooks.Rebound(s.workers)
+	}
+}

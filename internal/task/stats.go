@@ -1,0 +1,39 @@
+package task
+
+import "nowomp/internal/dsm"
+
+// Stats summarises one task region for the evaluation harness. The
+// accounting invariant the tests pin: every executed task was spawned
+// exactly once (Spawned == Executed), and a task executes away from
+// the process that spawned it only by being shipped there — so with no
+// adaptations MigratedExec == Steals, and with re-homing
+// MigratedExec <= Steals + Rehomed (a re-homed task may be shipped
+// again, or happen to land back on its spawner).
+type Stats struct {
+	// Spawned counts tasks entered into deques, including the root.
+	Spawned int64
+	// Executed counts task bodies run to completion.
+	Executed int64
+	// Steals counts tasks shipped to an idle process; StealBytes is
+	// the closure payload moved that way.
+	Steals     int64
+	StealBytes int64
+	// Rehomed counts tasks shipped off a departing process's deque at
+	// an adaptation; RehomeBytes is the payload.
+	Rehomed     int64
+	RehomeBytes int64
+	// MigratedExec counts tasks that executed on a different host than
+	// the one that spawned them.
+	MigratedExec int64
+	// RemoteCompletions counts completion notices sent because a task
+	// finished on a different process than its parent.
+	RemoteCompletions int64
+	// FlushDiffs counts diffs created by steal- and completion-time
+	// interval flushes (the release half of task shipping).
+	FlushDiffs int64
+	// Adaptations counts team changes applied at task scheduling
+	// points within the region.
+	Adaptations int64
+	// ExecutedByHost breaks Executed down by executing host.
+	ExecutedByHost map[dsm.HostID]int64
+}

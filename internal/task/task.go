@@ -1,0 +1,186 @@
+package task
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"nowomp/internal/dsm"
+	"nowomp/internal/simtime"
+)
+
+// Body is the code of one task. It receives the worker (process) that
+// executes it, which is only known when the task is popped or stolen.
+type Body func(w *Worker)
+
+// Task is one unit of deferred work on a deque.
+type Task struct {
+	body    Body
+	parent  *frame          // frame that spawned it; nil for the root
+	home    dsm.HostID      // process that spawned it
+	at      simtime.Seconds // instant it became stealable
+	stolen  bool
+	rehomed bool
+}
+
+// frame is one task in execution: the join state TaskWait blocks on.
+// It lives on its worker's goroutine stack for the task's whole
+// lifetime, so a frame never moves between processes — which is why a
+// leave must wait until the departing worker is stackless.
+type frame struct {
+	owner       *Worker
+	outstanding int // direct children spawned and not yet completed
+	sawRemote   bool
+	remoteDone  simtime.Seconds // latest remote-child completion arrival
+}
+
+// parkKind classifies the scheduling point a worker is parked at.
+type parkKind int
+
+const (
+	// parkNeed: at the top-level loop, between tasks (stackless).
+	// Wants a pop from its own deque, a steal, or the exit signal.
+	parkNeed parkKind = iota
+	// parkWait: inside TaskWait. Wants a pop from its own deque or the
+	// all-children-done signal.
+	parkWait
+	// parkSpawn: a task body called Spawn; the task awaits its deque.
+	parkSpawn
+	// parkComplete: a task body returned; completion bookkeeping due.
+	parkComplete
+	// parkResume: bookkeeping done; the worker just needs the token
+	// back to continue. Kept as a separate dispatch step so that every
+	// scheduling point, including the continuation after a spawn, is an
+	// adaptation point.
+	parkResume
+	// parkExited: the worker goroutine has terminated.
+	parkExited
+	// parkPanic: the task body panicked; pv carries the value.
+	parkPanic
+)
+
+// park is the worker-to-scheduler half of the coroutine handshake.
+type park struct {
+	w    *Worker
+	kind parkKind
+	task *Task  // parkSpawn, parkComplete
+	fr   *frame // parkWait
+	pv   any    // parkPanic
+}
+
+// wakeup is the scheduler-to-worker half.
+type wakeup struct {
+	task *Task // task to execute (parkNeed, parkWait)
+	done bool  // parkNeed: region over, exit; parkWait: children done
+}
+
+// Worker is one team process participating in the task region. Exactly
+// one worker goroutine runs at any instant; the scheduler hands the
+// token around in virtual-time order.
+type Worker struct {
+	// Data is opaque storage for the embedding runtime (the omp layer
+	// keeps the per-process handle it passes to task bodies here).
+	Data any
+
+	s      *Runner
+	slot   int
+	host   *dsm.Host
+	clk    *simtime.Clock
+	deque  []*Task // index 0 = top (steal end), last = bottom (pop end)
+	frames []*frame
+	resume chan wakeup
+
+	pending *park // the worker's parked action; nil while it runs
+	exited  bool
+
+	executed int64
+}
+
+// Host returns the DSM process this worker runs as.
+func (w *Worker) Host() *dsm.Host { return w.host }
+
+// Clock returns the worker's virtual clock.
+func (w *Worker) Clock() *simtime.Clock { return w.clk }
+
+// Slot returns the worker's current process id within the team. It
+// changes when the team is reassigned at an adaptation.
+func (w *Worker) Slot() int { return w.slot }
+
+// Spawn queues body as a child task of the currently executing task on
+// this worker's deque. The spawn is a task scheduling point: pending
+// adapt events drain before execution continues.
+func (w *Worker) Spawn(body Body) {
+	if len(w.frames) == 0 {
+		panic("task: Spawn called outside a task")
+	}
+	t := &Task{body: body, parent: w.frames[len(w.frames)-1]}
+	w.park(park{w: w, kind: parkSpawn, task: t})
+}
+
+// TaskWait blocks until every direct child task of the currently
+// executing task has completed, executing tasks from this worker's own
+// deque while it waits. If any awaited child ran on another process,
+// the wait ends with an acquire so the children's shared-memory writes
+// are visible — priced like any acquire on the DSM.
+func (w *Worker) TaskWait() {
+	if len(w.frames) == 0 {
+		panic("task: TaskWait called outside a task")
+	}
+	fr := w.frames[len(w.frames)-1]
+	for {
+		wk := w.park(park{w: w, kind: parkWait, fr: fr})
+		if wk.done {
+			return
+		}
+		w.exec(wk.task)
+	}
+}
+
+// park hands the token to the scheduler and blocks for the reply.
+func (w *Worker) park(p park) wakeup {
+	w.s.parkCh <- p
+	return <-w.resume
+}
+
+// run is the worker goroutine: the top-level scheduling loop. A panic
+// in a task body is shipped to the scheduler goroutine with the
+// original stack attached (the rethrow would otherwise show only the
+// scheduler's frames); the region is unrecoverable at that point and
+// the remaining parked workers are abandoned to the dying process.
+func (w *Worker) run() {
+	defer func() {
+		if v := recover(); v != nil {
+			w.s.parkCh <- park{w: w, kind: parkPanic,
+				pv: fmt.Sprintf("task: %v panicked: %v\n%s", w, v, debug.Stack())}
+		}
+	}()
+	for {
+		wk := w.park(park{w: w, kind: parkNeed})
+		if wk.done {
+			w.s.parkCh <- park{w: w, kind: parkExited}
+			return
+		}
+		w.exec(wk.task)
+	}
+}
+
+// exec runs one task body to completion (the body may nest further
+// pops via TaskWait), then parks for completion bookkeeping.
+func (w *Worker) exec(t *Task) {
+	fr := &frame{owner: w}
+	w.frames = append(w.frames, fr)
+	t.body(w)
+	// No implicit wait on children: like an OpenMP task, completion
+	// does not imply its children completed (the region end does).
+	w.frames = w.frames[:len(w.frames)-1]
+	w.park(park{w: w, kind: parkComplete, task: t})
+}
+
+// stackless reports whether the worker holds no task state: parked at
+// the top level between tasks. Only then may its host leave the team.
+func (w *Worker) stackless() bool {
+	return !w.exited && len(w.frames) == 0 && w.pending != nil && w.pending.kind == parkNeed
+}
+
+func (w *Worker) String() string {
+	return fmt.Sprintf("worker(slot %d, host %d)", w.slot, w.host.ID())
+}

@@ -155,6 +155,28 @@ func WithReduce(identity float64, op func(a, b float64) float64) ForOption {
 	return omp.WithReduce(identity, op)
 }
 
+// Tasking. rt.Tasks(name, root, opts...) runs one work-stealing task
+// region: the root task executes on the master, task bodies spawn
+// children with p.Spawn and wait for them with p.TaskWait, and idle
+// processes steal — with steal traffic, closure shipping and the
+// release/acquire consistency of task handoffs all priced through the
+// simulated fabric. Task scheduling points are adaptation points, so
+// join/leave events apply mid-tree and deques re-home onto the new
+// team.
+type (
+	// TaskProc is the per-process handle passed to task bodies.
+	TaskProc = omp.TaskProc
+	// TaskOption configures one Tasks region.
+	TaskOption = omp.TaskOption
+	// TaskStats reports a region's scheduling activity (steals,
+	// re-homed tasks, migrated executions, adaptations).
+	TaskStats = omp.TaskStats
+)
+
+// WithClosureBytes sets the wire size charged for one shipped task
+// closure on a steal or re-home.
+func WithClosureBytes(n int) TaskOption { return omp.WithClosureBytes(n) }
+
 // Sentinel errors for errors.Is.
 var (
 	// ErrNotAdaptive reports an adapt event on a non-adaptive runtime.
@@ -200,14 +222,27 @@ type (
 	FFT3DConfig = apps.FFT3DConfig
 	// NBFConfig parameterises the non-bonded-force kernel.
 	NBFConfig = apps.NBFConfig
+	// SortConfig parameterises the parallel-mergesort task kernel.
+	SortConfig = apps.SortConfig
+	// QuadConfig parameterises the adaptive-quadrature task kernel.
+	QuadConfig = apps.QuadConfig
 )
 
-// Kernel entry points.
+// Kernel entry points. RunMergesort and RunQuadrature are the
+// irregular task-parallel kernels; the rest are the paper's Table 1
+// loop kernels.
 var (
-	RunJacobi = apps.RunJacobi
-	RunGauss  = apps.RunGauss
-	RunFFT3D  = apps.RunFFT3D
-	RunNBF    = apps.RunNBF
+	RunJacobi     = apps.RunJacobi
+	RunGauss      = apps.RunGauss
+	RunFFT3D      = apps.RunFFT3D
+	RunNBF        = apps.RunNBF
+	RunMergesort  = apps.RunMergesort
+	RunQuadrature = apps.RunQuadrature
+
+	// MergesortReference and QuadratureReference compute the
+	// sequential checksums the task kernels reproduce bit for bit.
+	MergesortReference  = apps.MergesortReference
+	QuadratureReference = apps.QuadratureReference
 )
 
 // Default kernel configurations at the paper's problem sizes.
@@ -221,3 +256,9 @@ func DefaultFFT3D() FFT3DConfig { return apps.DefaultFFT3D() }
 
 // DefaultNBF returns the paper's NBF configuration.
 func DefaultNBF() NBFConfig { return apps.DefaultNBF() }
+
+// DefaultSort returns the reference mergesort configuration.
+func DefaultSort() SortConfig { return apps.DefaultSort() }
+
+// DefaultQuad returns the reference quadrature configuration.
+func DefaultQuad() QuadConfig { return apps.DefaultQuad() }
