@@ -16,27 +16,70 @@ import (
 	"strings"
 	"time"
 
+	"nowomp/internal/adapt"
 	"nowomp/internal/bench"
+	"nowomp/internal/machine"
+	"nowomp/internal/simnet"
 	"nowomp/internal/simtime"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: table1, table2, fig3, migration, micro, ablation, tasking or all")
-		scale = flag.Float64("scale", 0.15, "problem scale (1.0 = the paper's sizes; some experiments enforce larger floors)")
-		hosts = flag.Int("hosts", 10, "workstation pool size")
-		pairs = flag.Int("pairs", 3, "leave/join pairs per Table 2 run")
-		grace = flag.Float64("grace", 3.0, "leave grace period in seconds")
+		exp      = flag.String("exp", "all", "experiment: table1, table2, fig3, migration, micro, ablation, tasking, hetero or all")
+		scale    = flag.Float64("scale", 0.15, "problem scale (1.0 = the paper's sizes; some experiments enforce larger floors)")
+		hosts    = flag.Int("hosts", 10, "workstation pool size")
+		pairs    = flag.Int("pairs", 3, "leave/join pairs per Table 2 run")
+		grace    = flag.Float64("grace", 3.0, "leave grace period in seconds")
+		machines = flag.String("machines", "", "per-machine CPU speeds, e.g. \"4=0.5,7=2\" (applies to every experiment)")
+		load     = flag.String("load", "", "per-machine load traces, e.g. \"3=2@5,0@15;6=0.5@0\"")
+		links    = flag.String("links", "", "per-link overrides, e.g. \"0-7=lat:4,bw:0.25\"")
+		policy   = flag.String("policy", "", "load policy for the hetero custom scenario, e.g. \"high=1.5,low=0.25,dwell=2\"")
 	)
 	flag.Parse()
 	opt := bench.Options{
 		Scale: *scale, Hosts: *hosts, Pairs: *pairs,
 		Grace: simtime.Seconds(*grace),
 	}
+	if err := heteroFlags(&opt, *machines, *load, *links, *policy); err != nil {
+		fmt.Fprintln(os.Stderr, "nowomp-bench:", err)
+		os.Exit(1)
+	}
 	if err := run(*exp, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "nowomp-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// heteroFlags folds the heterogeneity flags into the options: speeds
+// and loads build a machine model every experiment runs on, links bend
+// each run's fabric, and a policy reaches the hetero experiment's
+// custom scenario.
+func heteroFlags(opt *bench.Options, machines, load, links, policy string) error {
+	if machines != "" || load != "" {
+		mm := machine.New(opt.Hosts)
+		if err := machine.ParseSpeeds(mm, machines); err != nil {
+			return err
+		}
+		if err := machine.ParseLoads(mm, load); err != nil {
+			return err
+		}
+		opt.Machine = mm
+	}
+	if links != "" {
+		spec := links
+		opt.Links = func(f *simnet.Fabric) error { return machine.ParseLinks(f, spec) }
+	}
+	if policy != "" {
+		p, err := adapt.ParsePolicy(policy)
+		if err != nil {
+			return err
+		}
+		if load == "" {
+			return fmt.Errorf("-policy needs -load traces to watch")
+		}
+		opt.Policy = &p
+	}
+	return nil
 }
 
 func run(exp string, opt bench.Options) error {
@@ -125,9 +168,19 @@ func run(exp string, opt bench.Options) error {
 	}); err != nil {
 		return err
 	}
+	if err := step("hetero", func() error {
+		rows, err := bench.Hetero(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatHetero(rows))
+		return nil
+	}); err != nil {
+		return err
+	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (want %s)", exp,
-			strings.Join([]string{"table1", "table2", "fig3", "migration", "micro", "ablation", "tasking", "all"}, ", "))
+			strings.Join([]string{"table1", "table2", "fig3", "migration", "micro", "ablation", "tasking", "hetero", "all"}, ", "))
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 // Command nowomp-run executes one of the paper's application kernels
 // on the simulated NOW, optionally with an adapt-event schedule (the
-// stand-in for the paper's event daemons), and reports the Table
+// stand-in for the paper's event daemons) or a heterogeneous machine
+// model with a load policy deriving the events, and reports the Table
 // 1-style measurements plus a log of every adaptation.
 //
 // Examples:
@@ -8,6 +9,9 @@
 //	nowomp-run -app jacobi -procs 8 -scale 0.2
 //	nowomp-run -app nbf -procs 8 -hosts 10 -scale 0.3 \
 //	    -schedule "6:leave:7,9:join:7,14:leave:4:grace=0.5"
+//	nowomp-run -app jacobi -procs 4 -machines "2=0.5,3=0.5"
+//	nowomp-run -app jacobi -procs 4 -load "3=4@5,0@12" \
+//	    -policy "high=1.5,low=0.25,dwell=1"
 package main
 
 import (
@@ -18,44 +22,79 @@ import (
 
 	"nowomp/internal/adapt"
 	"nowomp/internal/apps"
+	"nowomp/internal/machine"
 	"nowomp/internal/omp"
+	"nowomp/internal/simnet"
 	"nowomp/internal/simtime"
 )
 
+// options collects the run configuration parsed from flags.
+type options struct {
+	app      string
+	procs    int
+	hosts    int
+	scale    float64
+	schedule string
+	grace    float64
+	adaptive bool
+	verify   bool
+	machines string
+	load     string
+	links    string
+	policy   string
+}
+
 func main() {
-	var (
-		app      = flag.String("app", "jacobi", "application: gauss, jacobi, fft3d, nbf, mergesort or quadrature")
-		procs    = flag.Int("procs", 8, "initial team size")
-		hosts    = flag.Int("hosts", 10, "workstation pool size")
-		scale    = flag.Float64("scale", 0.2, "problem scale (1.0 = the paper's sizes)")
-		schedule = flag.String("schedule", "", "adapt events, e.g. \"6:leave:7,9:join:7\"")
-		grace    = flag.Float64("grace", 3.0, "default leave grace period in seconds")
-		adaptive = flag.Bool("adaptive", true, "use the adaptive runtime variant")
-		verify   = flag.Bool("verify", true, "check the result against the sequential reference")
-	)
+	var o options
+	flag.StringVar(&o.app, "app", "jacobi", "application: gauss, jacobi, fft3d, nbf, mergesort or quadrature")
+	flag.IntVar(&o.procs, "procs", 8, "initial team size")
+	flag.IntVar(&o.hosts, "hosts", 10, "workstation pool size")
+	flag.Float64Var(&o.scale, "scale", 0.2, "problem scale (1.0 = the paper's sizes)")
+	flag.StringVar(&o.schedule, "schedule", "", "adapt events, e.g. \"6:leave:7,9:join:7\"")
+	flag.Float64Var(&o.grace, "grace", 3.0, "default leave grace period in seconds")
+	flag.BoolVar(&o.adaptive, "adaptive", true, "use the adaptive runtime variant")
+	flag.BoolVar(&o.verify, "verify", true, "check the result against the sequential reference")
+	flag.StringVar(&o.machines, "machines", "", "per-machine CPU speeds, e.g. \"4=0.5,7=2\"")
+	flag.StringVar(&o.load, "load", "", "per-machine load traces, e.g. \"3=2@5,0@15;6=0.5@0\"")
+	flag.StringVar(&o.links, "links", "", "per-link overrides, e.g. \"0-7=lat:4,bw:0.25\"")
+	flag.StringVar(&o.policy, "policy", "", "derive adapt events from the load traces, e.g. \"high=1.5,low=0.25,dwell=2\"")
 	flag.Parse()
-	if err := run(*app, *procs, *hosts, *scale, *schedule, *grace, *adaptive, *verify); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "nowomp-run:", err)
 		os.Exit(1)
 	}
 }
 
-func run(app string, procs, hosts int, scale float64, schedule string, grace float64, adaptive, verify bool) error {
-	runner, ok := apps.RunnerByName(app)
+func run(o options) error {
+	runner, ok := apps.RunnerByName(o.app)
 	if !ok {
-		return fmt.Errorf("unknown application %q", app)
+		return fmt.Errorf("unknown application %q", o.app)
 	}
-	events, err := adapt.ParseSchedule(schedule)
+	events, err := adapt.ParseSchedule(o.schedule)
 	if err != nil {
 		return err
 	}
-	if len(events) > 0 && !adaptive {
+	if len(events) > 0 && !o.adaptive {
 		return fmt.Errorf("a schedule requires -adaptive")
 	}
-	rt, err := omp.New(omp.Config{
-		Hosts: hosts, Procs: procs, Adaptive: adaptive,
-		Grace: simtime.Seconds(grace),
-	})
+	cfg := omp.Config{
+		Hosts: o.hosts, Procs: o.procs, Adaptive: o.adaptive,
+		Grace: simtime.Seconds(o.grace),
+	}
+	if o.machines != "" || o.load != "" {
+		mm := machine.New(o.hosts)
+		if err := machine.ParseSpeeds(mm, o.machines); err != nil {
+			return err
+		}
+		if err := machine.ParseLoads(mm, o.load); err != nil {
+			return err
+		}
+		cfg.Machine = mm
+	}
+	if o.links != "" {
+		cfg.Links = func(f *simnet.Fabric) error { return machine.ParseLinks(f, o.links) }
+	}
+	rt, err := omp.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -64,14 +103,32 @@ func run(app string, procs, hosts int, scale float64, schedule string, grace flo
 			return err
 		}
 	}
+	if o.policy != "" {
+		p, err := adapt.ParsePolicy(o.policy)
+		if err != nil {
+			return err
+		}
+		if !o.adaptive {
+			return fmt.Errorf("a policy requires -adaptive")
+		}
+		if o.load == "" {
+			return fmt.Errorf("a policy needs -load traces to watch")
+		}
+		derived, err := rt.ApplyLoadPolicy(p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("policy %s derived %d events: %s\n\n",
+			adapt.FormatPolicy(p), len(derived), adapt.FormatSchedule(derived))
+	}
 
-	res, err := runner.Run(rt, scale)
+	res, err := runner.Run(rt, o.scale)
 	if err != nil {
 		return err
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
-	fmt.Fprintf(w, "app\t%s (scale %g)\n", res.App, scale)
+	fmt.Fprintf(w, "app\t%s (scale %g)\n", res.App, o.scale)
 	fmt.Fprintf(w, "team\t%d initial, %d final\n", res.Procs, rt.NProcs())
 	fmt.Fprintf(w, "shared memory\t%.1f MB\n", float64(res.SharedBytes)/1e6)
 	fmt.Fprintf(w, "virtual runtime\t%.2f s\n", float64(res.Time))
@@ -98,8 +155,8 @@ func run(app string, procs, hosts int, scale float64, schedule string, grace flo
 		w.Flush()
 	}
 
-	if verify {
-		want := runner.Reference(scale)
+	if o.verify {
+		want := runner.Reference(o.scale)
 		if res.Checksum == want {
 			fmt.Println("\nverified: result matches the sequential reference bit for bit")
 		} else {

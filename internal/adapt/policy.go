@@ -1,0 +1,211 @@
+package adapt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"nowomp/internal/dsm"
+	"nowomp/internal/machine"
+	"nowomp/internal/simtime"
+)
+
+// LoadPolicy turns per-machine background-load traces into adapt
+// events, standing in for the paper's load-sensing daemons: a
+// workstation whose load stays at or above High for a Dwell period is
+// asked back by its owner (a leave event fires when the dwell
+// completes), and one whose load stays at or below Low for a Dwell
+// period is offered again (a join fires). The dwell filter keeps flash
+// load — a spike shorter than Dwell — from thrashing the team, the
+// hysteresis band between Low and High keeps a machine hovering at the
+// threshold from oscillating.
+//
+// Because the traces are known functions of virtual time, the policy
+// derives the complete event stream up front; the result is exactly
+// what an online sensor sampling the same trace would emit, and it is
+// deterministic by construction. Events still apply only at adaptation
+// points, and joins still mature after the spawn lead time, exactly
+// like hand-scheduled events.
+type LoadPolicy struct {
+	// High is the leave threshold (load >= High arms a leave).
+	High float64
+	// Low is the rejoin threshold (load <= Low arms a join). Must not
+	// exceed High.
+	Low float64
+	// Dwell is how long the load must hold beyond a threshold before
+	// the event fires; zero means DefaultDwell.
+	Dwell simtime.Seconds
+}
+
+// DefaultDwell is the default dwell period: long enough to ignore the
+// flash load of a compile or a mail check, short enough to give a
+// reclaimed workstation back within a few parallel phases.
+const DefaultDwell = simtime.Seconds(2.0)
+
+// Validate reports whether the policy is well-formed.
+func (p LoadPolicy) Validate() error {
+	switch {
+	case p.High <= 0:
+		return fmt.Errorf("adapt: policy high threshold %g must be positive", p.High)
+	case p.Low < 0:
+		return fmt.Errorf("adapt: policy low threshold %g must be non-negative", p.Low)
+	case p.Low >= p.High:
+		return fmt.Errorf("adapt: policy low threshold %g must be below high %g", p.Low, p.High)
+	case p.Dwell < 0:
+		return fmt.Errorf("adapt: policy dwell %v must be non-negative", p.Dwell)
+	}
+	return nil
+}
+
+func (p LoadPolicy) dwell() simtime.Seconds {
+	if p.Dwell == 0 {
+		return DefaultDwell
+	}
+	return p.Dwell
+}
+
+// Derive computes the policy's event stream for the given load traces
+// (keyed by the host bound to each machine; the master, host 0, never
+// leaves and is skipped). team is the initial team: a traced host
+// outside it starts as a spare, so its first event is a join once its
+// load has sat at or below Low for a dwell — an idle spare is offered
+// to the computation — and only then can a leave fire. Events come
+// back sorted by time, then host.
+func (p LoadPolicy) Derive(traces map[dsm.HostID]machine.Trace, team []dsm.HostID) ([]Event, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	inTeam := make(map[dsm.HostID]bool, len(team))
+	for _, h := range team {
+		inTeam[h] = true
+	}
+	hosts := make([]dsm.HostID, 0, len(traces))
+	for h := range traces {
+		hosts = append(hosts, h)
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+
+	var events []Event
+	for _, h := range hosts {
+		if h == 0 {
+			continue // the master cannot leave
+		}
+		events = append(events, p.deriveHost(h, traces[h], inTeam[h])...)
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].At != events[j].At {
+			return events[i].At < events[j].At
+		}
+		return events[i].Host < events[j].Host
+	})
+	return events, nil
+}
+
+// deriveHost walks one trace's segments with a two-state machine:
+// while the host is in the team, look for the first High-or-above run
+// of at least Dwell; while it is out, look for the first Low-or-below
+// run of at least Dwell; repeat. `in` seeds the state from the
+// initial team membership.
+func (p LoadPolicy) deriveHost(h dsm.HostID, tr machine.Trace, in bool) []Event {
+	steps := tr.Steps()
+	dwell := p.dwell()
+	var events []Event
+	// runStart is the instant the current qualifying run began, or NaN
+	// when the current segment does not qualify.
+	runStart := math.NaN()
+	// The segment before the first step carries load 0 from t=0.
+	segs := make([]machine.Step, 0, len(steps)+1)
+	if len(steps) == 0 || steps[0].At > 0 {
+		segs = append(segs, machine.Step{At: 0, Load: 0})
+	}
+	segs = append(segs, steps...)
+
+	for i, s := range segs {
+		qualifies := (in && s.Load >= p.High) || (!in && s.Load <= p.Low)
+		if qualifies && math.IsNaN(runStart) {
+			runStart = float64(s.At)
+		}
+		if !qualifies {
+			runStart = math.NaN()
+		}
+		// Does the run reach Dwell before the next breakpoint (or does
+		// the final segment hold forever)?
+		for !math.IsNaN(runStart) {
+			fire := simtime.Seconds(runStart) + dwell
+			if i+1 < len(segs) && segs[i+1].At < fire {
+				break // run may continue into the next segment
+			}
+			if in {
+				events = append(events, Event{Kind: KindLeave, Host: h, At: fire})
+			} else {
+				events = append(events, Event{Kind: KindJoin, Host: h, At: fire})
+			}
+			in = !in
+			// Re-evaluate this segment under the flipped state: a long
+			// qualifying run for the new state starts afresh here.
+			if (in && s.Load >= p.High) || (!in && s.Load <= p.Low) {
+				runStart = float64(fire)
+			} else {
+				runStart = math.NaN()
+			}
+		}
+	}
+	return events
+}
+
+// ParsePolicy parses a compact load-policy spec of the form
+//
+//	high=H,low=L[,dwell=D]
+//
+// for example "high=1.5,low=0.25,dwell=2". The empty string yields the
+// zero policy (which does not validate); flag plumbing treats it as
+// "no policy".
+func ParsePolicy(s string) (LoadPolicy, error) {
+	s = strings.TrimSpace(s)
+	var p LoadPolicy
+	if s == "" {
+		return p, nil
+	}
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		key, val, ok := strings.Cut(item, "=")
+		if !ok {
+			return LoadPolicy{}, fmt.Errorf("adapt: policy %q: want key=value", item)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return LoadPolicy{}, fmt.Errorf("adapt: policy %q: bad number %q", item, val)
+		}
+		switch key {
+		case "high":
+			p.High = f
+		case "low":
+			p.Low = f
+		case "dwell":
+			if f <= 0 {
+				return LoadPolicy{}, fmt.Errorf("adapt: policy %q: dwell must be positive", item)
+			}
+			p.Dwell = simtime.Seconds(f)
+		default:
+			return LoadPolicy{}, fmt.Errorf("adapt: policy %q: unknown key %q (want high, low or dwell)", item, key)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return LoadPolicy{}, err
+	}
+	return p, nil
+}
+
+// FormatPolicy renders a policy in ParsePolicy form; parsing the
+// output reproduces the policy.
+func FormatPolicy(p LoadPolicy) string {
+	s := fmt.Sprintf("high=%s,low=%s",
+		strconv.FormatFloat(p.High, 'g', -1, 64),
+		strconv.FormatFloat(p.Low, 'g', -1, 64))
+	if p.Dwell != 0 {
+		s += fmt.Sprintf(",dwell=%s", strconv.FormatFloat(float64(p.Dwell), 'g', -1, 64))
+	}
+	return s
+}

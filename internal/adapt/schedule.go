@@ -36,6 +36,22 @@ func ParseSchedule(s string) ([]Event, error) {
 	return events, nil
 }
 
+// FormatSchedule renders events in ParseSchedule form; parsing the
+// output reproduces the events (the canonical round trip the tools
+// rely on when echoing a schedule back to the user).
+func FormatSchedule(events []Event) string {
+	parts := make([]string, len(events))
+	for i, ev := range events {
+		s := fmt.Sprintf("%s:%s:%d",
+			strconv.FormatFloat(float64(ev.At), 'g', -1, 64), ev.Kind, ev.Host)
+		if ev.Grace > 0 {
+			s += fmt.Sprintf(":grace=%s", strconv.FormatFloat(float64(ev.Grace), 'g', -1, 64))
+		}
+		parts[i] = s
+	}
+	return strings.Join(parts, ",")
+}
+
 func parseEvent(item string) (Event, error) {
 	parts := strings.Split(item, ":")
 	if len(parts) < 3 || len(parts) > 4 {

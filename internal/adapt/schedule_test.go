@@ -41,6 +41,33 @@ func TestParseScheduleEmpty(t *testing.T) {
 	}
 }
 
+func TestParseScheduleRoundTrip(t *testing.T) {
+	spec := "12.5:leave:3,30:join:3,45:leave:7:grace=1"
+	events, err := ParseSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatSchedule(events)
+	again, err := ParseSchedule(out)
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", out, err)
+	}
+	if len(again) != len(events) {
+		t.Fatalf("round trip changed event count: %d vs %d", len(again), len(events))
+	}
+	for i := range events {
+		if events[i] != again[i] {
+			t.Errorf("event %d changed in round trip: %+v vs %+v", i, events[i], again[i])
+		}
+	}
+	if FormatSchedule(again) != out {
+		t.Errorf("format not canonical: %q vs %q", FormatSchedule(again), out)
+	}
+	if FormatSchedule(nil) != "" {
+		t.Error("empty schedule must format to the empty string")
+	}
+}
+
 func TestParseScheduleErrors(t *testing.T) {
 	cases := []struct {
 		in, wantSub string

@@ -71,14 +71,14 @@ func reassignAblation(opt Options) ([]ReassignRow, error) {
 	for _, strat := range []adapt.ReassignStrategy{adapt.ShiftDown, adapt.SwapLast} {
 		base := map[int]simtime.Seconds{}
 		for _, n := range []int{7, 8} {
-			res, _, err := runApp("jacobi", opt.Scale, omp.Config{Hosts: opt.Hosts, Procs: n}, nil)
+			res, _, err := runAppOpt(opt, "jacobi", opt.Scale, omp.Config{Hosts: opt.Hosts, Procs: n}, nil)
 			if err != nil {
 				return nil, err
 			}
 			base[n] = res.Time
 		}
 		fl := &forkLeaver{fires: map[int64][]int{8: {MiddleSlot(8)}}}
-		res, rt, err := runApp("jacobi", opt.Scale, omp.Config{
+		res, rt, err := runAppOpt(opt, "jacobi", opt.Scale, omp.Config{
 			Hosts: opt.Hosts, Procs: 8, Adaptive: true, Grace: opt.Grace, Reassign: strat,
 		}, fl.hook)
 		if err != nil {
@@ -151,7 +151,7 @@ func handoffAblation(opt Options) ([]HandoffRow, error) {
 	var rows []HandoffRow
 	for _, strat := range []dsm.LeaveStrategy{dsm.LeaveViaMaster, dsm.LeaveDirectHandoff} {
 		fl := &forkLeaver{fires: map[int64][]int{8: {EndSlot(8)}}}
-		_, rt, err := runApp("jacobi", opt.Scale, omp.Config{
+		_, rt, err := runAppOpt(opt, "jacobi", opt.Scale, omp.Config{
 			Hosts: opt.Hosts, Procs: 8, Adaptive: true, Grace: opt.Grace, LeaveStrategy: strat,
 		}, fl.hook)
 		if err != nil {

@@ -17,7 +17,9 @@ import (
 	"nowomp/internal/adapt"
 	"nowomp/internal/apps"
 	"nowomp/internal/dsm"
+	"nowomp/internal/machine"
 	"nowomp/internal/omp"
+	"nowomp/internal/simnet"
 	"nowomp/internal/simtime"
 )
 
@@ -35,6 +37,19 @@ type Options struct {
 	Pairs int
 	// Grace is the leave grace period (default: the paper's 3 s).
 	Grace simtime.Seconds
+	// Machine applies a per-machine speed/load model to every
+	// experiment run (nil = the homogeneous baseline); the tools'
+	// -machines/-load flags populate it. The hetero experiment keeps
+	// its built-in matrix on the baseline and runs the model as an
+	// appended "custom" scenario instead.
+	Machine *machine.Model
+	// Links configures per-link overrides on each run's fabric (nil =
+	// uniform links).
+	Links func(*simnet.Fabric) error
+	// Policy adds a load policy to the hetero experiment's custom
+	// scenario (requires Machine load traces); other experiments ignore
+	// it.
+	Policy *adapt.LoadPolicy
 }
 
 func (o Options) withDefaults() Options {
@@ -68,6 +83,15 @@ func runApp(name string, scale float64, cfg omp.Config, hook func(*omp.Runtime))
 	}
 	res, err := runner.Run(rt, scale)
 	return res, rt, err
+}
+
+// runAppOpt is runApp with the Options-level machine model and link
+// overrides applied, the path every experiment shares so the tools'
+// heterogeneity flags reach all of them.
+func runAppOpt(opt Options, name string, scale float64, cfg omp.Config, hook func(*omp.Runtime)) (apps.Result, *omp.Runtime, error) {
+	cfg.Machine = opt.Machine
+	cfg.Links = opt.Links
+	return runApp(name, scale, cfg, hook)
 }
 
 // avgTeamSize returns the time-weighted average team size of a run,

@@ -61,7 +61,10 @@ func Migration(opt Options) ([]MigrationRow, error) {
 		if scale > 0.1 {
 			scale = 0.1
 		}
-		_, rt, err := runApp(app, scale, omp.Config{Hosts: procs, Procs: procs}, nil)
+		// The full pool, like every other experiment: the extra idle
+		// hosts cost nothing, and the Options-level machine model (sized
+		// to the pool) stays applicable.
+		_, rt, err := runAppOpt(opt, app, scale, omp.Config{Hosts: opt.Hosts, Procs: procs}, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -58,11 +58,11 @@ func table1Row(opt Options, app string, procs int) (Table1Row, error) {
 	if procs > opt.Hosts {
 		return Table1Row{}, fmt.Errorf("bench: %d procs exceed the %d-host pool", procs, opt.Hosts)
 	}
-	std, _, err := runApp(app, opt.Scale, omp.Config{Hosts: opt.Hosts, Procs: procs}, nil)
+	std, _, err := runAppOpt(opt, app, opt.Scale, omp.Config{Hosts: opt.Hosts, Procs: procs}, nil)
 	if err != nil {
 		return Table1Row{}, fmt.Errorf("bench: %s/%d non-adaptive: %w", app, procs, err)
 	}
-	ada, _, err := runApp(app, opt.Scale, omp.Config{Hosts: opt.Hosts, Procs: procs, Adaptive: true, Grace: opt.Grace}, nil)
+	ada, _, err := runAppOpt(opt, app, opt.Scale, omp.Config{Hosts: opt.Hosts, Procs: procs, Adaptive: true, Grace: opt.Grace}, nil)
 	if err != nil {
 		return Table1Row{}, fmt.Errorf("bench: %s/%d adaptive: %w", app, procs, err)
 	}

@@ -96,11 +96,11 @@ func Table2Cell1(opt Options, app string, n int, leaver string) (Table2Cell, err
 	}
 
 	// Non-adaptive baselines at n and n-1 processes.
-	baseN, _, err := runApp(app, scale, omp.Config{Hosts: opt.Hosts, Procs: n}, nil)
+	baseN, _, err := runAppOpt(opt, app, scale, omp.Config{Hosts: opt.Hosts, Procs: n}, nil)
 	if err != nil {
 		return Table2Cell{}, err
 	}
-	baseN1, _, err := runApp(app, scale, omp.Config{Hosts: opt.Hosts, Procs: n - 1}, nil)
+	baseN1, _, err := runAppOpt(opt, app, scale, omp.Config{Hosts: opt.Hosts, Procs: n - 1}, nil)
 	if err != nil {
 		return Table2Cell{}, err
 	}
@@ -112,7 +112,7 @@ func Table2Cell1(opt Options, app string, n int, leaver string) (Table2Cell, err
 		leaveAt[i] = baseN.Time * simtime.Seconds(float64(i)+0.6) / simtime.Seconds(float64(opt.Pairs)+0.6)
 	}
 	alt := newAlternator(leaveAt, slot)
-	ada, rt, err := runApp(app, scale, omp.Config{
+	ada, rt, err := runAppOpt(opt, app, scale, omp.Config{
 		Hosts: opt.Hosts, Procs: n, Adaptive: true, Grace: opt.Grace,
 	}, alt.hook)
 	if err != nil {

@@ -82,7 +82,7 @@ func (c *Cluster) NormalLeave(leaver HostID, strategy LeaveStrategy) (TransferRe
 			if moved {
 				rep.PagesMoved++
 				rep.BytesMoved += page.Size
-				perDest[dest] += c.model.PageFetch(page.Size)
+				perDest[dest] += c.costs.PageFetch(c.Host(dest).machine, h.machine, page.Size)
 			}
 			pm.owner = dest
 		}
@@ -200,7 +200,7 @@ func (c *Cluster) Join(id HostID) (TransferReport, error) {
 	c.fabric.Record(h.machine, master.machine, msgHeader)
 	return TransferReport{
 		BytesMoved: int64(bytes),
-		Elapsed:    2*c.model.OneWayLatency + c.model.Wire(bytes) + c.model.MsgOverhead,
+		Elapsed:    c.costs.JoinMap(master.machine, h.machine, bytes),
 	}, nil
 }
 
@@ -223,10 +223,11 @@ func (c *Cluster) CollectToMaster() TransferReport {
 			if current || pm.owner == master.id {
 				continue
 			}
-			if c.handoffPage(r, p, pm, pm.owner, master.id) {
+			owner := pm.owner
+			if c.handoffPage(r, p, pm, owner, master.id) {
 				rep.PagesMoved++
 				rep.BytesMoved += page.Size
-				rep.Elapsed += c.model.PageFetch(page.Size)
+				rep.Elapsed += c.costs.PageFetch(master.machine, c.Host(owner).machine, page.Size)
 			}
 		}
 	}

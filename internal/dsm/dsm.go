@@ -23,6 +23,7 @@ package dsm
 import (
 	"fmt"
 
+	"nowomp/internal/machine"
 	"nowomp/internal/simnet"
 	"nowomp/internal/simtime"
 )
@@ -66,6 +67,16 @@ type Config struct {
 	// Model is the virtual-time cost model; zero means simtime.Default.
 	Model simtime.CostModel
 
+	// Machine describes per-machine heterogeneity (CPU speed factors,
+	// background-load traces); nil means a homogeneous pool, the
+	// baseline fast path.
+	Machine *machine.Model
+
+	// Links configures per-link latency/bandwidth overrides on the
+	// fresh fabric before any cost is priced; nil leaves every link at
+	// the baseline. The hook runs once inside New.
+	Links func(*simnet.Fabric) error
+
 	// GCThresholdBytes triggers a garbage collection at the next
 	// barrier once accumulated diff storage exceeds it. Zero means the
 	// default of 4 MB. Adaptation points force GC regardless.
@@ -84,6 +95,7 @@ const defaultGCThreshold = 4 << 20
 type Cluster struct {
 	cfg     Config
 	model   simtime.CostModel
+	costs   *machine.Costs
 	fabric  *simnet.Fabric
 	hosts   []*Host
 	dir     *directory
@@ -120,10 +132,24 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.GCThresholdBytes <= 0 {
 		cfg.GCThresholdBytes = defaultGCThreshold
 	}
+	// A model spanning more machines than the pool is fine (the extras
+	// are simply unused); one spanning fewer would panic at the first
+	// lookup, so reject it here with a diagnosable error.
+	if cfg.Machine != nil && cfg.Machine.Machines() < cfg.MaxHosts {
+		return nil, fmt.Errorf("dsm: machine model spans only %d machines, pool has %d",
+			cfg.Machine.Machines(), cfg.MaxHosts)
+	}
+	fabric := simnet.New(cfg.MaxHosts)
+	if cfg.Links != nil {
+		if err := cfg.Links(fabric); err != nil {
+			return nil, fmt.Errorf("dsm: link configuration: %w", err)
+		}
+	}
 	c := &Cluster{
 		cfg:    cfg,
 		model:  cfg.Model,
-		fabric: simnet.New(cfg.MaxHosts),
+		costs:  machine.NewCosts(cfg.Model, fabric, cfg.Machine),
+		fabric: fabric,
 		dir:    newDirectory(),
 		locks:  newLockTable(),
 	}
@@ -134,8 +160,17 @@ func New(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
-// Model returns the cluster's cost model.
+// Model returns the cluster's baseline cost model.
 func (c *Cluster) Model() simtime.CostModel { return c.model }
+
+// Costs returns the heterogeneity-aware cost layer every charge site
+// prices through. With a nil machine model and default links it
+// reproduces Model() bit for bit.
+func (c *Cluster) Costs() *machine.Costs { return c.costs }
+
+// MachineModel returns the per-machine speed/load model, or nil for a
+// homogeneous pool.
+func (c *Cluster) MachineModel() *machine.Model { return c.cfg.Machine }
 
 // Fabric exposes the network for traffic-window measurements.
 func (c *Cluster) Fabric() *simnet.Fabric { return c.fabric }

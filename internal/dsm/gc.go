@@ -175,7 +175,7 @@ func (c *Cluster) gcPage(r RegionID, p int, pm *pageMeta, pull map[HostID]simtim
 		}
 		c.fabric.Record(owner.machine, src.machine, msgHeader)
 		c.fabric.Record(src.machine, owner.machine, wire+msgHeader)
-		pull[pm.owner] += c.model.DiffFetch(wire)
+		pull[pm.owner] += c.costs.DiffFetch(owner.machine, src.machine, wire)
 		c.stats.DiffFetches.Add(1)
 		c.stats.DiffBytes.Add(int64(wire))
 	}

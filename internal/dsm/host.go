@@ -179,7 +179,7 @@ func (h *Host) ensureWrite(r RegionID, p int, clk *simtime.Clock) {
 		st.twin = page.Twin(st.data)
 		st.dirty = true
 		h.written = append(h.written, pageKey{r, p})
-		clk.Advance(h.cluster.model.TwinCost)
+		clk.Advance(h.cluster.costs.Twin(h.machine))
 		h.cluster.stats.TwinsCreated.Add(1)
 		h.cluster.stats.WriteFaults.Add(1)
 	}
@@ -269,7 +269,7 @@ func (h *Host) fetchBase(pk pageKey, owner HostID, clk *simtime.Clock) int32 {
 
 	c.fabric.Record(h.machine, src.machine, msgHeader)
 	c.fabric.Record(src.machine, h.machine, page.Size+msgHeader)
-	clk.Advance(c.model.PageFetch(page.Size))
+	clk.Advance(c.costs.PageFetch(h.machine, src.machine, page.Size))
 	c.stats.PageFetches.Add(1)
 	c.stats.PageBytes.Add(page.Size)
 
@@ -301,7 +301,7 @@ func (h *Host) fetchDiffs(pk pageKey, w HostID, after, upTo int32, clk *simtime.
 	}
 	c.fabric.Record(h.machine, src.machine, msgHeader)
 	c.fabric.Record(src.machine, h.machine, wire+msgHeader)
-	clk.Advance(c.model.DiffFetch(wire))
+	clk.Advance(c.costs.DiffFetch(h.machine, src.machine, wire))
 	c.stats.DiffFetches.Add(int64(len(got)))
 	c.stats.DiffBytes.Add(int64(wire))
 	return got

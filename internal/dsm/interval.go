@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nowomp/internal/page"
+	"nowomp/internal/simnet"
 	"nowomp/internal/simtime"
 )
 
@@ -88,7 +89,17 @@ func (c *Cluster) Barrier(active []HostID, arrivals []simtime.Seconds) BarrierRe
 			maxFlush = f
 		}
 	}
-	release += maxFlush + c.model.Barrier(len(active))
+	if c.costs.Homogeneous() {
+		// Fast path: skip the member-machine gather on the hottest
+		// synchronisation path (Costs.Barrier would ignore it anyway).
+		release += maxFlush + c.model.Barrier(len(active))
+	} else {
+		members := make([]simnet.MachineID, len(active))
+		for i, id := range active {
+			members[i] = c.Host(id).machine
+		}
+		release += maxFlush + c.costs.Barrier(c.Master().machine, members)
+	}
 
 	res := BarrierResult{ReleaseTime: release, Seq: s}
 	if c.diffStorageLocked() > c.cfg.GCThresholdBytes {
@@ -131,7 +142,7 @@ func (c *Cluster) closePage(pk pageKey, writers []HostID, s int32, active []Host
 				c.stats.DiffsCreated.Add(1)
 				pm.notices = append(pm.notices, notice{writer: w, seq: s})
 				noticed[w] = true
-				flush[w] += c.model.DiffCreateByteCost * simtime.Seconds(page.Size)
+				flush[w] += c.costs.DiffCreate(h.machine, page.Size)
 				made = append(made, writerDiff{writer: w, diff: d})
 			}
 			h.mu.Unlock()

@@ -24,34 +24,44 @@ type lockState struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	held bool
-	// waiters maps ticket ids to virtual request times.
-	waiters     map[uint64]simtime.Seconds
+	// waiters maps ticket ids to virtual request times and requesters.
+	waiters     map[uint64]lockWaiter
 	nextTicket  uint64
 	lastRelease simtime.Seconds
 	lastHolder  HostID
 	everHeld    bool
 }
 
+// lockWaiter is one queued acquire request.
+type lockWaiter struct {
+	at   simtime.Seconds
+	host HostID
+}
+
 func newLockState() *lockState {
-	lk := &lockState{lastHolder: -1, waiters: make(map[uint64]simtime.Seconds)}
+	lk := &lockState{lastHolder: -1, waiters: make(map[uint64]lockWaiter)}
 	lk.cond = sync.NewCond(&lk.mu)
 	return lk
 }
 
 // acquire blocks until this goroutine holds the lock. Grants follow
-// (virtual time, ticket) order among registered waiters, and a request
-// at instant `at` waits until no still-running process's clock is
-// behind `at` — so a goroutine that happens to run early in real time
+// (virtual time, host id) order among registered waiters — host id,
+// not arrival order, breaks virtual-time ties, so that symmetric
+// processes requesting at the identical instant (a uniform loop's
+// first dynamic claim, say) are granted in a reproducible order no
+// matter how the Go scheduler interleaves them. A request at instant
+// `at` additionally waits until no still-running process's clock is
+// behind `at` — a goroutine that happens to run early in real time
 // cannot claim the lock "from the future" of the simulation. While
 // waiting only for other clocks to advance, the goroutine yields the
 // processor rather than blocking on the condition variable (clock
 // advancement does not signal).
-func (lk *lockState) acquire(c *Cluster, self *simtime.Clock) {
+func (lk *lockState) acquire(c *Cluster, self *simtime.Clock, host HostID) {
 	at := self.Now()
 	lk.mu.Lock()
 	ticket := lk.nextTicket
 	lk.nextTicket++
-	lk.waiters[ticket] = at
+	lk.waiters[ticket] = lockWaiter{at: at, host: host}
 	for {
 		if !lk.held && lk.isNext(ticket) {
 			if c.noEarlierRunner(self, at) {
@@ -69,13 +79,21 @@ func (lk *lockState) acquire(c *Cluster, self *simtime.Clock) {
 	}
 }
 
-// isNext reports whether the ticket has the earliest virtual request
-// time (ties broken by ticket order) among current waiters. Caller
-// holds lk.mu.
+// isNext reports whether the ticket has the earliest (virtual time,
+// host id, ticket) key among current waiters. Caller holds lk.mu.
 func (lk *lockState) isNext(ticket uint64) bool {
-	myTime := lk.waiters[ticket]
-	for t, at := range lk.waiters {
-		if at < myTime || (at == myTime && t < ticket) {
+	mine := lk.waiters[ticket]
+	for t, w := range lk.waiters {
+		switch {
+		case w.at != mine.at:
+			if w.at < mine.at {
+				return false
+			}
+		case w.host != mine.host:
+			if w.host < mine.host {
+				return false
+			}
+		case t < ticket:
 			return false
 		}
 	}
@@ -130,15 +148,16 @@ func (t *lockTable) get(id int) *lockState {
 // copies made stale by lock-release intervals it has not yet honoured.
 func (c *Cluster) AcquireLock(id int, h *Host, clk *simtime.Clock) {
 	lk := c.locks.get(id)
-	lk.acquire(c, clk) // released by ReleaseLock
+	lk.acquire(c, clk, h.id) // released by ReleaseLock
 
 	clk.AdvanceTo(lk.lastRelease)
-	cost := c.model.LockBase
 	manager := c.Master()
-	if lk.everHeld && lk.lastHolder != manager.id && lk.lastHolder != h.id {
-		cost += c.model.LockForward
+	forwarded := lk.everHeld && lk.lastHolder != manager.id && lk.lastHolder != h.id
+	holderMachine := manager.machine
+	if forwarded {
+		holderMachine = c.Host(lk.lastHolder).machine
 	}
-	clk.Advance(cost)
+	clk.Advance(c.costs.Lock(h.machine, manager.machine, holderMachine, forwarded))
 	c.stats.LockAcquires.Add(1)
 
 	// Request to the manager; grant from manager or forwarded holder.
@@ -231,7 +250,7 @@ func (c *Cluster) ReleaseLock(id int, h *Host, clk *simtime.Clock) {
 	c.flushIntervalLocked(h, clk)
 	c.dir.mu.Unlock()
 
-	clk.Advance(c.model.MsgOverhead)
+	clk.Advance(c.costs.MsgOverhead(h.machine))
 	lk.release(h.id, clk.Now())
 }
 
@@ -271,7 +290,7 @@ func (c *Cluster) flushIntervalLocked(h *Host, clk *simtime.Clock) int {
 			} else {
 				st.valid = false // concurrent writers under other locks
 			}
-			clk.Advance(c.model.DiffCreateByteCost * simtime.Seconds(page.Size))
+			clk.Advance(c.costs.DiffCreate(h.machine, page.Size))
 			made++
 		}
 		h.mu.Unlock()

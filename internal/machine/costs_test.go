@@ -1,0 +1,157 @@
+package machine
+
+import (
+	"testing"
+
+	"nowomp/internal/simnet"
+	"nowomp/internal/simtime"
+)
+
+// TestHomogeneousBitIdentity pins the refactor's core contract: with a
+// nil model and default links, every Costs method reproduces the
+// baseline CostModel arithmetic bit for bit — and an explicit all-unit
+// model prices identically to a nil one.
+func TestHomogeneousBitIdentity(t *testing.T) {
+	base := simtime.Default()
+	for _, m := range []*Model{nil, New(8)} {
+		f := simnet.New(8)
+		k := NewCosts(base, f, m)
+		if !k.Homogeneous() {
+			t.Fatal("unit setup must take the fast path")
+		}
+		for _, bytes := range []int{1, 100, 4096, 65536} {
+			if got, want := k.PageFetch(1, 2, bytes), base.PageFetch(bytes); got != want {
+				t.Errorf("PageFetch(%d) = %v, want %v", bytes, got, want)
+			}
+			if got, want := k.DiffFetch(1, 2, bytes), base.DiffFetch(bytes); got != want {
+				t.Errorf("DiffFetch(%d) = %v, want %v", bytes, got, want)
+			}
+			if got, want := k.Wire(3, 4, bytes), base.Wire(bytes); got != want {
+				t.Errorf("Wire(%d) = %v, want %v", bytes, got, want)
+			}
+		}
+		if got, want := k.RoundTrip(0, 5), 2*base.OneWayLatency; got != want {
+			t.Errorf("RoundTrip = %v, want %v", got, want)
+		}
+		if got, want := k.Twin(3), base.TwinCost; got != want {
+			t.Errorf("Twin = %v, want %v", got, want)
+		}
+		if got, want := k.DiffCreate(3, 4096), base.DiffCreateByteCost*simtime.Seconds(4096); got != want {
+			t.Errorf("DiffCreate = %v, want %v", got, want)
+		}
+		if got, want := k.Lock(1, 0, 2, true), base.LockBase+base.LockForward; got != want {
+			t.Errorf("Lock forwarded = %v, want %v", got, want)
+		}
+		if got, want := k.Lock(1, 0, 2, false), base.LockBase; got != want {
+			t.Errorf("Lock = %v, want %v", got, want)
+		}
+		members := []simnet.MachineID{0, 1, 2, 3}
+		if got, want := k.Barrier(0, members), base.Barrier(4); got != want {
+			t.Errorf("Barrier = %v, want %v", got, want)
+		}
+		if got, want := k.Fork(0, members), base.Fork(4); got != want {
+			t.Errorf("Fork = %v, want %v", got, want)
+		}
+		if got, want := k.Migration(1, 2, 5<<20), base.Migration(5<<20); got != want {
+			t.Errorf("Migration = %v, want %v", got, want)
+		}
+		if got, want := k.Compute(2, 17, 0.125), simtime.Seconds(0.125); got != want {
+			t.Errorf("Compute = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLinkScalesBendTransfers(t *testing.T) {
+	base := simtime.Default()
+	f := simnet.New(4)
+	f.SetDuplexScale(0, 1, 4, 0.25)
+	k := NewCosts(base, f, nil)
+	if k.Homogeneous() {
+		t.Fatal("link override must disable the fast path")
+	}
+	if got, want := k.Latency(0, 1), 4*base.OneWayLatency; got != want {
+		t.Errorf("Latency over slow link = %v, want %v", got, want)
+	}
+	if got, want := k.Latency(0, 2), base.OneWayLatency; got != want {
+		t.Errorf("Latency over default link = %v, want %v", got, want)
+	}
+	if got := k.Wire(0, 1, 4096); got <= base.Wire(4096)*3.9 {
+		t.Errorf("quarter bandwidth wire time %v not ~4x baseline %v", got, base.Wire(4096))
+	}
+	slow := k.PageFetch(0, 1, 4096)
+	fast := k.PageFetch(0, 2, 4096)
+	if slow <= fast {
+		t.Errorf("page fetch over slow link (%v) must cost more than default (%v)", slow, fast)
+	}
+	if fast != base.PageFetch(4096) {
+		// The default-link path still bends nothing, but it is computed
+		// through the heterogeneous arithmetic; allow only exactness.
+		t.Errorf("default-link fetch %v differs from baseline %v", fast, base.PageFetch(4096))
+	}
+}
+
+func TestSpeedScalesSoftwareCosts(t *testing.T) {
+	base := simtime.Default()
+	f := simnet.New(4)
+	m := New(4)
+	m.SetSpeed(2, 2) // double speed: half the software cost
+	k := NewCosts(base, f, m)
+	if got, want := k.Twin(2), base.TwinCost/2; got != want {
+		t.Errorf("Twin on 2x machine = %v, want %v", got, want)
+	}
+	if got, want := k.Twin(1), base.TwinCost; got != want {
+		t.Errorf("Twin on 1x machine = %v, want %v", got, want)
+	}
+	if got, want := k.MsgOverhead(2), base.MsgOverhead/2; got != want {
+		t.Errorf("MsgOverhead on 2x machine = %v, want %v", got, want)
+	}
+	if k.DiffCreate(2, 4096) >= k.DiffCreate(1, 4096) {
+		t.Error("diff create must be cheaper on the faster machine")
+	}
+	// Load must NOT affect software costs.
+	tr, _ := NewTrace(Step{At: 0, Load: 10})
+	m.SetLoad(1, tr)
+	k = NewCosts(base, f, m)
+	if got, want := k.Twin(1), base.TwinCost; got != want {
+		t.Errorf("Twin on loaded 1x machine = %v, want %v (load-independent)", got, want)
+	}
+}
+
+func TestMigrationLinkBottleneck(t *testing.T) {
+	base := simtime.Default()
+	f := simnet.New(4)
+	// Scale 0->1 bandwidth so the link (12.5 MB/s * 0.1) undercuts the
+	// 8.1 MB/s libckpt rate.
+	f.SetLinkScale(0, 1, 1, 0.1)
+	k := NewCosts(base, f, nil)
+	img := 10 << 20
+	slow := k.Migration(0, 1, img)
+	if slow <= base.Migration(img) {
+		t.Errorf("migration over starved link %v must exceed baseline %v", slow, base.Migration(img))
+	}
+	// A generous link leaves libckpt the bottleneck.
+	f2 := simnet.New(4)
+	f2.SetLinkScale(0, 1, 1, 10)
+	k2 := NewCosts(base, f2, nil)
+	if got, want := k2.Migration(0, 1, img), base.Migration(img); got != want {
+		t.Errorf("migration over fat link = %v, want libckpt-limited %v", got, want)
+	}
+}
+
+func TestBarrierAndForkWorstLink(t *testing.T) {
+	base := simtime.Default()
+	f := simnet.New(4)
+	f.SetDuplexScale(0, 3, 5, 1)
+	k := NewCosts(base, f, nil)
+	members := []simnet.MachineID{0, 1, 2, 3}
+	if k.Barrier(0, members) <= base.Barrier(4) {
+		t.Error("barrier with one slow member must cost more than baseline")
+	}
+	if k.Fork(0, members) <= base.Fork(4) {
+		t.Error("fork with one slow member must cost more than baseline")
+	}
+	near := []simnet.MachineID{0, 1, 2}
+	if got, want := k.Barrier(0, near), base.Barrier(3); got != want {
+		t.Errorf("barrier avoiding the slow link = %v, want %v", got, want)
+	}
+}

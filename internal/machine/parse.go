@@ -1,0 +1,192 @@
+package machine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"nowomp/internal/simnet"
+	"nowomp/internal/simtime"
+)
+
+// ParseSpeeds parses a compact per-machine speed spec of the form
+//
+//	ID=FACTOR[,ID=FACTOR...]
+//
+// for example "4=0.5,5=0.5,7=2" (machines 4 and 5 at half speed,
+// machine 7 twice the baseline). Unlisted machines stay at 1.0. The
+// spec is applied to m, which must already span the pool; an empty
+// spec is a no-op.
+func ParseSpeeds(m *Model, spec string) error {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil
+	}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		id, val, ok := strings.Cut(item, "=")
+		if !ok {
+			return fmt.Errorf("machine: speed %q: want ID=FACTOR", item)
+		}
+		mid, err := strconv.Atoi(id)
+		if err != nil || mid < 0 || mid >= m.Machines() {
+			return fmt.Errorf("machine: speed %q: machine %q not in [0,%d)", item, id, m.Machines())
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || f <= 0 {
+			return fmt.Errorf("machine: speed %q: factor %q must be a positive number", item, val)
+		}
+		m.SetSpeed(simnet.MachineID(mid), f)
+	}
+	return nil
+}
+
+// FormatSpeeds renders the non-default speeds of a model in ParseSpeeds
+// form, machines ascending; the empty string means all speeds are 1.0.
+func FormatSpeeds(m *Model) string {
+	if m == nil {
+		return ""
+	}
+	var parts []string
+	for id := 0; id < m.Machines(); id++ {
+		if f := m.Speed(simnet.MachineID(id)); f != 1 {
+			parts = append(parts, fmt.Sprintf("%d=%s", id, strconv.FormatFloat(f, 'g', -1, 64)))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseLoads parses a compact per-machine load-trace spec of the form
+//
+//	ID=LOAD@TIME[,LOAD@TIME...][;ID=...]
+//
+// for example "3=2@5,0@15;6=0.5@0": machine 3 carries load 2.0 from
+// t=5s until t=15s, machine 6 load 0.5 from the start. Times are
+// virtual seconds, strictly ascending within one machine; the last
+// load holds forever. The spec is applied to m; an empty spec is a
+// no-op.
+func ParseLoads(m *Model, spec string) error {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil
+	}
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		id, rest, ok := strings.Cut(entry, "=")
+		if !ok {
+			return fmt.Errorf("machine: load %q: want ID=LOAD@TIME,...", entry)
+		}
+		mid, err := strconv.Atoi(strings.TrimSpace(id))
+		if err != nil || mid < 0 || mid >= m.Machines() {
+			return fmt.Errorf("machine: load %q: machine %q not in [0,%d)", entry, id, m.Machines())
+		}
+		var steps []Step
+		for _, sp := range strings.Split(rest, ",") {
+			sp = strings.TrimSpace(sp)
+			load, at, ok := strings.Cut(sp, "@")
+			if !ok {
+				return fmt.Errorf("machine: load %q: step %q: want LOAD@TIME", entry, sp)
+			}
+			lv, err := strconv.ParseFloat(load, 64)
+			if err != nil || lv < 0 {
+				return fmt.Errorf("machine: load %q: step %q: load %q must be a non-negative number", entry, sp, load)
+			}
+			tv, err := strconv.ParseFloat(at, 64)
+			if err != nil || tv < 0 {
+				return fmt.Errorf("machine: load %q: step %q: time %q must be a non-negative number", entry, sp, at)
+			}
+			steps = append(steps, Step{At: simtime.Seconds(tv), Load: lv})
+		}
+		tr, err := NewTrace(steps...)
+		if err != nil {
+			return fmt.Errorf("machine: load %q: %w", entry, err)
+		}
+		m.SetLoad(simnet.MachineID(mid), tr)
+	}
+	return nil
+}
+
+// FormatLoads renders the non-empty traces of a model in ParseLoads
+// form, machines ascending; the empty string means no machine carries
+// load. FormatLoads(ParseLoads(s)) is canonical: parsing its output
+// reproduces the same traces.
+func FormatLoads(m *Model) string {
+	if m == nil {
+		return ""
+	}
+	var entries []string
+	for id := 0; id < m.Machines(); id++ {
+		steps := m.Load(simnet.MachineID(id)).Steps()
+		if len(steps) == 0 {
+			continue
+		}
+		parts := make([]string, len(steps))
+		for i, s := range steps {
+			parts[i] = fmt.Sprintf("%s@%s",
+				strconv.FormatFloat(s.Load, 'g', -1, 64),
+				strconv.FormatFloat(float64(s.At), 'g', -1, 64))
+		}
+		entries = append(entries, fmt.Sprintf("%d=%s", id, strings.Join(parts, ",")))
+	}
+	return strings.Join(entries, ";")
+}
+
+// ParseLinks parses a compact per-link override spec of the form
+//
+//	SRC-DST=lat:FACTOR[,bw:FACTOR][;...]
+//
+// for example "0-7=lat:4,bw:0.25;2-3=bw:0.5": the 0<->7 pair has 4x
+// the baseline latency and a quarter of the bandwidth in both
+// directions, 2<->3 half bandwidth. Factors apply symmetrically to the
+// full-duplex pair. Overrides are applied to the fabric; an empty spec
+// is a no-op.
+func ParseLinks(f *simnet.Fabric, spec string) error {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil
+	}
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		pair, rest, ok := strings.Cut(entry, "=")
+		if !ok {
+			return fmt.Errorf("machine: link %q: want SRC-DST=lat:F,bw:F", entry)
+		}
+		a, b, ok := strings.Cut(pair, "-")
+		if !ok {
+			return fmt.Errorf("machine: link %q: endpoint pair %q: want SRC-DST", entry, pair)
+		}
+		src, err := strconv.Atoi(strings.TrimSpace(a))
+		if err != nil || src < 0 || src >= f.Machines() {
+			return fmt.Errorf("machine: link %q: machine %q not in [0,%d)", entry, a, f.Machines())
+		}
+		dst, err := strconv.Atoi(strings.TrimSpace(b))
+		if err != nil || dst < 0 || dst >= f.Machines() {
+			return fmt.Errorf("machine: link %q: machine %q not in [0,%d)", entry, b, f.Machines())
+		}
+		if src == dst {
+			return fmt.Errorf("machine: link %q: loopback has no link", entry)
+		}
+		lat, bw := 1.0, 1.0
+		for _, kv := range strings.Split(rest, ",") {
+			kv = strings.TrimSpace(kv)
+			key, val, ok := strings.Cut(kv, ":")
+			if !ok {
+				return fmt.Errorf("machine: link %q: option %q: want lat:F or bw:F", entry, kv)
+			}
+			fv, err := strconv.ParseFloat(val, 64)
+			if err != nil || fv <= 0 {
+				return fmt.Errorf("machine: link %q: option %q: factor must be a positive number", entry, kv)
+			}
+			switch key {
+			case "lat":
+				lat = fv
+			case "bw":
+				bw = fv
+			default:
+				return fmt.Errorf("machine: link %q: unknown option %q (want lat or bw)", entry, kv)
+			}
+		}
+		f.SetDuplexScale(simnet.MachineID(src), simnet.MachineID(dst), lat, bw)
+	}
+	return nil
+}

@@ -49,14 +49,15 @@ func New(c *dsm.Cluster, leaver, target dsm.HostID, deadline simtime.Seconds) Pl
 	if leaver == target {
 		panic(fmt.Sprintf("migrate: leaver %d cannot migrate to itself", leaver))
 	}
-	m := c.Model()
-	img := c.TotalSharedBytes() + m.MigrationImageOverhead
+	img := c.TotalSharedBytes() + c.Model().MigrationImageOverhead
 	return Plan{
 		Leaver:     leaver,
 		Target:     target,
 		ImageBytes: img,
 		Start:      deadline,
-		Cost:       m.Migration(img),
+		// Priced on the actual source->target link: a starved link can
+		// undercut the libckpt rate and become the bottleneck.
+		Cost: c.Costs().Migration(c.Host(leaver).Machine(), c.Host(target).Machine(), img),
 	}
 }
 

@@ -151,7 +151,7 @@ func (rt *Runtime) For(name string, lo, hi int, body func(p *Proc, lo, hi int), 
 	for _, v := range partials {
 		acc = cfg.op(acc, v)
 	}
-	rt.master.Advance(rt.cluster.Model().MsgOverhead)
+	rt.master.Advance(rt.cluster.Costs().MsgOverhead(rt.cluster.Master().Machine()))
 	return acc
 }
 

@@ -5,7 +5,9 @@ import (
 
 	"nowomp/internal/adapt"
 	"nowomp/internal/dsm"
+	"nowomp/internal/machine"
 	"nowomp/internal/shmem"
+	"nowomp/internal/simnet"
 	"nowomp/internal/simtime"
 )
 
@@ -19,6 +21,17 @@ type Config struct {
 	// Model overrides the cost model; zero value means the calibrated
 	// default.
 	Model simtime.CostModel
+
+	// Machine describes per-machine heterogeneity: CPU speed factors
+	// and background-load traces, keyed by machine id (hosts start on
+	// the machine with their id). Nil means a homogeneous pool and
+	// prices bit-identically to the baseline.
+	Machine *machine.Model
+
+	// Links configures per-link latency/bandwidth overrides on the
+	// fabric before the run starts; nil leaves the paper's uniform
+	// switched LAN.
+	Links func(*simnet.Fabric) error
 
 	// GCThresholdBytes is the diff-storage GC trigger (0 = default).
 	GCThresholdBytes int
@@ -100,6 +113,8 @@ func New(cfg Config) (*Runtime, error) {
 	cluster, err := dsm.New(dsm.Config{
 		MaxHosts:         cfg.Hosts,
 		Model:            cfg.Model,
+		Machine:          cfg.Machine,
+		Links:            cfg.Links,
 		GCThresholdBytes: cfg.GCThresholdBytes,
 		Adaptive:         cfg.Adaptive,
 	})
@@ -163,6 +178,48 @@ func (rt *Runtime) AdaptLog() []AdaptationPoint {
 // Manager exposes the adapt manager, or nil for the non-adaptive
 // variant.
 func (rt *Runtime) Manager() *adapt.Manager { return rt.mgr }
+
+// MachineModel returns the per-machine speed/load model, or nil for a
+// homogeneous pool.
+func (rt *Runtime) MachineModel() *machine.Model { return rt.cluster.MachineModel() }
+
+// ApplyLoadPolicy derives join/leave events from the machine model's
+// load traces under the given policy and submits them all: the
+// trace-driven stand-in for the paper's load-sensing daemons. Requires
+// an adaptive runtime and a machine model; returns the submitted
+// events.
+func (rt *Runtime) ApplyLoadPolicy(p adapt.LoadPolicy) ([]adapt.Event, error) {
+	if rt.mgr == nil {
+		return nil, fmt.Errorf("%w; set Config.Adaptive", ErrNotAdaptive)
+	}
+	mm := rt.MachineModel()
+	if mm == nil {
+		return nil, fmt.Errorf("omp: a load policy needs Config.Machine load traces")
+	}
+	events, err := p.Derive(loadTraces(mm), rt.Team())
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range events {
+		if err := rt.mgr.Submit(e); err != nil {
+			return nil, err
+		}
+	}
+	return events, nil
+}
+
+// loadTraces adapts the machine model's traces to the policy's input:
+// host i runs on machine i at start, the paper's 1:1 binding.
+func loadTraces(mm *machine.Model) map[dsm.HostID]machine.Trace {
+	out := make(map[dsm.HostID]machine.Trace, mm.Machines())
+	for i := 0; i < mm.Machines(); i++ {
+		tr := mm.Load(simnet.MachineID(i))
+		if len(tr.Steps()) > 0 {
+			out[dsm.HostID(i)] = tr
+		}
+	}
+	return out
+}
 
 // SetForkHook installs a function called at the start of every fork,
 // before pending adapt events are processed. This is how external

@@ -2,9 +2,10 @@ package omp
 
 import (
 	"fmt"
-	"nowomp/internal/dsm"
 	"sync"
 
+	"nowomp/internal/dsm"
+	"nowomp/internal/simnet"
 	"nowomp/internal/simtime"
 )
 
@@ -64,9 +65,18 @@ func (rt *Runtime) fork(name string) []*Proc {
 	rt.forks++
 
 	t := len(rt.team)
-	model := rt.cluster.Model()
-	rt.master.Advance(model.Fork(t))
 	master := rt.cluster.Master()
+	costs := rt.cluster.Costs()
+	if costs.Homogeneous() {
+		model := rt.cluster.Model()
+		rt.master.Advance(model.Fork(t))
+	} else {
+		members := make([]simnet.MachineID, t)
+		for i, h := range rt.team {
+			members[i] = rt.cluster.Host(h).Machine()
+		}
+		rt.master.Advance(costs.Fork(master.Machine(), members))
+	}
 	for _, h := range rt.team[1:] {
 		rt.cluster.Fabric().Record(master.Machine(), rt.cluster.Host(h).Machine(), msgHeader)
 	}

@@ -56,12 +56,16 @@ func (p *Proc) Now() simtime.Seconds { return p.clk.Now() }
 // applications charge their arithmetic with per-element costs
 // calibrated from the paper's one-processor runtimes, so the real
 // computation can run on scaled-down data while virtual time follows
-// the paper's cost structure.
+// the paper's cost structure. On a heterogeneous pool the baseline
+// charge stretches by the executing machine's slowdown, (1+load)/speed
+// integrated over its load trace — this is where Static and the
+// dynamic schedules genuinely diverge on skewed machines.
 func (p *Proc) Charge(d simtime.Seconds) {
 	if d < 0 {
 		panic(fmt.Sprintf("omp: negative compute charge %v", d))
 	}
-	p.clk.Advance(d)
+	costs := p.rt.cluster.Costs()
+	p.clk.Advance(costs.Compute(p.host.Machine(), p.clk.Now(), d))
 }
 
 // ChargeUnits charges n units of work at perUnit each.
@@ -69,7 +73,7 @@ func (p *Proc) ChargeUnits(n int, perUnit simtime.Seconds) {
 	if n < 0 {
 		panic(fmt.Sprintf("omp: negative unit count %d", n))
 	}
-	p.clk.Advance(simtime.Seconds(n) * perUnit)
+	p.Charge(simtime.Seconds(n) * perUnit)
 }
 
 // Lock acquires the numbered Tmk lock for this process. Inside a task

@@ -9,7 +9,7 @@ package simnet
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 )
 
 // MachineID identifies a physical workstation on the fabric. Logical
@@ -19,12 +19,25 @@ import (
 type MachineID int
 
 // Fabric is a switched network of n machines. All methods are safe for
-// concurrent use by the process goroutines of a running team.
+// concurrent use by the process goroutines of a running team. The
+// byte/message counters are per-link atomics: Record is called on
+// every protocol message, and a global mutex there would serialise
+// pure counter traffic across unrelated links.
+//
+// Each directed link also carries optional latency/bandwidth scale
+// factors over the baseline cost model (1.0 = the paper's switched
+// 100 Mbps Ethernet). Scales are configured before the run starts and
+// read-only afterwards; the cost layer (internal/machine) consults
+// them when pricing transfers.
 type Fabric struct {
-	mu    sync.Mutex
 	n     int
-	bytes []int64 // [from*n+to] payload bytes, from != to
-	msgs  []int64
+	bytes []atomic.Int64 // [from*n+to] payload bytes, from != to
+	msgs  []atomic.Int64
+
+	// latScale/bwScale are per-directed-link multipliers on the
+	// baseline one-way latency and bandwidth; nil means all 1.0.
+	latScale []float64
+	bwScale  []float64
 }
 
 // New returns a fabric connecting n machines. n must be positive.
@@ -32,7 +45,7 @@ func New(n int) *Fabric {
 	if n <= 0 {
 		panic(fmt.Sprintf("simnet: invalid machine count %d", n))
 	}
-	return &Fabric{n: n, bytes: make([]int64, n*n), msgs: make([]int64, n*n)}
+	return &Fabric{n: n, bytes: make([]atomic.Int64, n*n), msgs: make([]atomic.Int64, n*n)}
 }
 
 // Machines returns the number of machines on the fabric.
@@ -49,10 +62,74 @@ func (f *Fabric) Record(src, dst MachineID, payload int) {
 	f.check(src)
 	f.check(dst)
 	i := int(src)*f.n + int(dst)
-	f.mu.Lock()
-	f.bytes[i] += int64(payload)
-	f.msgs[i]++
-	f.mu.Unlock()
+	f.bytes[i].Add(int64(payload))
+	f.msgs[i].Add(1)
+}
+
+// SetLinkScale overrides one directed link's latency and bandwidth
+// scale factors (1.0 = baseline). Factors must be positive. Configure
+// links before the run: Record and the cost layer read them without
+// synchronisation.
+func (f *Fabric) SetLinkScale(src, dst MachineID, lat, bw float64) {
+	f.check(src)
+	f.check(dst)
+	if src == dst {
+		panic(fmt.Sprintf("simnet: machine %d has no link to itself", src))
+	}
+	if lat <= 0 || bw <= 0 {
+		panic(fmt.Sprintf("simnet: link %d->%d scales (lat %g, bw %g) must be positive", src, dst, lat, bw))
+	}
+	if f.latScale == nil {
+		f.latScale = make([]float64, f.n*f.n)
+		f.bwScale = make([]float64, f.n*f.n)
+		for i := range f.latScale {
+			f.latScale[i] = 1
+			f.bwScale[i] = 1
+		}
+	}
+	i := int(src)*f.n + int(dst)
+	f.latScale[i] = lat
+	f.bwScale[i] = bw
+}
+
+// SetDuplexScale overrides both directions of a full-duplex link pair
+// with the same factors.
+func (f *Fabric) SetDuplexScale(a, b MachineID, lat, bw float64) {
+	f.SetLinkScale(a, b, lat, bw)
+	f.SetLinkScale(b, a, lat, bw)
+}
+
+// LatencyScale returns the latency multiplier of the directed link
+// src -> dst (1.0 when unconfigured). Loopback is 1.0 by convention
+// (loopback transfers are free and never priced).
+func (f *Fabric) LatencyScale(src, dst MachineID) float64 {
+	if f.latScale == nil || src == dst {
+		return 1
+	}
+	f.check(src)
+	f.check(dst)
+	return f.latScale[int(src)*f.n+int(dst)]
+}
+
+// BandwidthScale returns the bandwidth multiplier of the directed link
+// src -> dst (1.0 when unconfigured).
+func (f *Fabric) BandwidthScale(src, dst MachineID) float64 {
+	if f.bwScale == nil || src == dst {
+		return 1
+	}
+	f.check(src)
+	f.check(dst)
+	return f.bwScale[int(src)*f.n+int(dst)]
+}
+
+// Heterogeneous reports whether any link carries a non-default scale.
+func (f *Fabric) Heterogeneous() bool {
+	for i := range f.latScale {
+		if f.latScale[i] != 1 || f.bwScale[i] != 1 {
+			return true
+		}
+	}
+	return false
 }
 
 func (f *Fabric) check(m MachineID) {
@@ -68,13 +145,16 @@ type Counters struct {
 	msgs  []int64
 }
 
-// Snapshot captures the current counters.
+// Snapshot captures the current counters. Each link's pair is read
+// atomically but the snapshot as a whole is not a consistent cut;
+// measurement windows are taken with the team parked, where the
+// distinction cannot be observed.
 func (f *Fabric) Snapshot() Counters {
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	c := Counters{n: f.n, bytes: make([]int64, len(f.bytes)), msgs: make([]int64, len(f.msgs))}
-	copy(c.bytes, f.bytes)
-	copy(c.msgs, f.msgs)
+	for i := range f.bytes {
+		c.bytes[i] = f.bytes[i].Load()
+		c.msgs[i] = f.msgs[i].Load()
+	}
 	return c
 }
 

@@ -6,8 +6,16 @@ import "fmt"
 // from the start of the run.
 type Seconds float64
 
-// String formats a virtual duration with millisecond precision.
-func (s Seconds) String() string { return fmt.Sprintf("%.3fs", float64(s)) }
+// String formats a virtual duration adaptively: millisecond precision
+// for durations of a millisecond and up, microseconds below that —
+// the scale of the paper's micro-measurements, which would otherwise
+// all print as "0.000s".
+func (s Seconds) String() string {
+	if s != 0 && s > -0.001 && s < 0.001 {
+		return fmt.Sprintf("%.4gµs", float64(s)*1e6)
+	}
+	return fmt.Sprintf("%.3fs", float64(s))
+}
 
 // Micros builds a Seconds value from microseconds, the natural unit of
 // the paper's micro-measurements.

@@ -138,3 +138,24 @@ func TestWireLinear(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSecondsStringAdaptive(t *testing.T) {
+	cases := []struct {
+		s    Seconds
+		want string
+	}{
+		{0, "0.000s"},
+		{1.5, "1.500s"},
+		{0.001, "0.001s"},
+		{Micros(126), "126µs"},
+		{Micros(63), "63µs"},
+		{Micros(0.5), "0.5µs"},
+		{Micros(-126), "-126µs"},
+		{-2, "-2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("Seconds(%g).String() = %q, want %q", float64(c.s), got, c.want)
+		}
+	}
+}

@@ -324,12 +324,14 @@ func (s *Runner) steal(w, v *Worker) *Task {
 	v.deque = v.deque[1:]
 	t.stolen = true
 
-	model := s.cfg.Cluster.Model()
+	costs := s.cfg.Cluster.Costs()
 	fab := s.cfg.Cluster.Fabric()
+	thief, victim := w.host.Machine(), v.host.Machine()
 	w.clk.AdvanceTo(t.at)
-	fab.Record(w.host.Machine(), v.host.Machine(), msgHeader)
-	fab.Record(v.host.Machine(), w.host.Machine(), s.cfg.ClosureBytes+msgHeader)
-	w.clk.Advance(2*model.OneWayLatency + 2*model.MsgOverhead + model.Wire(s.cfg.ClosureBytes+msgHeader))
+	fab.Record(thief, victim, msgHeader)
+	fab.Record(victim, thief, s.cfg.ClosureBytes+msgHeader)
+	w.clk.Advance(costs.RoundTrip(thief, victim) + 2*costs.MsgOverhead(thief) +
+		costs.Wire(victim, thief, s.cfg.ClosureBytes+msgHeader))
 
 	// Release on the victim (charged to the waiting thief), acquire on
 	// the thief: the task may read anything written before the steal.
@@ -360,11 +362,11 @@ func (s *Runner) complete(w *Worker, t *Task) {
 	if pf.owner == w || pf.owner.exited {
 		return
 	}
-	model := s.cfg.Cluster.Model()
+	costs := s.cfg.Cluster.Costs()
 	s.stats.FlushDiffs += int64(s.cfg.Cluster.FlushInterval(w.host, w.clk))
 	s.cfg.Cluster.Fabric().Record(w.host.Machine(), pf.owner.host.Machine(), msgHeader)
-	w.clk.Advance(model.MsgOverhead)
-	arrival := w.clk.Now() + model.OneWayLatency
+	w.clk.Advance(costs.MsgOverhead(w.host.Machine()))
+	arrival := w.clk.Now() + costs.Latency(w.host.Machine(), pf.owner.host.Machine())
 	if arrival > pf.remoteDone {
 		pf.remoteDone = arrival
 	}
@@ -433,7 +435,7 @@ func (s *Runner) rebind(team []dsm.HostID, at simtime.Seconds) {
 	}
 
 	// Retire departed workers in old slot order, re-homing their tasks.
-	model := s.cfg.Cluster.Model()
+	costs := s.cfg.Cluster.Costs()
 	fab := s.cfg.Cluster.Fabric()
 	rr := 0
 	for _, w := range s.workers {
@@ -447,7 +449,8 @@ func (s *Runner) rebind(team []dsm.HostID, at simtime.Seconds) {
 			dst := next[rr%len(next)]
 			rr++
 			fab.Record(w.host.Machine(), dst.host.Machine(), s.cfg.ClosureBytes+msgHeader)
-			dst.clk.Advance(model.MsgOverhead + model.Wire(s.cfg.ClosureBytes+msgHeader))
+			dst.clk.Advance(costs.MsgOverhead(dst.host.Machine()) +
+				costs.Wire(w.host.Machine(), dst.host.Machine(), s.cfg.ClosureBytes+msgHeader))
 			t.at = at
 			t.rehomed = true
 			dst.deque = append(dst.deque, t)

@@ -27,8 +27,10 @@ import (
 	"nowomp/internal/apps"
 	"nowomp/internal/ckpt"
 	"nowomp/internal/dsm"
+	"nowomp/internal/machine"
 	"nowomp/internal/omp"
 	"nowomp/internal/shmem"
+	"nowomp/internal/simnet"
 	"nowomp/internal/simtime"
 )
 
@@ -83,6 +85,52 @@ const (
 
 // DefaultGrace is the paper's 3-second leave grace period.
 const DefaultGrace = adapt.DefaultGrace
+
+// Heterogeneous NOW modelling: per-machine CPU speed factors and
+// background-load traces (Config.Machine), per-link overrides
+// (Config.Links), and the load policy that derives join/leave events
+// from the traces.
+type (
+	// MachineModel gives each machine a speed factor and a load trace.
+	MachineModel = machine.Model
+	// LoadTrace is a piecewise-constant background-load trace.
+	LoadTrace = machine.Trace
+	// LoadStep is one breakpoint of a trace.
+	LoadStep = machine.Step
+	// MachineID identifies a workstation on the fabric.
+	MachineID = simnet.MachineID
+	// Fabric is the simulated switched network (Config.Links target).
+	Fabric = simnet.Fabric
+	// LoadPolicy derives adapt events from load traces.
+	LoadPolicy = adapt.LoadPolicy
+)
+
+// NewMachineModel returns an all-baseline model for an n-machine pool;
+// configure it with SetSpeed/SetLoad or the parsers below.
+func NewMachineModel(n int) *MachineModel { return machine.New(n) }
+
+// NewLoadTrace builds a trace from steps with strictly ascending times.
+func NewLoadTrace(steps ...LoadStep) (LoadTrace, error) { return machine.NewTrace(steps...) }
+
+// ParseSpeeds applies a compact "ID=FACTOR,..." speed spec to a model.
+func ParseSpeeds(m *MachineModel, spec string) error { return machine.ParseSpeeds(m, spec) }
+
+// ParseLoads applies a compact "ID=LOAD@TIME,...;..." trace spec to a
+// model.
+func ParseLoads(m *MachineModel, spec string) error { return machine.ParseLoads(m, spec) }
+
+// ParseLinks applies a compact "SRC-DST=lat:F,bw:F;..." link spec to a
+// fabric (use inside Config.Links).
+func ParseLinks(f *Fabric, spec string) error { return machine.ParseLinks(f, spec) }
+
+// ParsePolicy parses a "high=H,low=L[,dwell=D]" load-policy spec.
+func ParsePolicy(s string) (LoadPolicy, error) { return adapt.ParsePolicy(s) }
+
+// ParseSchedule parses a "TIME:KIND:HOST[,...]" adapt-event schedule.
+func ParseSchedule(s string) ([]Event, error) { return adapt.ParseSchedule(s) }
+
+// FormatSchedule renders events back in ParseSchedule form.
+func FormatSchedule(events []Event) string { return adapt.FormatSchedule(events) }
 
 // Shared-memory views. Array and Matrix are the generic views; the
 // typed names are aliases kept for existing programs.
