@@ -1,12 +1,16 @@
 // Command nowomp-bench regenerates the tables and figures of the
 // paper's evaluation section. Each experiment prints the same rows or
 // series the paper reports; EXPERIMENTS.md records a full run against
-// the published numbers.
+// the published numbers. With -json the experiments that have natural
+// scenario rows (table1, tasking, hetero, protocols) also write a
+// machine-readable BENCH_*.json report so the performance trajectory
+// can be tracked across PRs.
 //
 // Examples:
 //
 //	nowomp-bench -exp table1 -scale 0.15
-//	nowomp-bench -exp all
+//	nowomp-bench -exp protocols -scale 0.1
+//	nowomp-bench -exp all -json BENCH_pr4.json
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 
 	"nowomp/internal/adapt"
 	"nowomp/internal/bench"
+	"nowomp/internal/dsm"
 	"nowomp/internal/machine"
 	"nowomp/internal/simnet"
 	"nowomp/internal/simtime"
@@ -25,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, table2, fig3, migration, micro, ablation, tasking, hetero or all")
+		exp      = flag.String("exp", "all", "experiment: table1, table2, fig3, migration, micro, ablation, tasking, hetero, protocols or all")
 		scale    = flag.Float64("scale", 0.15, "problem scale (1.0 = the paper's sizes; some experiments enforce larger floors)")
 		hosts    = flag.Int("hosts", 10, "workstation pool size")
 		pairs    = flag.Int("pairs", 3, "leave/join pairs per Table 2 run")
@@ -34,6 +39,8 @@ func main() {
 		load     = flag.String("load", "", "per-machine load traces, e.g. \"3=2@5,0@15;6=0.5@0\"")
 		links    = flag.String("links", "", "per-link overrides, e.g. \"0-7=lat:4,bw:0.25\"")
 		policy   = flag.String("policy", "", "load policy for the hetero custom scenario, e.g. \"high=1.5,low=0.25,dwell=2\"")
+		protocol = flag.String("protocol", "tmk", "DSM coherence protocol every experiment runs on: tmk or hlrc (the protocols experiment always runs both)")
+		jsonPath = flag.String("json", "", "write a machine-readable BENCH_*.json report to this path")
 	)
 	flag.Parse()
 	opt := bench.Options{
@@ -44,7 +51,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nowomp-bench:", err)
 		os.Exit(1)
 	}
-	if err := run(*exp, opt); err != nil {
+	proto, err := dsm.ParseProtocol(*protocol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nowomp-bench:", err)
+		os.Exit(1)
+	}
+	opt.Protocol = proto
+	if err := run(*exp, opt, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "nowomp-bench:", err)
 		os.Exit(1)
 	}
@@ -82,9 +95,13 @@ func heteroFlags(opt *bench.Options, machines, load, links, policy string) error
 	return nil
 }
 
-func run(exp string, opt bench.Options) error {
+func run(exp string, opt bench.Options, jsonPath string) error {
 	all := exp == "all"
 	ran := false
+	var report *bench.Report
+	if jsonPath != "" {
+		report = bench.NewReport(opt)
+	}
 	step := func(name string, f func() error) error {
 		if !all && exp != name {
 			return nil
@@ -102,6 +119,9 @@ func run(exp string, opt bench.Options) error {
 		rows, err := bench.Table1(opt, nil)
 		if err != nil {
 			return err
+		}
+		if report != nil {
+			report.AddTable1(rows)
 		}
 		fmt.Print(bench.FormatTable1(rows, opt.Scale))
 		return nil
@@ -163,6 +183,9 @@ func run(exp string, opt bench.Options) error {
 		if err != nil {
 			return err
 		}
+		if report != nil {
+			report.AddTasking(rows)
+		}
 		fmt.Print(bench.FormatTasking(rows))
 		return nil
 	}); err != nil {
@@ -173,14 +196,36 @@ func run(exp string, opt bench.Options) error {
 		if err != nil {
 			return err
 		}
+		if report != nil {
+			report.AddHetero(rows)
+		}
 		fmt.Print(bench.FormatHetero(rows))
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("protocols", func() error {
+		rows, err := bench.Protocols(opt)
+		if err != nil {
+			return err
+		}
+		if report != nil {
+			report.AddProtocols(rows)
+		}
+		fmt.Print(bench.FormatProtocols(rows))
 		return nil
 	}); err != nil {
 		return err
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q (want %s)", exp,
-			strings.Join([]string{"table1", "table2", "fig3", "migration", "micro", "ablation", "tasking", "hetero", "all"}, ", "))
+			strings.Join([]string{"table1", "table2", "fig3", "migration", "micro", "ablation", "tasking", "hetero", "protocols", "all"}, ", "))
+	}
+	if report != nil {
+		if err := report.Write(jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("[json report written to %s]\n", jsonPath)
 	}
 	return nil
 }

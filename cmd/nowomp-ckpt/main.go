@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"nowomp/internal/ckpt"
+	"nowomp/internal/dsm"
 	"nowomp/internal/omp"
 )
 
@@ -27,13 +28,14 @@ const (
 
 func main() {
 	var (
-		file    = flag.String("file", "nowomp.ckpt", "checkpoint file")
-		restore = flag.Bool("restore", false, "resume from the checkpoint file")
-		crashAt = flag.Int("crash-at", 0, "simulate a crash before this iteration (0 = run to completion)")
-		procs   = flag.Int("procs", 4, "team size")
+		file     = flag.String("file", "nowomp.ckpt", "checkpoint file")
+		restore  = flag.Bool("restore", false, "resume from the checkpoint file")
+		crashAt  = flag.Int("crash-at", 0, "simulate a crash before this iteration (0 = run to completion)")
+		procs    = flag.Int("procs", 4, "team size")
+		protocol = flag.String("protocol", "tmk", "DSM coherence protocol: tmk or hlrc (must match across save and restore)")
 	)
 	flag.Parse()
-	if err := run(*file, *restore, *crashAt, *procs); err != nil {
+	if err := run(*file, *restore, *crashAt, *procs, *protocol); err != nil {
 		fmt.Fprintln(os.Stderr, "nowomp-ckpt:", err)
 		os.Exit(1)
 	}
@@ -41,13 +43,16 @@ func main() {
 
 var errCrash = errors.New("simulated crash (machine reboot)")
 
-func run(file string, restore bool, crashAt, procs int) error {
-	cfg := omp.Config{Hosts: procs + 1, Procs: procs, Adaptive: true}
+func run(file string, restore bool, crashAt, procs int, protocol string) error {
+	proto, err := dsm.ParseProtocol(protocol)
+	if err != nil {
+		return err
+	}
+	cfg := omp.Config{Hosts: procs + 1, Procs: procs, Adaptive: true, Protocol: proto}
 
 	var (
 		rt    *omp.Runtime
 		start int
-		err   error
 	)
 	if restore {
 		var restored *ckpt.Restored

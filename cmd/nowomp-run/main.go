@@ -22,6 +22,7 @@ import (
 
 	"nowomp/internal/adapt"
 	"nowomp/internal/apps"
+	"nowomp/internal/dsm"
 	"nowomp/internal/machine"
 	"nowomp/internal/omp"
 	"nowomp/internal/simnet"
@@ -42,6 +43,7 @@ type options struct {
 	load     string
 	links    string
 	policy   string
+	protocol string
 }
 
 func main() {
@@ -58,6 +60,7 @@ func main() {
 	flag.StringVar(&o.load, "load", "", "per-machine load traces, e.g. \"3=2@5,0@15;6=0.5@0\"")
 	flag.StringVar(&o.links, "links", "", "per-link overrides, e.g. \"0-7=lat:4,bw:0.25\"")
 	flag.StringVar(&o.policy, "policy", "", "derive adapt events from the load traces, e.g. \"high=1.5,low=0.25,dwell=2\"")
+	flag.StringVar(&o.protocol, "protocol", "tmk", "DSM coherence protocol: tmk (TreadMarks homeless LRC) or hlrc (home-based LRC)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "nowomp-run:", err)
@@ -77,9 +80,13 @@ func run(o options) error {
 	if len(events) > 0 && !o.adaptive {
 		return fmt.Errorf("a schedule requires -adaptive")
 	}
+	proto, err := dsm.ParseProtocol(o.protocol)
+	if err != nil {
+		return err
+	}
 	cfg := omp.Config{
 		Hosts: o.hosts, Procs: o.procs, Adaptive: o.adaptive,
-		Grace: simtime.Seconds(o.grace),
+		Grace: simtime.Seconds(o.grace), Protocol: proto,
 	}
 	if o.machines != "" || o.load != "" {
 		mm := machine.New(o.hosts)
@@ -129,6 +136,7 @@ func run(o options) error {
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
 	fmt.Fprintf(w, "app\t%s (scale %g)\n", res.App, o.scale)
+	fmt.Fprintf(w, "protocol\t%s\n", rt.Cluster().Protocol())
 	fmt.Fprintf(w, "team\t%d initial, %d final\n", res.Procs, rt.NProcs())
 	fmt.Fprintf(w, "shared memory\t%.1f MB\n", float64(res.SharedBytes)/1e6)
 	fmt.Fprintf(w, "virtual runtime\t%.2f s\n", float64(res.Time))

@@ -1,0 +1,39 @@
+package adapt
+
+import (
+	"testing"
+)
+
+// FuzzParsePolicy asserts the load-policy flag parser never panics on
+// arbitrary input and that accepted policies round-trip through
+// FormatPolicy: parse -> format -> parse is the identity and the
+// formatted form is a fixed point.
+func FuzzParsePolicy(f *testing.F) {
+	for _, seed := range []string{
+		"", "high=1.5,low=0.25,dwell=2", "high=2,low=0.5", "low=1,high=2",
+		"high=0", "high=1,low=1", "dwell=-1", "high=x", "=", "high=1,low=0,dwell=0",
+		"high=1e308,low=1e-308", "HIGH=1", " high = 1 , low = 0 ",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParsePolicy(spec)
+		if err != nil {
+			return // rejected input: only the no-panic property applies
+		}
+		if p == (LoadPolicy{}) {
+			return // blank spec means "no policy" and has no canonical form
+		}
+		out := FormatPolicy(p)
+		p2, err := ParsePolicy(out)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q) accepted but its format %q did not re-parse: %v", spec, out, err)
+		}
+		if p2 != p {
+			t.Fatalf("round-trip changed the policy: %+v -> %q -> %+v", p, out, p2)
+		}
+		if again := FormatPolicy(p2); again != out {
+			t.Fatalf("format not a fixed point: %q -> %q -> %q", spec, out, again)
+		}
+	})
+}

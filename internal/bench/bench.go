@@ -50,6 +50,10 @@ type Options struct {
 	// scenario (requires Machine load traces); other experiments ignore
 	// it.
 	Policy *adapt.LoadPolicy
+	// Protocol selects the DSM coherence protocol every experiment runs
+	// on (default Tmk). The protocols experiment keeps its own
+	// tmk-vs-hlrc matrix regardless.
+	Protocol dsm.ProtocolKind
 }
 
 func (o Options) withDefaults() Options {
@@ -91,6 +95,7 @@ func runApp(name string, scale float64, cfg omp.Config, hook func(*omp.Runtime))
 func runAppOpt(opt Options, name string, scale float64, cfg omp.Config, hook func(*omp.Runtime)) (apps.Result, *omp.Runtime, error) {
 	cfg.Machine = opt.Machine
 	cfg.Links = opt.Links
+	cfg.Protocol = opt.Protocol
 	return runApp(name, scale, cfg, hook)
 }
 

@@ -43,9 +43,12 @@ type HeteroRow struct {
 	Scenario string
 	Schedule string
 	// Time is the virtual work-loop time (init excluded); MB the
-	// work-loop traffic.
-	Time simtime.Seconds
-	MB   float64
+	// work-loop traffic, with Bytes/Messages the exact counts the
+	// -json report records.
+	Time     simtime.Seconds
+	MB       float64
+	Bytes    int64
+	Messages int64
 	// Leaves and Joins count policy-driven adaptations in the run.
 	Leaves, Joins int
 	// Verified records that every item was computed exactly once.
@@ -300,7 +303,10 @@ func heteroRun(opt Options, sc heteroScenario, sched omp.Schedule, extraIters in
 		}, opts...)
 	}
 	row.Time = rt.Now() - t0
-	row.MB = float64(rt.Cluster().Fabric().Snapshot().Sub(net0).TotalBytes()) / 1e6
+	window := rt.Cluster().Fabric().Snapshot().Sub(net0)
+	row.Bytes = window.TotalBytes()
+	row.Messages = window.TotalMessages()
+	row.MB = float64(row.Bytes) / 1e6
 
 	for _, ap := range rt.AdaptLog() {
 		for _, rec := range ap.Applied {

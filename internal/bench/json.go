@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"nowomp/internal/simtime"
+)
+
+// Machine-readable bench results (-json): one record per measured
+// scenario, so the performance trajectory can be tracked across PRs by
+// diffing committed BENCH_*.json files. Experiments with natural
+// scenario rows contribute — table1, tasking, hetero and protocols —
+// keyed "experiment/scenario[/qualifiers]"; the remaining experiments
+// are narrative tables and stay text-only.
+
+// Record is one scenario's measurement.
+type Record struct {
+	// Scenario is the slash-separated cell key, e.g.
+	// "protocols/migratory/homog/-/hlrc".
+	Scenario string `json:"scenario"`
+	// Seconds is the scenario's virtual (simulated) time.
+	Seconds float64 `json:"seconds"`
+	// Bytes and Messages are the scenario's fabric traffic.
+	Bytes    int64 `json:"bytes"`
+	Messages int64 `json:"messages"`
+}
+
+// Report is the on-disk -json document.
+type Report struct {
+	// Schema versions the document layout.
+	Schema int `json:"schema"`
+	// Scale and Hosts record the options the run used; records are
+	// comparable across PRs only at matching scale and pool size.
+	Scale   float64  `json:"scale"`
+	Hosts   int      `json:"hosts"`
+	Results []Record `json:"results"`
+}
+
+// ReportSchema is the current -json document version.
+const ReportSchema = 1
+
+// NewReport starts a report for one bench invocation.
+func NewReport(opt Options) *Report {
+	opt = opt.withDefaults()
+	// Results starts non-nil so an empty report marshals as [] rather
+	// than null — consumers iterate it unconditionally.
+	return &Report{Schema: ReportSchema, Scale: opt.Scale, Hosts: opt.Hosts, Results: []Record{}}
+}
+
+// Add appends one scenario record.
+func (r *Report) Add(scenario string, t simtime.Seconds, bytes, messages int64) {
+	r.Results = append(r.Results, Record{
+		Scenario: scenario, Seconds: float64(t), Bytes: bytes, Messages: messages,
+	})
+}
+
+// AddTable1 contributes the Table 1 rows (adaptive-variant traffic).
+func (r *Report) AddTable1(rows []Table1Row) {
+	for _, row := range rows {
+		r.Add(fmt.Sprintf("table1/%s/%dp", row.App, row.Procs),
+			row.AdaTime, row.Bytes, row.Messages)
+	}
+}
+
+// AddHetero contributes the heterogeneity matrix.
+func (r *Report) AddHetero(rows []HeteroRow) {
+	for _, row := range rows {
+		r.Add(fmt.Sprintf("hetero/%s/%s", row.Scenario, row.Schedule),
+			row.Time, row.Bytes, row.Messages)
+	}
+}
+
+// AddTasking contributes the tasking comparison (the task variant's
+// time and traffic per workload and team size).
+func (r *Report) AddTasking(rows []TaskingRow) {
+	for _, row := range rows {
+		r.Add(fmt.Sprintf("tasking/%s/%dp", row.Workload, row.Procs),
+			row.Tasks, row.TasksBytes, row.TasksMessages)
+	}
+}
+
+// AddProtocols contributes the coherence-protocol matrix.
+func (r *Report) AddProtocols(rows []ProtoRow) {
+	for _, row := range rows {
+		r.Add(fmt.Sprintf("protocols/%s/%s/%s/%s", row.Kernel, row.Scenario, row.Schedule, row.Protocol),
+			row.Time, row.Bytes, row.Messages)
+	}
+}
+
+// Write renders the report, scenarios sorted for stable diffs, to
+// path atomically (temp file plus rename).
+func (r *Report) Write(path string) error {
+	sort.Slice(r.Results, func(i, j int) bool { return r.Results[i].Scenario < r.Results[j].Scenario })
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: encode json report: %w", err)
+	}
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("bench: write json report: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("bench: write json report: %w", err)
+	}
+	return nil
+}

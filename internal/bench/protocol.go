@@ -1,0 +1,346 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"nowomp/internal/adapt"
+	"nowomp/internal/dsm"
+	"nowomp/internal/machine"
+	"nowomp/internal/omp"
+	"nowomp/internal/simnet"
+	"nowomp/internal/simtime"
+)
+
+// The protocol experiment quantifies the trade-off the pluggable
+// coherence layer exists to expose: TreadMarks homeless LRC (tmk)
+// versus home-based LRC (hlrc) under the same kernels, schedules and
+// NOW shapes. Two kernels probe the two regimes the literature
+// describes:
+//
+//   - loop: the uniform synthetic loop of the hetero matrix, under
+//     Static, Dynamic and Guided schedules. Writers are disjoint, so
+//     Tmk's lazy diffs are near-optimal; HLRC pays whole-page fetches
+//     for boundary pages and an eager flush per written page, and the
+//     gap widens on the claim-based schedules whose shared counter
+//     bounces between processes. Scenarios bend the shape: slow-link
+//     makes fetches from homes behind the bent link expensive,
+//     loaded-home slows a home machine's compute, mixed-speed makes
+//     the dynamic schedules rebalance, and leave-join exercises
+//     re-homing at adaptation points.
+//   - migratory: a lock-protected record (most of one page) updated in
+//     turn by every process — the migratory-sharing pattern. Under Tmk
+//     each acquirer chases the diff chains of every writer since its
+//     last visit, so bytes grow with the team size; under HLRC each
+//     release pushes one diff to the home and each acquirer pulls one
+//     page. HLRC transfers fewer bytes here — Protocols() fails if it
+//     ever stops winning, the analogue of the hetero matrix's
+//     bit-identity contract.
+//
+// The committed curves live in docs/protocol-bench.md.
+
+// ProtoRow is one (kernel, scenario, schedule, protocol) measurement.
+type ProtoRow struct {
+	Kernel   string
+	Scenario string
+	Schedule string
+	Protocol string
+	// Time is the virtual work-phase time (init excluded); Bytes and
+	// Messages its fabric traffic.
+	Time     simtime.Seconds
+	Bytes    int64
+	Messages int64
+	// Diffs counts Tmk diff fetches, Flushes HLRC home pushes: the
+	// mechanical signature of each protocol.
+	Diffs   int64
+	Flushes int64
+	// Verified records that the kernel's result was checked.
+	Verified bool
+}
+
+// protoProcs is the team size of the matrix.
+const protoProcs = 4
+
+// protoScenario is one NOW shape of the protocol matrix.
+type protoScenario struct {
+	name   string
+	model  func(hosts int) *machine.Model
+	links  func(*simnet.Fabric) error
+	events []adapt.Event
+}
+
+// protoScenarios builds the matrix shapes. The leave-join schedule is
+// sized from the loop kernel's homogeneous baseline time T so the
+// events mature at any scale.
+func protoScenarios(baseTime simtime.Seconds) []protoScenario {
+	return []protoScenario{
+		{name: "homog"},
+		{
+			name: "slow-link",
+			links: func(f *simnet.Fabric) error {
+				f.SetDuplexScale(0, 3, 4, 0.25)
+				return nil
+			},
+		},
+		{
+			name: "loaded-home",
+			model: func(hosts int) *machine.Model {
+				m := machine.New(hosts)
+				tr, err := machine.NewTrace(machine.Step{At: 0, Load: 2})
+				if err != nil {
+					panic(err)
+				}
+				m.SetLoad(3, tr)
+				return m
+			},
+		},
+		{
+			name: "mixed-speed",
+			model: func(hosts int) *machine.Model {
+				m := machine.New(hosts)
+				m.SetSpeed(2, 0.5)
+				m.SetSpeed(3, 0.5)
+				return m
+			},
+		},
+		{
+			name: "leave-join",
+			events: []adapt.Event{
+				{Kind: adapt.KindLeave, Host: 2, At: baseTime * 0.2},
+				{Kind: adapt.KindJoin, Host: 2, At: baseTime * 0.5},
+			},
+		},
+	}
+}
+
+// Protocols runs the protocol matrix and enforces the byte contract:
+// on the migratory kernel HLRC must transfer fewer bytes than Tmk in
+// every scenario.
+func Protocols(opt Options) ([]ProtoRow, error) {
+	opt = opt.withDefaults()
+	if opt.Hosts <= protoProcs {
+		return nil, fmt.Errorf("bench: protocols needs more than %d hosts, got %d", protoProcs, opt.Hosts)
+	}
+
+	// Baseline sizes the leave-join schedule.
+	base, err := protoLoopRun(opt, protoScenario{name: "homog"}, omp.Static, dsm.Tmk)
+	if err != nil {
+		return nil, err
+	}
+	rows := []ProtoRow{base}
+
+	for _, sc := range protoScenarios(base.Time) {
+		for _, sched := range []omp.Schedule{omp.Static, omp.Dynamic, omp.Guided} {
+			if len(sc.events) > 0 && sched != omp.Static {
+				continue // the adaptation scenario sticks to the deterministic schedule
+			}
+			for _, proto := range []dsm.ProtocolKind{dsm.Tmk, dsm.HLRC} {
+				if sc.name == "homog" && sched == omp.Static && proto == dsm.Tmk {
+					continue // already measured as the baseline
+				}
+				row, err := protoLoopRun(opt, sc, sched, proto)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+
+	// The migratory kernel, both protocols under each shape.
+	for _, sc := range protoScenarios(base.Time) {
+		if len(sc.events) > 0 {
+			continue // the lock region has no adaptation points
+		}
+		var tmkBytes, hlrcBytes int64
+		for _, proto := range []dsm.ProtocolKind{dsm.Tmk, dsm.HLRC} {
+			row, err := migratoryRun(opt, sc, proto)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+			if proto == dsm.Tmk {
+				tmkBytes = row.Bytes
+			} else {
+				hlrcBytes = row.Bytes
+			}
+		}
+		if hlrcBytes >= tmkBytes {
+			return nil, fmt.Errorf(
+				"bench: migratory/%s: hlrc transferred %d bytes, tmk %d; home-based LRC must beat diff chasing on migratory sharing",
+				sc.name, hlrcBytes, tmkBytes)
+		}
+	}
+	return rows, nil
+}
+
+// protoLoopRun measures the uniform loop for one matrix cell,
+// mirroring the hetero experiment's kernel so the two matrices are
+// comparable.
+func protoLoopRun(opt Options, sc protoScenario, sched omp.Schedule, proto dsm.ProtocolKind) (ProtoRow, error) {
+	n, iters := heteroDims(opt.Scale)
+	row := ProtoRow{Kernel: "loop", Scenario: sc.name, Schedule: sched.String(), Protocol: proto.String()}
+
+	var mm *machine.Model
+	if sc.model != nil {
+		mm = sc.model(opt.Hosts)
+	}
+	cfg := omp.Config{
+		Hosts:    opt.Hosts,
+		Procs:    protoProcs,
+		Machine:  mm,
+		Links:    sc.links,
+		Protocol: proto,
+	}
+	if len(sc.events) > 0 {
+		cfg.Adaptive = true
+		cfg.Grace = opt.Grace
+	}
+	rt, err := omp.New(cfg)
+	if err != nil {
+		return row, err
+	}
+	for _, e := range sc.events {
+		if err := rt.Submit(e); err != nil {
+			return row, err
+		}
+	}
+
+	out, err := omp.Alloc[float64](rt, "proto.out", n)
+	if err != nil {
+		return row, err
+	}
+	rt.For("proto.init", 0, n, func(p *omp.Proc, lo, hi int) {
+		buf := make([]float64, hi-lo)
+		out.WriteRange(p.Mem(), lo, buf)
+	})
+
+	var opts []omp.ForOption
+	switch sched {
+	case omp.Dynamic:
+		opts = append(opts, omp.WithSchedule(omp.Dynamic, max(16, n/64)))
+	case omp.Guided:
+		opts = append(opts, omp.WithSchedule(omp.Guided, 16))
+	}
+
+	t0 := rt.Now()
+	net0 := rt.Cluster().Fabric().Snapshot()
+	st0 := rt.Cluster().Stats().Snapshot()
+	for it := 0; it < iters; it++ {
+		rt.For("proto.work", 0, n, func(p *omp.Proc, lo, hi int) {
+			buf := make([]float64, hi-lo)
+			for i := range buf {
+				buf[i] = 1
+			}
+			out.WriteRange(p.Mem(), lo, buf)
+			p.ChargeUnits(hi-lo, heteroUnit)
+		}, opts...)
+	}
+	row.Time = rt.Now() - t0
+	window := rt.Cluster().Fabric().Snapshot().Sub(net0)
+	row.Bytes = window.TotalBytes()
+	row.Messages = window.TotalMessages()
+	stats := rt.Cluster().Stats().Snapshot().Sub(st0)
+	row.Diffs = stats.DiffFetches
+	row.Flushes = stats.HomeFlushes
+
+	mp := rt.MasterProc()
+	buf := make([]float64, n)
+	out.ReadRange(mp.Mem(), 0, n, buf)
+	for i, v := range buf {
+		if v != 1 {
+			return row, fmt.Errorf("bench: proto loop %s/%s/%s item %d = %g, want 1",
+				sc.name, sched, proto, i, v)
+		}
+	}
+	row.Verified = true
+	return row, nil
+}
+
+// Migratory kernel parameters: each critical section rewrites migWords
+// words (most of the one-page record), and every process takes the
+// lock migRounds times.
+const (
+	migWords  = 448
+	migRounds = 8
+	migLock   = 41
+)
+
+// migratoryRun measures the migratory-lock kernel for one cell.
+func migratoryRun(opt Options, sc protoScenario, proto dsm.ProtocolKind) (ProtoRow, error) {
+	row := ProtoRow{Kernel: "migratory", Scenario: sc.name, Schedule: "-", Protocol: proto.String()}
+
+	var mm *machine.Model
+	if sc.model != nil {
+		mm = sc.model(opt.Hosts)
+	}
+	rt, err := omp.New(omp.Config{
+		Hosts:    opt.Hosts,
+		Procs:    protoProcs,
+		Machine:  mm,
+		Links:    sc.links,
+		Protocol: proto,
+	})
+	if err != nil {
+		return row, err
+	}
+	rec, err := omp.Alloc[float64](rt, "mig.rec", 512)
+	if err != nil {
+		return row, err
+	}
+
+	t0 := rt.Now()
+	net0 := rt.Cluster().Fabric().Snapshot()
+	st0 := rt.Cluster().Stats().Snapshot()
+	rt.Parallel("mig.work", func(p *omp.Proc) {
+		buf := make([]float64, migWords)
+		for round := 0; round < migRounds; round++ {
+			p.Lock(migLock)
+			rec.ReadRange(p.Mem(), 0, migWords, buf)
+			for i := range buf {
+				buf[i]++
+			}
+			rec.WriteRange(p.Mem(), 0, buf)
+			p.ChargeUnits(migWords, simtime.Micros(1))
+			p.Unlock(migLock)
+		}
+	})
+	row.Time = rt.Now() - t0
+	window := rt.Cluster().Fabric().Snapshot().Sub(net0)
+	row.Bytes = window.TotalBytes()
+	row.Messages = window.TotalMessages()
+	stats := rt.Cluster().Stats().Snapshot().Sub(st0)
+	row.Diffs = stats.DiffFetches
+	row.Flushes = stats.HomeFlushes
+
+	// Every process incremented every record word migRounds times.
+	want := float64(protoProcs * migRounds)
+	mp := rt.MasterProc()
+	buf := make([]float64, migWords)
+	rec.ReadRange(mp.Mem(), 0, migWords, buf)
+	for i, v := range buf {
+		if v != want {
+			return row, fmt.Errorf("bench: migratory %s/%s word %d = %g, want %g",
+				sc.name, proto, i, v, want)
+		}
+	}
+	row.Verified = true
+	return row, nil
+}
+
+// FormatProtocols renders the matrix.
+func FormatProtocols(rows []ProtoRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Coherence-protocol matrix: Tmk homeless LRC vs HLRC home-based LRC")
+	fmt.Fprintln(&b, "(virtual work-phase time; diffs = Tmk diff fetches, flushes = HLRC home pushes)")
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "kernel\tscenario\tschedule\tprotocol\ttime\tKB\tmsgs\tdiffs\tflushes\tverified")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%.3fs\t%.1f\t%d\t%d\t%d\t%v\n",
+			r.Kernel, r.Scenario, r.Schedule, r.Protocol, float64(r.Time),
+			float64(r.Bytes)/1e3, r.Messages, r.Diffs, r.Flushes, r.Verified)
+	}
+	w.Flush()
+	return b.String()
+}

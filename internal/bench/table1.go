@@ -20,8 +20,10 @@ type Table1Row struct {
 	// adaptive variants.
 	StdTime simtime.Seconds
 	AdaTime simtime.Seconds
-	// Traffic columns, from the adaptive run.
+	// Traffic columns, from the adaptive run. Bytes is the exact
+	// fabric count MB is derived from (the -json report records it).
 	Pages    int64
+	Bytes    int64
 	MB       float64
 	Messages int64
 	Diffs    int64
@@ -73,6 +75,7 @@ func table1Row(opt Options, app string, procs int) (Table1Row, error) {
 		StdTime:     std.Time,
 		AdaTime:     ada.Time,
 		Pages:       ada.Pages,
+		Bytes:       ada.Bytes,
 		MB:          ada.MB(),
 		Messages:    ada.Messages,
 		Diffs:       ada.Diffs,

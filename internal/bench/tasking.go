@@ -40,8 +40,12 @@ type TaskingRow struct {
 	Procs    int
 	// Construct times (virtual), init excluded.
 	Static, Dynamic, Guided, Tasks simtime.Seconds
-	// Work-phase traffic of the Dynamic and Tasks variants.
+	// Work-phase traffic of the Dynamic and Tasks variants;
+	// TasksBytes/TasksMessages are the exact fabric counts behind
+	// TasksMB (the -json report records them).
 	DynamicMB, TasksMB float64
+	TasksBytes         int64
+	TasksMessages      int64
 	// Steals performed by the task variant.
 	Steals int64
 }
@@ -122,14 +126,17 @@ func taskingPoint(workload string, n, procs, hosts int) (TaskingRow, error) {
 	}
 	leaf := 8
 
-	measure := func(f func(rt *omp.Runtime, out *shmem.Float64Array) (int64, error)) (simtime.Seconds, float64, int64, error) {
+	type traffic struct {
+		bytes, msgs int64
+	}
+	measure := func(f func(rt *omp.Runtime, out *shmem.Float64Array) (int64, error)) (simtime.Seconds, traffic, int64, error) {
 		rt, err := omp.New(omp.Config{Hosts: hosts, Procs: procs})
 		if err != nil {
-			return 0, 0, 0, err
+			return 0, traffic{}, 0, err
 		}
 		out, err := omp.Alloc[float64](rt, "tasking.out", n)
 		if err != nil {
-			return 0, 0, 0, err
+			return 0, traffic{}, 0, err
 		}
 		rt.For("tasking.init", 0, n, func(p *omp.Proc, lo, hi int) {
 			buf := make([]float64, hi-lo)
@@ -139,20 +146,21 @@ func taskingPoint(workload string, n, procs, hosts int) (TaskingRow, error) {
 		net0 := rt.Cluster().Fabric().Snapshot()
 		steals, err := f(rt, out)
 		if err != nil {
-			return 0, 0, 0, err
+			return 0, traffic{}, 0, err
 		}
 		elapsed := rt.Now() - t0
-		mb := float64(rt.Cluster().Fabric().Snapshot().Sub(net0).TotalBytes()) / 1e6
+		window := rt.Cluster().Fabric().Snapshot().Sub(net0)
+		tr := traffic{bytes: window.TotalBytes(), msgs: window.TotalMessages()}
 		// Verify the work happened exactly once per item.
 		mp := rt.MasterProc()
 		buf := make([]float64, n)
 		out.ReadRange(mp.Mem(), 0, n, buf)
 		for i, v := range buf {
 			if want := float64(taskingWeight(i, skewed)); v != want {
-				return 0, 0, 0, fmt.Errorf("bench: tasking %s item %d = %g, want %g", workload, i, v, want)
+				return 0, traffic{}, 0, fmt.Errorf("bench: tasking %s item %d = %g, want %g", workload, i, v, want)
 			}
 		}
-		return elapsed, mb, steals, nil
+		return elapsed, tr, steals, nil
 	}
 
 	item := func(p *omp.Proc, out *shmem.Float64Array, lo, hi int) {
@@ -180,9 +188,11 @@ func taskingPoint(workload string, n, procs, hosts int) (TaskingRow, error) {
 	if row.Static, _, _, err = measure(loop()); err != nil {
 		return row, err
 	}
-	if row.Dynamic, row.DynamicMB, _, err = measure(loop(omp.WithSchedule(omp.Dynamic, chunk))); err != nil {
+	var dynTr traffic
+	if row.Dynamic, dynTr, _, err = measure(loop(omp.WithSchedule(omp.Dynamic, chunk))); err != nil {
 		return row, err
 	}
+	row.DynamicMB = float64(dynTr.bytes) / 1e6
 	if row.Guided, _, _, err = measure(loop(omp.WithSchedule(omp.Guided, fine))); err != nil {
 		return row, err
 	}
@@ -202,9 +212,12 @@ func taskingPoint(workload string, n, procs, hosts int) (TaskingRow, error) {
 		stats := rt.Tasks("tasking.work", func(tp *omp.TaskProc) { rec(tp, 0, n) })
 		return stats.Steals, nil
 	}
-	if row.Tasks, row.TasksMB, row.Steals, err = measure(tasks); err != nil {
+	var taskTr traffic
+	if row.Tasks, taskTr, row.Steals, err = measure(tasks); err != nil {
 		return row, err
 	}
+	row.TasksBytes, row.TasksMessages = taskTr.bytes, taskTr.msgs
+	row.TasksMB = float64(taskTr.bytes) / 1e6
 	return row, nil
 }
 

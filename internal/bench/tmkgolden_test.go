@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"nowomp/internal/adapt"
+	"nowomp/internal/apps"
+	"nowomp/internal/dsm"
+	"nowomp/internal/machine"
+	"nowomp/internal/omp"
+	"nowomp/internal/simnet"
+)
+
+// goldenCell is one measured (kernel, variant) cell of the Tmk
+// bit-exactness matrix: virtual runtime plus total fabric bytes and
+// messages.
+type goldenCell struct {
+	Name     string
+	Time     float64
+	Bytes    int64
+	Messages int64
+	Checksum float64
+}
+
+// tmkGolden is the full kernel matrix measured on the pre-refactor
+// system (commit 837e983, before the coherence machinery moved behind
+// the Protocol interface), captured with TestCaptureGolden. The
+// extracted Tmk protocol must reproduce every cell bit for bit — the
+// refactor's core contract: identical simulated times and identical
+// fabric byte/message counts across all four loop kernels and both
+// task kernels, plain, with an adapt schedule, and with heterogeneous
+// machine/link costs.
+var tmkGolden = []goldenCell{
+	{Name: "gauss/base", Time: 4.2990982271985363, Bytes: 6213312, Messages: 6534, Checksum: 265116.67143948283},
+	{Name: "gauss/adapt", Time: 5.0199088643769096, Bytes: 7131800, Messages: 7019, Checksum: 265116.67143948283},
+	{Name: "gauss/hetero", Time: 9.1374241254228394, Bytes: 7203224, Messages: 7034, Checksum: 265116.67143948283},
+	{Name: "jacobi/base", Time: 0.47662685714531527, Bytes: 1763504, Messages: 1999, Checksum: 450862.44785374403},
+	{Name: "jacobi/adapt", Time: 0.63418817304843855, Bytes: 1922920, Messages: 1761, Checksum: 450862.44785374403},
+	{Name: "jacobi/hetero", Time: 0.97610357561562566, Bytes: 1920648, Messages: 1741, Checksum: 450862.44785374403},
+	{Name: "fft3d/base", Time: 0.10780723999999979, Bytes: 862032, Messages: 639, Checksum: 2607.0611865067449},
+	{Name: "fft3d/adapt", Time: 0.13097978312499989, Bytes: 727056, Messages: 538, Checksum: 2607.0611865067449},
+	{Name: "fft3d/hetero", Time: 0.22146107171875029, Bytes: 701952, Messages: 524, Checksum: 2607.0611865067449},
+	{Name: "nbf/base", Time: 0.55833904800000012, Bytes: 2317488, Messages: 1251, Checksum: 18635.568711964494},
+	{Name: "nbf/adapt", Time: 0.77134135200000031, Bytes: 2408512, Messages: 1262, Checksum: 18635.568711964494},
+	{Name: "nbf/hetero", Time: 2.2849237609876605, Bytes: 5452320, Messages: 1335, Checksum: 18635.568711964494},
+	{Name: "mergesort/base", Time: 0.49651372832031498, Bytes: 1871468, Messages: 871, Checksum: 1676056.8523008034},
+	{Name: "mergesort/adapt", Time: 0.37558877781250261, Bytes: 1539904, Messages: 781, Checksum: 1676056.8523008034},
+	{Name: "mergesort/hetero", Time: 0.53453829781250262, Bytes: 1539904, Messages: 781, Checksum: 1676056.8523008034},
+	{Name: "quadrature/base", Time: 0.10511447999999235, Bytes: 89968, Messages: 96, Checksum: 153.07934230313165},
+	{Name: "quadrature/adapt", Time: 0.10710367999999235, Bytes: 90208, Messages: 102, Checksum: 153.07934230313165},
+	{Name: "quadrature/hetero", Time: 0.13318463999998983, Bytes: 90368, Messages: 105, Checksum: 153.07934230313165},
+}
+
+// goldenScale keeps the full matrix under a few seconds of real time
+// while still crossing page boundaries, multiple barriers and several
+// adaptation points in every kernel.
+const goldenScale = 0.08
+
+// goldenMatrix runs the full kernel matrix — the four loop kernels and
+// the two task kernels, each plain, with an adapt schedule (leave +
+// rejoin derived from the kernel's own baseline time), and with
+// heterogeneous machine/link costs — under the given protocol and
+// returns the measurements in a fixed order. Every cell uses
+// deterministic schedules only (static loops, the deterministic task
+// scheduler), so the numbers are exact run to run.
+func goldenMatrix(t *testing.T, proto dsm.ProtocolKind) []goldenCell {
+	t.Helper()
+	var cells []goldenCell
+
+	names := []string{"gauss", "jacobi", "fft3d", "nbf", "mergesort", "quadrature"}
+	for _, name := range names {
+		runner, ok := apps.RunnerByName(name)
+		if !ok {
+			t.Fatalf("unknown kernel %q", name)
+		}
+
+		// Baseline: fixed team, homogeneous pool.
+		base := goldenRunEvents(t, runner, omp.Config{Hosts: 6, Procs: 4, Protocol: proto}, nil)
+		cells = append(cells, goldenCell{Name: name + "/base", Time: float64(base.Time),
+			Bytes: base.Bytes, Messages: base.Messages, Checksum: base.Checksum})
+
+		// Adaptive: a leave at 0.2T with a short grace and a rejoin
+		// submitted at 0.5T, T the kernel's own baseline time, so the
+		// schedule matures at any scale.
+		T := base.Time
+		adaptive := omp.Config{Hosts: 6, Procs: 4, Adaptive: true, Grace: T * 0.1, Protocol: proto}
+		ad := goldenRunEvents(t, runner, adaptive, []adapt.Event{
+			{Kind: adapt.KindLeave, Host: 2, At: T * 0.2},
+			{Kind: adapt.KindJoin, Host: 2, At: T * 0.5},
+		})
+		cells = append(cells, goldenCell{Name: name + "/adapt", Time: float64(ad.Time),
+			Bytes: ad.Bytes, Messages: ad.Messages, Checksum: ad.Checksum})
+
+		// Heterogeneous costs: a half-speed machine, a loaded machine
+		// and a bent master<->3 link, with the same adapt schedule on
+		// top.
+		mm := machine.New(6)
+		mm.SetSpeed(2, 0.5)
+		tr, err := machine.NewTrace(machine.Step{At: 0, Load: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mm.SetLoad(1, tr)
+		hetero := omp.Config{Hosts: 6, Procs: 4, Adaptive: true, Grace: T * 0.1,
+			Machine:  mm,
+			Protocol: proto,
+			Links: func(f *simnet.Fabric) error {
+				f.SetDuplexScale(0, 3, 4, 0.25)
+				return nil
+			},
+		}
+		ht := goldenRunEvents(t, runner, hetero, []adapt.Event{
+			{Kind: adapt.KindLeave, Host: 2, At: T * 0.3},
+			{Kind: adapt.KindJoin, Host: 2, At: T * 0.6},
+		})
+		cells = append(cells, goldenCell{Name: name + "/hetero", Time: float64(ht.Time),
+			Bytes: ht.Bytes, Messages: ht.Messages, Checksum: ht.Checksum})
+	}
+	return cells
+}
+
+func goldenRunEvents(t *testing.T, runner apps.Runner, cfg omp.Config, events []adapt.Event) apps.Result {
+	t.Helper()
+	rt, err := omp.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if err := rt.Submit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := runner.Run(rt, goldenScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := runner.Reference(goldenScale); res.Checksum != want {
+		t.Fatalf("%s: checksum %g, reference %g", res.App, res.Checksum, want)
+	}
+	return res
+}
+
+// TestTmkGoldenBitExact asserts the refactor's core contract: the
+// extracted Tmk protocol — selected explicitly — reproduces the
+// pre-refactor system bit for bit on the full kernel matrix, with
+// adaptation, tasking and heterogeneous costs in play: identical
+// simulated times, fabric bytes and message counts.
+func TestTmkGoldenBitExact(t *testing.T) {
+	got := goldenMatrix(t, dsm.Tmk)
+	assertGolden(t, got)
+}
+
+// TestDefaultProtocolIsTmk asserts that a zero-value configuration
+// still runs the Tmk protocol and prices identically: existing
+// programs see no change from the protocol layer.
+func TestDefaultProtocolIsTmk(t *testing.T) {
+	rt, err := omp.New(omp.Config{Hosts: 2, Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Cluster().Protocol(); got != dsm.Tmk {
+		t.Fatalf("default protocol = %v, want tmk", got)
+	}
+	// One golden cell end to end through the default (zero-value)
+	// protocol field.
+	runner, _ := apps.RunnerByName("jacobi")
+	res := goldenRunEvents(t, runner, omp.Config{Hosts: 6, Procs: 4}, nil)
+	want := tmkGolden[3] // jacobi/base
+	if float64(res.Time) != want.Time || res.Bytes != want.Bytes || res.Messages != want.Messages {
+		t.Fatalf("default-config jacobi = (%.17g s, %d B, %d msgs), golden (%.17g s, %d B, %d msgs)",
+			float64(res.Time), res.Bytes, res.Messages, want.Time, want.Bytes, want.Messages)
+	}
+}
+
+func assertGolden(t *testing.T, got []goldenCell) {
+	t.Helper()
+	if len(got) != len(tmkGolden) {
+		t.Fatalf("matrix has %d cells, golden table %d", len(got), len(tmkGolden))
+	}
+	for i, g := range got {
+		w := tmkGolden[i]
+		if g.Name != w.Name {
+			t.Fatalf("cell %d is %q, golden table has %q", i, g.Name, w.Name)
+		}
+		if g.Time != w.Time || g.Bytes != w.Bytes || g.Messages != w.Messages || g.Checksum != w.Checksum {
+			t.Errorf("%s diverged from pre-refactor golden:\n  got  (%.17g s, %d B, %d msgs, sum %.17g)\n  want (%.17g s, %d B, %d msgs, sum %.17g)",
+				g.Name, g.Time, g.Bytes, g.Messages, g.Checksum, w.Time, w.Bytes, w.Messages, w.Checksum)
+		}
+	}
+}
+
+// TestCaptureGolden regenerates the golden table in Go-literal form
+// when NOWOMP_REGEN_GOLDEN is set; run it after an intentional cost
+// change and paste the output over tmkGolden. It is skipped otherwise.
+func TestCaptureGolden(t *testing.T) {
+	if os.Getenv("NOWOMP_REGEN_GOLDEN") == "" {
+		t.Skip("set NOWOMP_REGEN_GOLDEN=1 to regenerate the golden table")
+	}
+	for _, c := range goldenMatrix(t, dsm.Tmk) {
+		fmt.Printf("{Name: %q, Time: %.17g, Bytes: %d, Messages: %d, Checksum: %.17g},\n",
+			c.Name, c.Time, c.Bytes, c.Messages, c.Checksum)
+	}
+}
+
+// TestHLRCTeamSizes sweeps team sizes under HLRC: one regular and one
+// task kernel must match their sequential references bit for bit at
+// every size (goldenRunEvents fails on a checksum mismatch).
+func TestHLRCTeamSizes(t *testing.T) {
+	for _, name := range []string{"jacobi", "mergesort"} {
+		runner, _ := apps.RunnerByName(name)
+		for _, procs := range []int{1, 2, 3, 5} {
+			goldenRunEvents(t, runner, omp.Config{Hosts: 6, Procs: procs, Protocol: dsm.HLRC}, nil)
+		}
+	}
+}
+
+// TestHLRCKernelMatrix runs the identical kernel matrix under HLRC:
+// every kernel must still match its sequential reference bit for bit
+// across the plain, adaptive and heterogeneous variants — the
+// correctness half of the protocol contract (the pricing half is the
+// protocols experiment).
+func TestHLRCKernelMatrix(t *testing.T) {
+	for _, c := range goldenMatrix(t, dsm.HLRC) {
+		// goldenMatrix verifies each checksum against the sequential
+		// reference internally; here we additionally pin the checksums
+		// to the Tmk goldens so both protocols compute the same answer.
+		for _, w := range tmkGolden {
+			if w.Name == c.Name && w.Checksum != c.Checksum {
+				t.Errorf("%s: hlrc checksum %.17g, tmk golden %.17g", c.Name, c.Checksum, w.Checksum)
+			}
+		}
+	}
+}

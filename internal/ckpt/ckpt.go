@@ -33,6 +33,12 @@ type Snapshot struct {
 	MasterTime float64
 	Forks      int64
 	State      map[string][]byte
+	// Protocol records the coherence protocol of the checkpointed run
+	// ("tmk" or "hlrc"); restore refuses a runtime configured with a
+	// different one, because the two price the recovery differently.
+	// Empty in pre-protocol snapshots, which restore as whatever the
+	// config says (they were all Tmk).
+	Protocol string
 }
 
 const version = 1
@@ -52,6 +58,7 @@ func Save(rt *omp.Runtime, w io.Writer, state map[string]any) (dsm.TransferRepor
 		MasterTime: float64(rt.Now()),
 		Forks:      rt.Forks(),
 		State:      make(map[string][]byte, len(state)),
+		Protocol:   rt.Cluster().Protocol().String(),
 	}
 	for _, h := range rt.Team() {
 		snap.Team = append(snap.Team, int(h))
@@ -142,6 +149,10 @@ func Restore(cfg omp.Config, r io.Reader) (*omp.Runtime, *Restored, error) {
 	}
 	if len(snap.Team) == 0 {
 		return nil, nil, fmt.Errorf("ckpt: snapshot has no team")
+	}
+	if snap.Protocol != "" && snap.Protocol != cfg.Protocol.String() {
+		return nil, nil, fmt.Errorf("ckpt: snapshot was taken under the %s protocol, config selects %s; restore with the matching Config.Protocol",
+			snap.Protocol, cfg.Protocol)
 	}
 	rt, err := omp.New(cfg)
 	if err != nil {

@@ -1,0 +1,116 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"nowomp/internal/dsm"
+	"nowomp/internal/omp"
+)
+
+// ckptProgram runs a few accumulation sweeps and checkpoints, then
+// returns the snapshot bytes and the expected per-element value.
+func ckptProgram(t *testing.T, proto dsm.ProtocolKind) ([]byte, float64) {
+	t.Helper()
+	rt, err := omp.New(omp.Config{Hosts: 4, Procs: 3, Adaptive: true, Protocol: proto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3000
+	acc, err := omp.Alloc[float64](rt, "acc", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it := 0; it < 3; it++ {
+		rt.For("step", 0, n, func(p *omp.Proc, lo, hi int) {
+			buf := make([]float64, hi-lo)
+			acc.ReadRange(p.Mem(), lo, hi, buf)
+			for i := range buf {
+				buf[i]++
+			}
+			acc.WriteRange(p.Mem(), lo, buf)
+		})
+	}
+	var buf bytes.Buffer
+	if _, err := Save(rt, &buf, map[string]any{"iter": 3}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), 3
+}
+
+// TestRestoreUnderHLRC round-trips a checkpoint taken under HLRC: the
+// restored runtime rebinds the allocation, resumes, and computes the
+// same result.
+func TestRestoreUnderHLRC(t *testing.T) {
+	snap, want := ckptProgram(t, dsm.HLRC)
+	rt, restored, err := Restore(omp.Config{Hosts: 4, Procs: 3, Adaptive: true, Protocol: dsm.HLRC},
+		bytes.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var iter int
+	if err := restored.State("iter", &iter); err != nil {
+		t.Fatal(err)
+	}
+	if iter != 3 {
+		t.Fatalf("restored iter = %d, want 3", iter)
+	}
+	acc, err := omp.Alloc[float64](rt, "acc", 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Cluster().Protocol() != dsm.HLRC {
+		t.Fatalf("restored protocol = %v, want hlrc", rt.Cluster().Protocol())
+	}
+	// One more sweep on the restored team exercises redistribution
+	// through faults from the master.
+	rt.For("step", 0, 3000, func(p *omp.Proc, lo, hi int) {
+		buf := make([]float64, hi-lo)
+		acc.ReadRange(p.Mem(), lo, hi, buf)
+		for i := range buf {
+			buf[i]++
+		}
+		acc.WriteRange(p.Mem(), lo, buf)
+	})
+	got := acc.Get(rt.MasterProc().Mem(), 1500)
+	if got != want+1 {
+		t.Fatalf("element = %g after restore+sweep, want %g", got, want+1)
+	}
+}
+
+// TestRestoreRejectsProtocolMismatch: a checkpoint taken under one
+// protocol refuses to restore into a runtime configured with the
+// other.
+func TestRestoreRejectsProtocolMismatch(t *testing.T) {
+	snap, _ := ckptProgram(t, dsm.HLRC)
+	_, _, err := Restore(omp.Config{Hosts: 4, Procs: 3, Adaptive: true, Protocol: dsm.Tmk},
+		bytes.NewReader(snap))
+	if err == nil {
+		t.Fatal("restore accepted a protocol mismatch")
+	}
+	if !strings.Contains(err.Error(), "hlrc") || !strings.Contains(err.Error(), "tmk") {
+		t.Fatalf("mismatch error does not name both protocols: %v", err)
+	}
+
+	snap, _ = ckptProgram(t, dsm.Tmk)
+	if _, _, err := Restore(omp.Config{Hosts: 4, Procs: 3, Adaptive: true, Protocol: dsm.Tmk},
+		bytes.NewReader(snap)); err != nil {
+		t.Fatalf("matching tmk restore failed: %v", err)
+	}
+}
+
+// TestRestoreMismatchStillWrapsSentinels: the protocol check must not
+// mask the existing sentinel behaviour for allocation replays.
+func TestRestoreMismatchStillWrapsSentinels(t *testing.T) {
+	snap, _ := ckptProgram(t, dsm.HLRC)
+	rt, _, err := Restore(omp.Config{Hosts: 4, Procs: 3, Adaptive: true, Protocol: dsm.HLRC},
+		bytes.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := omp.Alloc[float64](rt, "wrong-name", 3000); !errors.Is(err, omp.ErrRestoreMismatch) {
+		t.Fatalf("allocation replay divergence = %v, want ErrRestoreMismatch", err)
+	}
+}

@@ -56,6 +56,11 @@ func (c *Cluster) NormalLeave(leaver HostID, strategy LeaveStrategy) (TransferRe
 	c.dir.mu.Lock()
 	defer c.dir.mu.Unlock()
 
+	// The protocol may constrain the handoff: HLRC always re-homes the
+	// leaver's pages round-robin across the remaining hosts, the same
+	// policy the task runtime applies to a departing worker's deque.
+	strategy = c.proto.leaveStrategy(strategy)
+
 	// Choose destinations for the leaver's pages.
 	var remaining []HostID
 	for _, id := range c.ActiveHosts() {

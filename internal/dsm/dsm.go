@@ -79,8 +79,13 @@ type Config struct {
 
 	// GCThresholdBytes triggers a garbage collection at the next
 	// barrier once accumulated diff storage exceeds it. Zero means the
-	// default of 4 MB. Adaptation points force GC regardless.
+	// default of 4 MB. Adaptation points force GC regardless. HLRC
+	// retains no diffs, so the threshold never trips there.
 	GCThresholdBytes int
+
+	// Protocol selects the coherence protocol; the zero value is Tmk,
+	// the TreadMarks homeless LRC the paper's system uses.
+	Protocol ProtocolKind
 
 	// Adaptive selects the adaptive runtime variant. The paper's
 	// headline result (Table 1) is that the adaptive system adds no
@@ -97,6 +102,7 @@ type Cluster struct {
 	model   simtime.CostModel
 	costs   *machine.Costs
 	fabric  *simnet.Fabric
+	proto   Protocol
 	hosts   []*Host
 	dir     *directory
 	regions []*Region
@@ -153,6 +159,11 @@ func New(cfg Config) (*Cluster, error) {
 		dir:    newDirectory(),
 		locks:  newLockTable(),
 	}
+	proto, err := newProtocol(cfg.Protocol, c)
+	if err != nil {
+		return nil, err
+	}
+	c.proto = proto
 	for i := 0; i < cfg.MaxHosts; i++ {
 		c.hosts = append(c.hosts, newHost(c, HostID(i), simnet.MachineID(i)))
 	}
@@ -240,15 +251,10 @@ func (c *Cluster) Alloc(name string, bytes int) (*Region, error) {
 	for _, h := range c.hosts {
 		h.addRegion(r.NPages)
 	}
-	// The master materialises all pages zero-filled and current.
-	m := c.Master()
-	m.mu.Lock()
-	for p := 0; p < r.NPages; p++ {
-		st := &m.pages[r.ID][p]
-		st.data = newPage()
-		st.valid = true
-	}
-	m.mu.Unlock()
+	// The protocol materialises the zero-filled pages: Tmk entirely at
+	// the master, HLRC at each page's round-robin home (and the master,
+	// which runs the sequential sections).
+	c.proto.initRegion(r)
 	return r, nil
 }
 

@@ -1,9 +1,6 @@
 package dsm
 
 import (
-	"fmt"
-	"sort"
-
 	"nowomp/internal/simtime"
 )
 
@@ -13,12 +10,16 @@ import (
 // must be parked. Open intervals are closed first: the master may have
 // written shared memory in the sequential section since the last
 // barrier (for example a dynamic-schedule counter), and those writes
-// must flush before the collection discards twins.
+// must flush before the collection discards twins. What the collection
+// itself does is protocol-specific: Tmk pulls every page's outstanding
+// diffs to its owner and discards all consistency metadata, while
+// HLRC — whose homes are always current — merely prunes stale copies
+// at zero cost.
 func (c *Cluster) ForceGC(active []HostID) simtime.Seconds {
 	c.dir.mu.Lock()
 	defer c.dir.mu.Unlock()
 	c.closeOpenIntervalsLocked(active)
-	return c.runGCLocked(active)
+	return c.proto.runGCLocked(active)
 }
 
 // closeOpenIntervalsLocked flushes any host's open interval exactly as
@@ -35,158 +36,7 @@ func (c *Cluster) closeOpenIntervalsLocked(active []HostID) {
 		c.seq++
 		s := c.seq
 		for _, pk := range w {
-			c.closePage(pk, []HostID{id}, s, active, flush)
+			c.proto.closePage(pk, []HostID{id}, s, active, flush)
 		}
 	}
-}
-
-// runGCLocked implements the TreadMarks garbage collection: every
-// page's outstanding diffs are pulled to its designated owner, all
-// twins, diffs and write notices are discarded, and stale copies are
-// freed. Afterwards each page is either valid and up to date, or
-// invalid with the owner field pointing at a host with a valid copy —
-// the property that makes adaptation cheap. The caller holds the
-// directory write lock; the returned duration is the barrier-observed
-// GC cost (coordination plus the slowest host's diff pulls).
-func (c *Cluster) runGCLocked(active []HostID) simtime.Seconds {
-	gcSeq := c.seq
-	c.stats.GCs.Add(1)
-
-	pull := make(map[HostID]simtime.Seconds)
-	totalPages := 0
-	for ri := range c.dir.pages {
-		r := RegionID(ri)
-		metas := c.dir.pages[ri]
-		totalPages += len(metas)
-		for p := range metas {
-			pm := &metas[p]
-			if len(pm.notices) > 0 || pm.mode == ModeMulti {
-				c.gcPage(r, p, pm, pull)
-			}
-			latest := pm.latestSeq()
-			// Prune copies on every host, including hosts that have
-			// left: valid-and-current copies survive, everything else
-			// is freed.
-			for _, h := range c.hosts {
-				h.mu.Lock()
-				st := &h.pages[r][p]
-				st.twin = nil
-				st.dirty = false
-				switch {
-				case h.id == pm.owner:
-					st.appliedSeq = gcSeq
-				case st.valid && st.appliedSeq >= latest:
-					st.appliedSeq = gcSeq
-				default:
-					st.data = nil
-					st.valid = false
-					st.appliedSeq = 0
-				}
-				h.mu.Unlock()
-			}
-			pm.notices = nil
-			pm.mode = ModeSingle
-			pm.baseSeq = gcSeq
-		}
-	}
-
-	// All consistency information is gone.
-	for _, h := range c.hosts {
-		h.mu.Lock()
-		h.diffs = make(map[pageKey][]seqDiff)
-		h.diffBytes = 0
-		h.mu.Unlock()
-	}
-	c.releaseLog = c.releaseLog[:0]
-
-	// Owner-table broadcast: the master tells everyone where the valid
-	// copies live.
-	master := c.Master()
-	meta := msgHeader + 2*totalPages
-	for _, id := range active {
-		if id == master.id {
-			continue
-		}
-		h := c.Host(id)
-		c.fabric.Record(h.machine, master.machine, msgHeader)
-		c.fabric.Record(master.machine, h.machine, meta)
-	}
-
-	elapsed := c.model.GC(totalPages, len(active))
-	var maxPull simtime.Seconds
-	for _, t := range pull {
-		if t > maxPull {
-			maxPull = t
-		}
-	}
-	return elapsed + maxPull
-}
-
-// gcPage designates the page's owner (its last writer) and brings the
-// owner's copy fully current by pulling outstanding diffs. Pull time
-// accumulates per owner; pulls to distinct owners proceed in parallel
-// on the switched network.
-func (c *Cluster) gcPage(r RegionID, p int, pm *pageMeta, pull map[HostID]simtime.Seconds) {
-	if len(pm.notices) > 0 {
-		pm.owner = pm.notices[len(pm.notices)-1].writer
-	}
-	owner := c.Host(pm.owner)
-	latest := pm.latestSeq()
-
-	owner.mu.Lock()
-	st := &owner.pages[r][p]
-	if st.data == nil {
-		owner.mu.Unlock()
-		panic(fmt.Sprintf("dsm: gc: owner %d of page %d/%d holds no copy", pm.owner, r, p))
-	}
-	applied := st.appliedSeq
-	current := st.valid && applied >= latest
-	owner.mu.Unlock()
-	if current {
-		return
-	}
-
-	pk := pageKey{r, p}
-	var pending []seqDiff
-	for _, sd := range owner.localDiffs(pk) {
-		if sd.seq > applied {
-			pending = append(pending, sd)
-		}
-	}
-	grouped := groupPending(pm, applied, pm.owner)
-	writers := make([]HostID, 0, len(grouped))
-	for w := range grouped {
-		writers = append(writers, w)
-	}
-	sort.Slice(writers, func(i, j int) bool { return writers[i] < writers[j] })
-	for _, w := range writers {
-		src := c.Host(w)
-		src.mu.Lock()
-		wire := 0
-		for _, sd := range src.diffs[pk] {
-			if sd.seq > applied && sd.seq <= latest {
-				pending = append(pending, sd)
-				wire += sd.diff.WireSize()
-			}
-		}
-		src.mu.Unlock()
-		if wire == 0 {
-			continue
-		}
-		c.fabric.Record(owner.machine, src.machine, msgHeader)
-		c.fabric.Record(src.machine, owner.machine, wire+msgHeader)
-		pull[pm.owner] += c.costs.DiffFetch(owner.machine, src.machine, wire)
-		c.stats.DiffFetches.Add(1)
-		c.stats.DiffBytes.Add(int64(wire))
-	}
-	sort.Slice(pending, func(i, j int) bool { return pending[i].seq < pending[j].seq })
-
-	owner.mu.Lock()
-	st = &owner.pages[r][p]
-	for _, sd := range pending {
-		sd.diff.Apply(st.data)
-	}
-	st.appliedSeq = latest
-	st.valid = true
-	owner.mu.Unlock()
 }

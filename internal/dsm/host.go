@@ -2,7 +2,6 @@ package dsm
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"nowomp/internal/page"
@@ -51,7 +50,9 @@ type Host struct {
 	// write order; interval close consumes it.
 	written []pageKey
 	// diffs holds the diffs this host created, keyed by page, ascending
-	// in seq. Readers fetch from here; GC clears it.
+	// in seq (Tmk protocol only: HLRC pushes diffs to the page's home
+	// at interval close and retains nothing). Readers fetch from here;
+	// GC clears it.
 	diffs     map[pageKey][]seqDiff
 	diffBytes int
 	// syncSeq is the newest interval sequence this host has fully
@@ -155,8 +156,8 @@ func (h *Host) checkRange(r RegionID, off, n int) {
 	}
 }
 
-// ensureRead makes the page readable on h, performing the read-fault
-// protocol if the local copy is missing or invalid.
+// ensureRead makes the page readable on h, invoking the protocol's
+// read-fault handling if the local copy is missing or invalid.
 func (h *Host) ensureRead(r RegionID, p int, clk *simtime.Clock) {
 	h.mu.Lock()
 	valid := h.pages[r][p].valid
@@ -165,12 +166,13 @@ func (h *Host) ensureRead(r RegionID, p int, clk *simtime.Clock) {
 		return
 	}
 	h.cluster.stats.ReadFaults.Add(1)
-	h.fault(r, p, clk)
+	h.cluster.proto.fault(h, pageKey{r, p}, clk)
 }
 
 // ensureWrite makes the page writable on h: readable first (TreadMarks
 // fetches on a write fault too), then twinned if this is the first
-// write of the open interval.
+// write of the open interval. Twinning is protocol-independent: Tmk
+// keeps the twin to diff lazily, HLRC to diff eagerly at the flush.
 func (h *Host) ensureWrite(r RegionID, p int, clk *simtime.Clock) {
 	h.ensureRead(r, p, clk)
 	h.mu.Lock()
@@ -184,127 +186,6 @@ func (h *Host) ensureWrite(r RegionID, p int, clk *simtime.Clock) {
 		h.cluster.stats.WriteFaults.Add(1)
 	}
 	h.mu.Unlock()
-}
-
-// fault implements the read-fault protocol: fetch a base copy from the
-// owner if the local copy is missing or too old for diff patching, then
-// fetch and apply the missing diffs writer by writer.
-func (h *Host) fault(r RegionID, p int, clk *simtime.Clock) {
-	c := h.cluster
-	meta := c.dir.meta(r, p)
-	target := meta.latestSeq()
-	pk := pageKey{r, p}
-
-	h.mu.Lock()
-	st := &h.pages[r][p]
-	needBase := st.data == nil || st.appliedSeq < meta.baseSeq
-	applied := st.appliedSeq
-	h.mu.Unlock()
-
-	if needBase {
-		applied = h.fetchBase(pk, meta.owner, clk)
-	}
-
-	// Gather missing diffs: own diffs locally (relevant after a base
-	// refetch replaced a copy that contained our writes), remote diffs
-	// one message per writer.
-	var pending []seqDiff
-	for _, sd := range h.localDiffs(pk) {
-		if sd.seq > applied && sd.seq <= target {
-			pending = append(pending, sd)
-		}
-	}
-	grouped := groupPending(&meta, applied, h.id)
-	// Deterministic writer order.
-	writers := make([]HostID, 0, len(grouped))
-	for w := range grouped {
-		writers = append(writers, w)
-	}
-	sort.Slice(writers, func(i, j int) bool { return writers[i] < writers[j] })
-	for _, w := range writers {
-		pending = append(pending, h.fetchDiffs(pk, w, applied, target, clk)...)
-	}
-	sort.Slice(pending, func(i, j int) bool { return pending[i].seq < pending[j].seq })
-
-	h.mu.Lock()
-	st = &h.pages[r][p]
-	for _, sd := range pending {
-		sd.diff.Apply(st.data)
-	}
-	if st.appliedSeq < target {
-		st.appliedSeq = target
-	}
-	st.valid = true
-	h.mu.Unlock()
-}
-
-// fetchBase copies the owner's page into h and returns the appliedSeq
-// of the copy. The owner's copy may itself be behind on diffs; the
-// caller patches the remainder.
-func (h *Host) fetchBase(pk pageKey, owner HostID, clk *simtime.Clock) int32 {
-	c := h.cluster
-	if owner == h.id {
-		// We are the designated owner: our copy is the base.
-		h.mu.Lock()
-		st := &h.pages[pk.region][pk.page]
-		if st.data == nil {
-			h.mu.Unlock()
-			panic(fmt.Sprintf("dsm: host %d owns page %v but holds no copy", h.id, pk))
-		}
-		applied := st.appliedSeq
-		h.mu.Unlock()
-		return applied
-	}
-	src := c.Host(owner)
-	src.mu.Lock()
-	sst := &src.pages[pk.region][pk.page]
-	if sst.data == nil {
-		src.mu.Unlock()
-		panic(fmt.Sprintf("dsm: page %v owner %d holds no copy", pk, owner))
-	}
-	data := make([]byte, page.Size)
-	copy(data, sst.data)
-	applied := sst.appliedSeq
-	src.mu.Unlock()
-
-	c.fabric.Record(h.machine, src.machine, msgHeader)
-	c.fabric.Record(src.machine, h.machine, page.Size+msgHeader)
-	clk.Advance(c.costs.PageFetch(h.machine, src.machine, page.Size))
-	c.stats.PageFetches.Add(1)
-	c.stats.PageBytes.Add(page.Size)
-
-	h.mu.Lock()
-	st := &h.pages[pk.region][pk.page]
-	st.data = data
-	st.appliedSeq = applied
-	h.mu.Unlock()
-	return applied
-}
-
-// fetchDiffs retrieves from writer w its diffs for pk with sequence in
-// (after, upTo], charging one request to clk.
-func (h *Host) fetchDiffs(pk pageKey, w HostID, after, upTo int32, clk *simtime.Clock) []seqDiff {
-	c := h.cluster
-	src := c.Host(w)
-	src.mu.Lock()
-	var got []seqDiff
-	wire := 0
-	for _, sd := range src.diffs[pk] {
-		if sd.seq > after && sd.seq <= upTo {
-			got = append(got, sd)
-			wire += sd.diff.WireSize()
-		}
-	}
-	src.mu.Unlock()
-	if len(got) == 0 {
-		return nil
-	}
-	c.fabric.Record(h.machine, src.machine, msgHeader)
-	c.fabric.Record(src.machine, h.machine, wire+msgHeader)
-	clk.Advance(c.costs.DiffFetch(h.machine, src.machine, wire))
-	c.stats.DiffFetches.Add(int64(len(got)))
-	c.stats.DiffBytes.Add(int64(wire))
-	return got
 }
 
 func (h *Host) localDiffs(pk pageKey) []seqDiff {

@@ -23,12 +23,14 @@ type BarrierResult struct {
 	GCRan       bool
 }
 
-// Barrier closes the open interval of every active host: writers flush
-// twins to diffs (multiple-writer pages) or claim ownership (single-
-// writer pages), write notices are merged and broadcast, stale copies
-// are invalidated, and, if diff storage exceeds the threshold, a
-// garbage collection runs. The caller supplies each host's arrival
-// time; the returned release time is when every process may continue.
+// Barrier closes the open interval of every active host: writers
+// commit their modifications under the cluster's coherence protocol
+// (Tmk turns twins into retained diffs or ownership claims, HLRC
+// flushes diffs to each page's home), write notices are merged and
+// broadcast, stale copies are invalidated, and, if the protocol's
+// reclaimable storage exceeds the threshold, a garbage collection
+// runs. The caller supplies each host's arrival time; the returned
+// release time is when every process may continue.
 //
 // Barrier must be called with every active process parked (the OpenMP
 // layer guarantees this); it is not safe to run concurrently with
@@ -62,7 +64,7 @@ func (c *Cluster) Barrier(active []HostID, arrivals []simtime.Seconds) BarrierRe
 		}
 	}
 
-	// Close intervals page by page.
+	// Close intervals page by page under the coherence protocol.
 	flush := make(map[HostID]simtime.Seconds, len(active))
 	for _, id := range active {
 		for _, pk := range written[id] {
@@ -71,7 +73,7 @@ func (c *Cluster) Barrier(active []HostID, arrivals []simtime.Seconds) BarrierRe
 				continue // already processed via another writer
 			}
 			writtenBy[pk] = nil
-			c.closePage(pk, writers, s, active, flush)
+			c.proto.closePage(pk, writers, s, active, flush)
 		}
 	}
 
@@ -102,99 +104,14 @@ func (c *Cluster) Barrier(active []HostID, arrivals []simtime.Seconds) BarrierRe
 	}
 
 	res := BarrierResult{ReleaseTime: release, Seq: s}
-	if c.diffStorageLocked() > c.cfg.GCThresholdBytes {
-		res.ReleaseTime += c.runGCLocked(active)
+	if c.proto.storageLocked() > c.cfg.GCThresholdBytes {
+		res.ReleaseTime += c.proto.runGCLocked(active)
 		res.GCRan = true
 	}
 	for _, id := range active {
 		c.Host(id).syncSeq = s
 	}
 	return res
-}
-
-// closePage closes the interval s for one page with the given writers.
-// Callers hold the directory write lock and all processes are parked.
-func (c *Cluster) closePage(pk pageKey, writers []HostID, s int32, active []HostID, flush map[HostID]simtime.Seconds) {
-	pm := c.dir.metaLocked(pk.region, pk.page)
-
-	multi := pm.mode == ModeMulti || len(writers) > 1
-	if multi && pm.mode == ModeSingle {
-		// Transition: diffs exist only from interval s on; older copies
-		// must full-fetch from the owner, whose copy is current as of
-		// the last single-writer notice.
-		pm.baseSeq = pm.latestSeq()
-		pm.mode = ModeMulti
-	}
-
-	noticed := make(map[HostID]bool, len(writers))
-	if multi {
-		var made []writerDiff
-		for _, w := range writers {
-			h := c.Host(w)
-			h.mu.Lock()
-			st := &h.pages[pk.region][pk.page]
-			d := page.Make(st.twin, st.data)
-			st.twin = nil
-			st.dirty = false
-			if d != nil {
-				h.diffs[pk] = append(h.diffs[pk], seqDiff{seq: s, diff: d})
-				h.diffBytes += d.WireSize()
-				c.stats.DiffsCreated.Add(1)
-				pm.notices = append(pm.notices, notice{writer: w, seq: s})
-				noticed[w] = true
-				flush[w] += c.costs.DiffCreate(h.machine, page.Size)
-				made = append(made, writerDiff{writer: w, diff: d})
-			}
-			h.mu.Unlock()
-		}
-		c.checkWordRaces(pk, made)
-	} else {
-		w := writers[0]
-		h := c.Host(w)
-		h.mu.Lock()
-		st := &h.pages[pk.region][pk.page]
-		st.twin = nil
-		st.dirty = false
-		st.appliedSeq = s
-		h.mu.Unlock()
-		pm.owner = w
-		pm.baseSeq = s
-		// Single-writer pages keep only the latest notice: no diffs
-		// exist, so older notices can never be patched in anyway.
-		pm.notices = append(pm.notices[:0], notice{writer: w, seq: s})
-		noticed[w] = true
-	}
-
-	// Invalidate stale copies. A sole writer that produced a notice is
-	// current; concurrent writers each lack the others' words and go
-	// invalid too (their own diffs are local, so revalidation is a
-	// diff exchange away).
-	soleCurrent := HostID(-1)
-	if len(writers) == 1 && noticed[writers[0]] {
-		soleCurrent = writers[0]
-	}
-	for _, id := range active {
-		if id == soleCurrent {
-			continue
-		}
-		h := c.Host(id)
-		h.mu.Lock()
-		st := &h.pages[pk.region][pk.page]
-		if multi {
-			if st.valid && (st.appliedSeq < pm.latestSeq() || noticed[id]) {
-				st.valid = false
-			}
-		} else if st.valid && id != writers[0] {
-			st.valid = false
-		}
-		h.mu.Unlock()
-	}
-	if soleCurrent >= 0 && multi {
-		h := c.Host(soleCurrent)
-		h.mu.Lock()
-		h.pages[pk.region][pk.page].appliedSeq = s
-		h.mu.Unlock()
-	}
 }
 
 // writerDiff pairs a diff produced at one interval close with its
@@ -210,18 +127,28 @@ type writerDiff struct {
 // one interval silently lose one of the updates — the sub-word caveat
 // on shmem.Array and Matrix. That is a program error (a data race on
 // the real TreadMarks too); failing loudly here turns silent
-// corruption into a diagnosable panic.
+// corruption into a diagnosable panic. The message names the region
+// and the first conflicting word so the owner of the layout can find
+// the offending elements.
 func (c *Cluster) checkWordRaces(pk pageKey, made []writerDiff) {
 	for i := 0; i < len(made); i++ {
 		for j := i + 1; j < len(made); j++ {
-			if made[i].diff.Overlaps(made[j].diff) {
-				panic(fmt.Sprintf(
-					"dsm: hosts %d and %d both wrote within one %d-byte word of page %d of region %q in the same interval; sub-word concurrent writes lose updates (keep concurrent writers %d bytes apart)",
-					made[i].writer, made[j].writer, page.WordBytes,
-					pk.page, c.regions[pk.region].Name, page.WordBytes))
+			if w, ok := made[i].diff.FirstOverlap(made[j].diff); ok {
+				panic(c.wordRaceMessage(made[i].writer, made[j].writer, pk, w,
+					"in the same interval"))
 			}
 		}
 	}
+}
+
+// wordRaceMessage renders the sub-word race diagnostic: both hosts,
+// the region by name, the conflicting word and its byte offset within
+// the region.
+func (c *Cluster) wordRaceMessage(a, b HostID, pk pageKey, word int, when string) string {
+	off := pk.page*page.Size + word*page.WordBytes
+	return fmt.Sprintf(
+		"dsm: hosts %d and %d both wrote within the %d-byte word at byte offset %d of region %q (page %d, word %d) %s; sub-word concurrent writes lose updates (keep concurrent writers %d bytes apart)",
+		a, b, page.WordBytes, off, c.regions[pk.region].Name, pk.page, word, when, page.WordBytes)
 }
 
 // applyReleaseLog invalidates copies made stale by lock-release
@@ -262,16 +189,4 @@ func (c *Cluster) accountBarrierTraffic(active []HostID, written map[HostID][]pa
 		c.fabric.Record(h.machine, master.machine, up)
 		c.fabric.Record(master.machine, h.machine, down)
 	}
-}
-
-// diffStorageLocked sums diff storage across hosts; the directory write
-// lock serialises it against interval closes.
-func (c *Cluster) diffStorageLocked() int {
-	n := 0
-	for _, h := range c.hosts {
-		h.mu.Lock()
-		n += h.diffBytes
-		h.mu.Unlock()
-	}
-	return n
 }

@@ -1,9 +1,7 @@
 package dsm
 
 import (
-	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 
 	"nowomp/internal/page"
@@ -196,109 +194,23 @@ func (c *Cluster) honourReleases(h *Host, clk *simtime.Clock) {
 			continue
 		}
 		seen[e.pk] = true
-		c.upgradeOrInvalidate(h, e.pk, clk)
+		c.proto.upgradeOrInvalidate(h, e.pk, clk)
 	}
 	h.syncSeq = cur
 }
 
-func (c *Cluster) upgradeOrInvalidate(h *Host, pk pageKey, clk *simtime.Clock) {
-	meta := c.dir.meta(pk.region, pk.page)
-	latest := meta.latestSeq()
-	h.mu.Lock()
-	st := &h.pages[pk.region][pk.page]
-	if !st.valid || st.appliedSeq >= latest {
-		h.mu.Unlock()
-		return
-	}
-	if !st.dirty {
-		st.valid = false
-		h.mu.Unlock()
-		return
-	}
-	applied := st.appliedSeq
-	h.mu.Unlock()
-
-	// Dirty page: patch in place.
-	var pending []seqDiff
-	grouped := groupPending(&meta, applied, h.id)
-	writers := make([]HostID, 0, len(grouped))
-	for w := range grouped {
-		writers = append(writers, w)
-	}
-	sort.Slice(writers, func(i, j int) bool { return writers[i] < writers[j] })
-	for _, w := range writers {
-		pending = append(pending, h.fetchDiffs(pk, w, applied, latest, clk)...)
-	}
-	sort.Slice(pending, func(i, j int) bool { return pending[i].seq < pending[j].seq })
-	h.mu.Lock()
-	st = &h.pages[pk.region][pk.page]
-	for _, sd := range pending {
-		sd.diff.Apply(st.data)
-	}
-	if st.appliedSeq < latest {
-		st.appliedSeq = latest
-	}
-	h.mu.Unlock()
-}
-
-// ReleaseLock closes the host's open interval (its writes under the
-// lock become diffs with fresh write notices) and releases lock id.
+// ReleaseLock closes the host's open interval under the coherence
+// protocol (its writes under the lock become committed diffs with
+// fresh write notices) and releases lock id.
 func (c *Cluster) ReleaseLock(id int, h *Host, clk *simtime.Clock) {
 	lk := c.locks.get(id)
 
 	c.dir.mu.Lock()
-	c.flushIntervalLocked(h, clk)
+	c.proto.flushIntervalLocked(h, clk)
 	c.dir.mu.Unlock()
 
 	clk.Advance(c.costs.MsgOverhead(h.machine))
 	lk.release(h.id, clk.Now())
-}
-
-// flushIntervalLocked closes h's open interval as a lock release does:
-// pages written since the interval opened become diffs with fresh write
-// notices, and affected pages go on the release log so later acquirers
-// (and the next barrier) honour the writes. Pages flushed this way are
-// diff-managed even if they previously had a single writer: without the
-// barrier's global conflict detection, full-page ownership transfers
-// would be unsound under concurrent readers. Diff-creation time is
-// charged to clk. Returns the number of diffs created. The caller holds
-// the directory write lock.
-func (c *Cluster) flushIntervalLocked(h *Host, clk *simtime.Clock) int {
-	c.seq++
-	s := c.seq
-	made := 0
-	for _, pk := range h.takeWritten() {
-		pm := c.dir.metaLocked(pk.region, pk.page)
-		prevLatest := pm.latestSeq()
-		if pm.mode == ModeSingle {
-			pm.baseSeq = prevLatest
-			pm.mode = ModeMulti
-		}
-		h.mu.Lock()
-		st := &h.pages[pk.region][pk.page]
-		d := page.Make(st.twin, st.data)
-		st.twin = nil
-		st.dirty = false
-		if d != nil {
-			h.diffs[pk] = append(h.diffs[pk], seqDiff{seq: s, diff: d})
-			h.diffBytes += d.WireSize()
-			c.stats.DiffsCreated.Add(1)
-			pm.notices = append(pm.notices, notice{writer: h.id, seq: s})
-			c.releaseLog = append(c.releaseLog, relEntry{pk: pk, seq: s})
-			if st.appliedSeq >= prevLatest {
-				st.appliedSeq = s // current: old value plus own writes
-			} else {
-				st.valid = false // concurrent writers under other locks
-			}
-			clk.Advance(c.costs.DiffCreate(h.machine, page.Size))
-			made++
-		}
-		h.mu.Unlock()
-		if d != nil {
-			c.checkDirtyPeerRaces(h.id, pk, d)
-		}
-	}
-	return made
 }
 
 // checkDirtyPeerRaces extends the sub-word race check to flush-path
@@ -320,11 +232,11 @@ func (c *Cluster) checkDirtyPeerRaces(writer HostID, pk pageKey, d *page.Diff) {
 			d2 = page.Make(st2.twin, st2.data)
 		}
 		h2.mu.Unlock()
-		if d2 != nil && d.Overlaps(d2) {
-			panic(fmt.Sprintf(
-				"dsm: hosts %d and %d both wrote within one %d-byte word of page %d of region %q without synchronisation; sub-word concurrent writes lose updates (keep concurrent writers %d bytes apart)",
-				writer, h2.id, page.WordBytes,
-				pk.page, c.regions[pk.region].Name, page.WordBytes))
+		if d2 == nil {
+			continue
+		}
+		if w, ok := d.FirstOverlap(d2); ok {
+			panic(c.wordRaceMessage(writer, h2.id, pk, w, "without synchronisation"))
 		}
 	}
 }

@@ -14,11 +14,16 @@ type Stats struct {
 	DiffBytes    atomic.Int64 // payload bytes of diff transfers
 	DiffsCreated atomic.Int64 // diffs made at interval close
 	TwinsCreated atomic.Int64 // twins made at first write
-	Barriers     atomic.Int64
-	LockAcquires atomic.Int64
-	GCs          atomic.Int64
-	ReadFaults   atomic.Int64 // page-granularity access misses
-	WriteFaults  atomic.Int64 // first writes (twin events)
+	// HomeFlushes/HomeFlushBytes count diffs pushed to page homes at
+	// interval close, the HLRC analogue of diff fetches (always zero
+	// under Tmk).
+	HomeFlushes    atomic.Int64
+	HomeFlushBytes atomic.Int64
+	Barriers       atomic.Int64
+	LockAcquires   atomic.Int64
+	GCs            atomic.Int64
+	ReadFaults     atomic.Int64 // page-granularity access misses
+	WriteFaults    atomic.Int64 // first writes (twin events)
 }
 
 // StatsSnapshot is an immutable copy of the counters.
@@ -29,44 +34,51 @@ type StatsSnapshot struct {
 	DiffBytes    int64
 	DiffsCreated int64
 	TwinsCreated int64
-	Barriers     int64
-	LockAcquires int64
-	GCs          int64
-	ReadFaults   int64
-	WriteFaults  int64
+	// HomeFlushes/HomeFlushBytes are the HLRC home-push counters.
+	HomeFlushes    int64
+	HomeFlushBytes int64
+	Barriers       int64
+	LockAcquires   int64
+	GCs            int64
+	ReadFaults     int64
+	WriteFaults    int64
 }
 
 // Snapshot captures the current counter values.
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		PageFetches:  s.PageFetches.Load(),
-		PageBytes:    s.PageBytes.Load(),
-		DiffFetches:  s.DiffFetches.Load(),
-		DiffBytes:    s.DiffBytes.Load(),
-		DiffsCreated: s.DiffsCreated.Load(),
-		TwinsCreated: s.TwinsCreated.Load(),
-		Barriers:     s.Barriers.Load(),
-		LockAcquires: s.LockAcquires.Load(),
-		GCs:          s.GCs.Load(),
-		ReadFaults:   s.ReadFaults.Load(),
-		WriteFaults:  s.WriteFaults.Load(),
+		PageFetches:    s.PageFetches.Load(),
+		PageBytes:      s.PageBytes.Load(),
+		DiffFetches:    s.DiffFetches.Load(),
+		DiffBytes:      s.DiffBytes.Load(),
+		DiffsCreated:   s.DiffsCreated.Load(),
+		TwinsCreated:   s.TwinsCreated.Load(),
+		HomeFlushes:    s.HomeFlushes.Load(),
+		HomeFlushBytes: s.HomeFlushBytes.Load(),
+		Barriers:       s.Barriers.Load(),
+		LockAcquires:   s.LockAcquires.Load(),
+		GCs:            s.GCs.Load(),
+		ReadFaults:     s.ReadFaults.Load(),
+		WriteFaults:    s.WriteFaults.Load(),
 	}
 }
 
 // Sub returns the difference between this snapshot and an earlier one.
 func (s StatsSnapshot) Sub(earlier StatsSnapshot) StatsSnapshot {
 	return StatsSnapshot{
-		PageFetches:  s.PageFetches - earlier.PageFetches,
-		PageBytes:    s.PageBytes - earlier.PageBytes,
-		DiffFetches:  s.DiffFetches - earlier.DiffFetches,
-		DiffBytes:    s.DiffBytes - earlier.DiffBytes,
-		DiffsCreated: s.DiffsCreated - earlier.DiffsCreated,
-		TwinsCreated: s.TwinsCreated - earlier.TwinsCreated,
-		Barriers:     s.Barriers - earlier.Barriers,
-		LockAcquires: s.LockAcquires - earlier.LockAcquires,
-		GCs:          s.GCs - earlier.GCs,
-		ReadFaults:   s.ReadFaults - earlier.ReadFaults,
-		WriteFaults:  s.WriteFaults - earlier.WriteFaults,
+		PageFetches:    s.PageFetches - earlier.PageFetches,
+		PageBytes:      s.PageBytes - earlier.PageBytes,
+		DiffFetches:    s.DiffFetches - earlier.DiffFetches,
+		DiffBytes:      s.DiffBytes - earlier.DiffBytes,
+		DiffsCreated:   s.DiffsCreated - earlier.DiffsCreated,
+		TwinsCreated:   s.TwinsCreated - earlier.TwinsCreated,
+		HomeFlushes:    s.HomeFlushes - earlier.HomeFlushes,
+		HomeFlushBytes: s.HomeFlushBytes - earlier.HomeFlushBytes,
+		Barriers:       s.Barriers - earlier.Barriers,
+		LockAcquires:   s.LockAcquires - earlier.LockAcquires,
+		GCs:            s.GCs - earlier.GCs,
+		ReadFaults:     s.ReadFaults - earlier.ReadFaults,
+		WriteFaults:    s.WriteFaults - earlier.WriteFaults,
 	}
 }
 

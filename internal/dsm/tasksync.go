@@ -34,7 +34,7 @@ func (c *Cluster) FlushInterval(h *Host, clk *simtime.Clock) int {
 	}
 	c.dir.mu.Lock()
 	defer c.dir.mu.Unlock()
-	return c.flushIntervalLocked(h, clk)
+	return c.proto.flushIntervalLocked(h, clk)
 }
 
 // AcquireInterval performs acquire-side consistency for h without a

@@ -122,6 +122,19 @@ func (k *Costs) DiffFetch(req, writer simnet.MachineID, bytes int) simtime.Secon
 		simtime.Seconds(float64(bytes))*k.base.DiffByteCost*cpu
 }
 
+// DiffFlush returns the writer-observed cost of pushing its interval's
+// diff for one page to the page's home when the interval closes (the
+// HLRC release path): one-way latency and wire time on the writer ->
+// home link plus the send overhead on the writer. The home applies the
+// diff off the writer's critical path; the apply scan is folded into
+// the calibrated page-fetch base the next reader pays.
+func (k *Costs) DiffFlush(writer, home simnet.MachineID, bytes int) simtime.Seconds {
+	if k.hom {
+		return k.base.OneWayLatency + k.base.Wire(bytes) + k.base.MsgOverhead
+	}
+	return k.Latency(writer, home) + k.Wire(writer, home, bytes) + k.MsgOverhead(writer)
+}
+
 // Twin returns the local cost of twinning one page on machine id.
 func (k *Costs) Twin(id simnet.MachineID) simtime.Seconds {
 	if k.hom {

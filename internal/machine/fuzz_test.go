@@ -1,0 +1,113 @@
+package machine
+
+import (
+	"testing"
+
+	"nowomp/internal/simnet"
+)
+
+// The spec parsers take operator input straight off tool flags, so
+// they must never panic, and their formatters must round-trip: parsing
+// a formatted model reproduces the same model (format -> parse ->
+// format is a fixed point). The fuzzers assert both over arbitrary
+// byte soup.
+
+const fuzzPool = 8
+
+func FuzzParseSpeeds(f *testing.F) {
+	for _, seed := range []string{
+		"", "4=0.5,7=2", "0=1", "3=0.25,3=4", " 1 = 0.5 ",
+		"9=1", "-1=2", "a=b", "4=", "=1", "4=0", "4=-1", "4=1e300,5=1e-300",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		m := New(fuzzPool)
+		if err := ParseSpeeds(m, spec); err != nil {
+			return // rejected input: only the no-panic property applies
+		}
+		out := FormatSpeeds(m)
+		m2 := New(fuzzPool)
+		if err := ParseSpeeds(m2, out); err != nil {
+			t.Fatalf("ParseSpeeds(%q) accepted but its format %q did not re-parse: %v", spec, out, err)
+		}
+		if again := FormatSpeeds(m2); again != out {
+			t.Fatalf("format not a fixed point: %q -> %q -> %q", spec, out, again)
+		}
+		for id := 0; id < fuzzPool; id++ {
+			if a, b := m.Speed(simnet.MachineID(id)), m2.Speed(simnet.MachineID(id)); a != b {
+				t.Fatalf("machine %d speed %g != reparsed %g (spec %q)", id, a, b, spec)
+			}
+		}
+	})
+}
+
+func FuzzParseLoads(f *testing.F) {
+	for _, seed := range []string{
+		"", "3=2@5,0@15;6=0.5@0", "0=0@0", "1=1@1,2@0", "2=1@1,2@1",
+		"x=1@1", "3=@", "3=1@", "3=@1", "3=1@1;3=2@2", "7=1e9@0",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		m := New(fuzzPool)
+		if err := ParseLoads(m, spec); err != nil {
+			return
+		}
+		out := FormatLoads(m)
+		m2 := New(fuzzPool)
+		if err := ParseLoads(m2, out); err != nil {
+			t.Fatalf("ParseLoads(%q) accepted but its format %q did not re-parse: %v", spec, out, err)
+		}
+		if again := FormatLoads(m2); again != out {
+			t.Fatalf("format not a fixed point: %q -> %q -> %q", spec, out, again)
+		}
+		for id := 0; id < fuzzPool; id++ {
+			a := m.Load(simnet.MachineID(id)).Steps()
+			b := m2.Load(simnet.MachineID(id)).Steps()
+			if len(a) != len(b) {
+				t.Fatalf("machine %d has %d steps, reparsed %d (spec %q)", id, len(a), len(b), spec)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("machine %d step %d %v != reparsed %v (spec %q)", id, i, a[i], b[i], spec)
+				}
+			}
+		}
+	})
+}
+
+func FuzzParseLinks(f *testing.F) {
+	for _, seed := range []string{
+		"", "0-7=lat:4,bw:0.25", "2-3=bw:0.5", "0-1=lat:1", "1-0=lat:2;2-3=bw:3",
+		"0-0=lat:2", "0-9=bw:1", "a-b=lat:1", "0-1=", "0-1=x:1", "0-1=lat:0",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		fab := simnet.New(fuzzPool)
+		if err := ParseLinks(fab, spec); err != nil {
+			return
+		}
+		out := FormatLinks(fab)
+		fab2 := simnet.New(fuzzPool)
+		if err := ParseLinks(fab2, out); err != nil {
+			t.Fatalf("ParseLinks(%q) accepted but its format %q did not re-parse: %v", spec, out, err)
+		}
+		if again := FormatLinks(fab2); again != out {
+			t.Fatalf("format not a fixed point: %q -> %q -> %q", spec, out, again)
+		}
+		for a := 0; a < fuzzPool; a++ {
+			for b := 0; b < fuzzPool; b++ {
+				if a == b {
+					continue
+				}
+				src, dst := simnet.MachineID(a), simnet.MachineID(b)
+				if fab.LatencyScale(src, dst) != fab2.LatencyScale(src, dst) ||
+					fab.BandwidthScale(src, dst) != fab2.BandwidthScale(src, dst) {
+					t.Fatalf("link %d->%d scales diverge after round-trip (spec %q)", a, b, spec)
+				}
+			}
+		}
+	})
+}

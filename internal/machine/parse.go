@@ -190,3 +190,28 @@ func ParseLinks(f *simnet.Fabric, spec string) error {
 	}
 	return nil
 }
+
+// FormatLinks renders the non-default link overrides of a fabric in
+// ParseLinks form, pairs ascending; the empty string means every link
+// is at the baseline. ParseLinks only ever sets full-duplex pairs, so
+// formatting reads the a->b direction of each pair;
+// FormatLinks(ParseLinks(s)) is canonical on such fabrics.
+func FormatLinks(f *simnet.Fabric) string {
+	if f == nil {
+		return ""
+	}
+	var entries []string
+	for a := 0; a < f.Machines(); a++ {
+		for b := a + 1; b < f.Machines(); b++ {
+			lat := f.LatencyScale(simnet.MachineID(a), simnet.MachineID(b))
+			bw := f.BandwidthScale(simnet.MachineID(a), simnet.MachineID(b))
+			if lat == 1 && bw == 1 {
+				continue
+			}
+			entries = append(entries, fmt.Sprintf("%d-%d=lat:%s,bw:%s", a, b,
+				strconv.FormatFloat(lat, 'g', -1, 64),
+				strconv.FormatFloat(bw, 'g', -1, 64)))
+		}
+	}
+	return strings.Join(entries, ";")
+}

@@ -36,6 +36,11 @@ type Config struct {
 	// GCThresholdBytes is the diff-storage GC trigger (0 = default).
 	GCThresholdBytes int
 
+	// Protocol selects the DSM coherence protocol; the zero value is
+	// dsm.Tmk, the TreadMarks homeless LRC of the paper. dsm.HLRC runs
+	// the same programs over home-based LRC.
+	Protocol dsm.ProtocolKind
+
 	// Adaptive enables adapt-event processing. With Adaptive false the
 	// runtime is the non-adaptive base TreadMarks system: Submit fails
 	// and forks never touch the adaptation machinery. Table 1 compares
@@ -116,6 +121,7 @@ func New(cfg Config) (*Runtime, error) {
 		Machine:          cfg.Machine,
 		Links:            cfg.Links,
 		GCThresholdBytes: cfg.GCThresholdBytes,
+		Protocol:         cfg.Protocol,
 		Adaptive:         cfg.Adaptive,
 	})
 	if err != nil {

@@ -103,8 +103,16 @@ func (d *Diff) DataBytes() int {
 // programs produce non-overlapping diffs within one interval; the DSM
 // asserts this in tests.
 func (d *Diff) Overlaps(o *Diff) bool {
+	_, ok := d.FirstOverlap(o)
+	return ok
+}
+
+// FirstOverlap returns the lowest word index modified by both diffs,
+// and whether one exists. The DSM's word-race diagnostics use it to
+// name the conflicting word in their panic messages.
+func (d *Diff) FirstOverlap(o *Diff) (int, bool) {
 	if d == nil || o == nil {
-		return false
+		return 0, false
 	}
 	var mask [Words]bool
 	for _, r := range d.Runs {
@@ -112,14 +120,16 @@ func (d *Diff) Overlaps(o *Diff) bool {
 			mask[int(r.Word)+w] = true
 		}
 	}
+	first, found := 0, false
 	for _, r := range o.Runs {
 		for w := 0; w < len(r.Data)/WordBytes; w++ {
-			if mask[int(r.Word)+w] {
-				return true
+			i := int(r.Word) + w
+			if mask[i] && (!found || i < first) {
+				first, found = i, true
 			}
 		}
 	}
-	return false
+	return first, found
 }
 
 // Clone returns a deep copy of the diff.

@@ -86,6 +86,29 @@ const (
 // DefaultGrace is the paper's 3-second leave grace period.
 const DefaultGrace = adapt.DefaultGrace
 
+// Coherence protocols. The DSM's coherence machinery is a pluggable
+// layer (Config.Protocol): Tmk is the paper's TreadMarks homeless lazy
+// release consistency and the default; HLRC is home-based LRC, where
+// every page has a home that writers flush diffs to eagerly and
+// readers fetch whole pages from. See DESIGN.md "Coherence protocols".
+type (
+	// ProtocolKind selects the DSM coherence protocol.
+	ProtocolKind = dsm.ProtocolKind
+)
+
+// Protocol kinds for Config.Protocol.
+const (
+	// Tmk is TreadMarks-style homeless lazy release consistency (the
+	// default).
+	Tmk = dsm.Tmk
+	// HLRC is home-based lazy release consistency.
+	HLRC = dsm.HLRC
+)
+
+// ParseProtocol parses a protocol name ("tmk" or "hlrc"), as the
+// tools' -protocol flag spells it.
+func ParseProtocol(s string) (ProtocolKind, error) { return dsm.ParseProtocol(s) }
+
 // Heterogeneous NOW modelling: per-machine CPU speed factors and
 // background-load traces (Config.Machine), per-link overrides
 // (Config.Links), and the load policy that derives join/leave events
