@@ -6,17 +6,24 @@
 // machine-readable BENCH_*.json report so the performance trajectory
 // can be tracked across PRs.
 //
+// Every scenario cell is a self-contained deterministic simulation, so
+// -parallel N fans the table1/tasking/hetero/protocols matrices out
+// across N workers: the printed tables and the -json results are
+// byte-identical at any parallelism level, only the wall clock
+// changes.
+//
 // Examples:
 //
 //	nowomp-bench -exp table1 -scale 0.15
-//	nowomp-bench -exp protocols -scale 0.1
-//	nowomp-bench -exp all -json BENCH_pr4.json
+//	nowomp-bench -exp protocols -scale 0.1 -parallel 8
+//	nowomp-bench -exp all -json BENCH_pr5.json -parallel 0
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -41,11 +48,16 @@ func main() {
 		policy   = flag.String("policy", "", "load policy for the hetero custom scenario, e.g. \"high=1.5,low=0.25,dwell=2\"")
 		protocol = flag.String("protocol", "tmk", "DSM coherence protocol every experiment runs on: tmk or hlrc (the protocols experiment always runs both)")
 		jsonPath = flag.String("json", "", "write a machine-readable BENCH_*.json report to this path")
+		parallel = flag.Int("parallel", 1, "worker-pool size for independent scenario cells (0 = GOMAXPROCS); results are byte-identical at any level")
 	)
 	flag.Parse()
+	if *parallel <= 0 {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
 	opt := bench.Options{
 		Scale: *scale, Hosts: *hosts, Pairs: *pairs,
-		Grace: simtime.Seconds(*grace),
+		Grace:    simtime.Seconds(*grace),
+		Parallel: *parallel,
 	}
 	if err := heteroFlags(&opt, *machines, *load, *links, *policy); err != nil {
 		fmt.Fprintln(os.Stderr, "nowomp-bench:", err)
@@ -98,6 +110,7 @@ func heteroFlags(opt *bench.Options, machines, load, links, policy string) error
 func run(exp string, opt bench.Options, jsonPath string) error {
 	all := exp == "all"
 	ran := false
+	wallStart := time.Now()
 	var report *bench.Report
 	if jsonPath != "" {
 		report = bench.NewReport(opt)
@@ -222,6 +235,7 @@ func run(exp string, opt bench.Options, jsonPath string) error {
 			strings.Join([]string{"table1", "table2", "fig3", "migration", "micro", "ablation", "tasking", "hetero", "protocols", "all"}, ", "))
 	}
 	if report != nil {
+		report.WallSeconds = time.Since(wallStart).Seconds()
 		if err := report.Write(jsonPath); err != nil {
 			return err
 		}

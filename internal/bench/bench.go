@@ -54,6 +54,12 @@ type Options struct {
 	// on (default Tmk). The protocols experiment keeps its own
 	// tmk-vs-hlrc matrix regardless.
 	Protocol dsm.ProtocolKind
+	// Parallel is the worker-pool size for independent scenario cells
+	// (<= 1 runs them sequentially). Each cell owns its engine, fabric
+	// and cluster, and the deterministic engine makes every cell
+	// bit-reproducible in isolation, so results are byte-identical at
+	// any parallelism level — only the wall clock changes.
+	Parallel int
 }
 
 func (o Options) withDefaults() Options {

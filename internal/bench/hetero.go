@@ -115,27 +115,37 @@ func Hetero(opt Options) ([]HeteroRow, error) {
 		scenarios = append(scenarios, custom)
 	}
 
+	type cell struct {
+		sc    heteroScenario
+		sched omp.Schedule
+	}
+	var cells []cell
 	for _, sc := range scenarios {
 		for _, sched := range []omp.Schedule{omp.Static, omp.Dynamic, omp.Guided} {
 			if sc.name == "homog" && sched == omp.Static {
 				continue // already measured as the baseline
 			}
-			row, err := heteroRun(opt, sc, sched, 0)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, row)
+			cells = append(cells, cell{sc, sched})
 		}
 	}
+	cellRows := make([]HeteroRow, len(cells))
+	err = runCells(opt.Parallel, len(cells), func(i int) error {
+		row, err := heteroRun(opt, cells[i].sc, cells[i].sched, 0)
+		cellRows[i] = row
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, cellRows...)
 
 	// Enforce the bit-identity contract: unit factors must reproduce
-	// the baseline. The static cell compares exactly — a lock-free
-	// static run is fully deterministic, so any difference is a real
-	// cost-model divergence. The claim-based schedules carry a little
-	// scheduler-interleaving jitter in their fault traffic (mid-phase
-	// faults race lock-release flushes in real time, a property of the
-	// concurrent loop runtime inherited from the base system), so they
-	// compare within a tight tolerance instead.
+	// the baseline exactly, for every schedule. Under the old
+	// goroutine-race loop runtime the claim-based schedules carried a
+	// little real-time jitter in their fault traffic and compared only
+	// within a tolerance; on the discrete-event engine every schedule
+	// is fully deterministic, so any difference at all is a real
+	// cost-model divergence.
 	for _, r := range rows {
 		if r.Scenario != "unit-factors" {
 			continue
@@ -144,33 +154,14 @@ func Hetero(opt Options) ([]HeteroRow, error) {
 			if b.Scenario != "homog" || b.Schedule != r.Schedule {
 				continue
 			}
-			exact := r.Schedule == "static"
-			if exact && (r.Time != b.Time || r.MB != b.MB) {
+			if r.Time != b.Time || r.MB != b.MB {
 				return nil, fmt.Errorf(
 					"bench: unit-factors/%s diverged from homog: %.9fs vs %.9fs, %.6f MB vs %.6f MB",
 					r.Schedule, float64(r.Time), float64(b.Time), r.MB, b.MB)
 			}
-			if !exact && !within(float64(r.Time), float64(b.Time), 0.01) {
-				return nil, fmt.Errorf(
-					"bench: unit-factors/%s time %.9fs strayed more than 1%% from homog %.9fs",
-					r.Schedule, float64(r.Time), float64(b.Time))
-			}
 		}
 	}
 	return rows, nil
-}
-
-// within reports whether a and b agree to the given relative tolerance.
-func within(a, b, tol float64) bool {
-	d := a - b
-	if d < 0 {
-		d = -d
-	}
-	m := b
-	if m < 0 {
-		m = -m
-	}
-	return d <= tol*m
 }
 
 // heteroScenarios builds the matrix for the given baseline time.

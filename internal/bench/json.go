@@ -34,20 +34,34 @@ type Report struct {
 	Schema int `json:"schema"`
 	// Scale and Hosts record the options the run used; records are
 	// comparable across PRs only at matching scale and pool size.
-	Scale   float64  `json:"scale"`
-	Hosts   int      `json:"hosts"`
-	Results []Record `json:"results"`
+	Scale float64 `json:"scale"`
+	Hosts int     `json:"hosts"`
+	// Parallel is the scenario worker-pool size the run used and
+	// WallSeconds its real (wall-clock) duration. They are run
+	// metadata, not results: every field of every Results record is
+	// byte-identical at any Parallel level (the CI determinism gate
+	// diffs reports across levels with exactly these two lines
+	// filtered out).
+	Parallel    int      `json:"parallel"`
+	WallSeconds float64  `json:"wall_seconds"`
+	Results     []Record `json:"results"`
 }
 
-// ReportSchema is the current -json document version.
-const ReportSchema = 1
+// ReportSchema is the current -json document version. Schema 2 added
+// the parallel and wall_seconds run metadata.
+const ReportSchema = 2
 
 // NewReport starts a report for one bench invocation.
 func NewReport(opt Options) *Report {
 	opt = opt.withDefaults()
+	parallel := opt.Parallel
+	if parallel < 1 {
+		parallel = 1
+	}
 	// Results starts non-nil so an empty report marshals as [] rather
 	// than null — consumers iterate it unconditionally.
-	return &Report{Schema: ReportSchema, Scale: opt.Scale, Hosts: opt.Hosts, Results: []Record{}}
+	return &Report{Schema: ReportSchema, Scale: opt.Scale, Hosts: opt.Hosts,
+		Parallel: parallel, Results: []Record{}}
 }
 
 // Add appends one scenario record.

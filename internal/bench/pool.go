@@ -1,0 +1,46 @@
+package bench
+
+import "sync"
+
+// The worker-pool driver for scenario matrices. Every cell of the
+// table1/tasking/hetero/protocols experiments is an independent
+// simulation — it owns its runtime, and with it its engine, fabric and
+// cluster — and the engine makes each one bit-reproducible in
+// isolation, so cells can fan out across real cores with no effect on
+// the results. Cells write into index-addressed slots, so the
+// assembled tables (and the -json report) are byte-identical at any
+// parallelism level; only the wall clock changes.
+
+// runCells executes n independent cells through a pool of at most
+// parallel workers (parallel <= 1 runs them inline, in order). The
+// returned error is the first failing cell's, by cell index, so error
+// reporting is as deterministic as the results.
+func runCells(parallel, n int, cell func(i int) error) error {
+	if parallel <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := cell(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = cell(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

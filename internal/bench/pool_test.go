@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestParallelMatchesSequential pins the worker-pool contract (and the
+// PR's acceptance criterion) in-tree: an experiment run with a
+// parallel pool must produce row-for-row identical results to the
+// sequential run. It also puts the concurrent fan-out under the race
+// detector, which the CLI-driven CI gate does not.
+func TestParallelMatchesSequential(t *testing.T) {
+	seq, err := Tasking(Options{Scale: 0.06})
+	if err != nil {
+		t.Fatalf("sequential Tasking: %v", err)
+	}
+	par, err := Tasking(Options{Scale: 0.06, Parallel: 4})
+	if err != nil {
+		t.Fatalf("parallel Tasking: %v", err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("row counts differ: %d sequential, %d parallel", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("row %d differs across parallelism levels:\nseq: %+v\npar: %+v", i, seq[i], par[i])
+		}
+	}
+}
+
+// TestRunCellsReportsFirstErrorByIndex: the pool's error is the first
+// failing cell's in index order, whatever order the workers finish in.
+func TestRunCellsReportsFirstErrorByIndex(t *testing.T) {
+	boom2 := errors.New("cell 2 failed")
+	boom5 := errors.New("cell 5 failed")
+	err := runCells(3, 8, func(i int) error {
+		switch i {
+		case 2:
+			return boom2
+		case 5:
+			return boom5
+		}
+		return nil
+	})
+	if err != boom2 {
+		t.Fatalf("runCells error = %v, want the index-2 error", err)
+	}
+}

@@ -123,13 +123,23 @@ func Protocols(opt Options) ([]ProtoRow, error) {
 		return nil, fmt.Errorf("bench: protocols needs more than %d hosts, got %d", protoProcs, opt.Hosts)
 	}
 
-	// Baseline sizes the leave-join schedule.
+	// Baseline sizes the leave-join schedule; every other cell of the
+	// matrix is an independent run and fans out across Options.Parallel
+	// workers (this is the hottest table to regenerate, and the one the
+	// -parallel flag exists for).
 	base, err := protoLoopRun(opt, protoScenario{name: "homog"}, omp.Static, dsm.Tmk)
 	if err != nil {
 		return nil, err
 	}
 	rows := []ProtoRow{base}
 
+	type cell struct {
+		sc        protoScenario
+		sched     omp.Schedule
+		proto     dsm.ProtocolKind
+		migratory bool
+	}
+	var cells []cell
 	for _, sc := range protoScenarios(base.Time) {
 		for _, sched := range []omp.Schedule{omp.Static, omp.Dynamic, omp.Guided} {
 			if len(sc.events) > 0 && sched != omp.Static {
@@ -139,37 +149,49 @@ func Protocols(opt Options) ([]ProtoRow, error) {
 				if sc.name == "homog" && sched == omp.Static && proto == dsm.Tmk {
 					continue // already measured as the baseline
 				}
-				row, err := protoLoopRun(opt, sc, sched, proto)
-				if err != nil {
-					return nil, err
-				}
-				rows = append(rows, row)
+				cells = append(cells, cell{sc: sc, sched: sched, proto: proto})
 			}
 		}
 	}
-
 	// The migratory kernel, both protocols under each shape.
 	for _, sc := range protoScenarios(base.Time) {
 		if len(sc.events) > 0 {
 			continue // the lock region has no adaptation points
 		}
-		var tmkBytes, hlrcBytes int64
 		for _, proto := range []dsm.ProtocolKind{dsm.Tmk, dsm.HLRC} {
-			row, err := migratoryRun(opt, sc, proto)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, row)
-			if proto == dsm.Tmk {
-				tmkBytes = row.Bytes
-			} else {
-				hlrcBytes = row.Bytes
-			}
+			cells = append(cells, cell{sc: sc, proto: proto, migratory: true})
 		}
-		if hlrcBytes >= tmkBytes {
+	}
+
+	cellRows := make([]ProtoRow, len(cells))
+	err = runCells(opt.Parallel, len(cells), func(i int) error {
+		var row ProtoRow
+		var err error
+		if cells[i].migratory {
+			row, err = migratoryRun(opt, cells[i].sc, cells[i].proto)
+		} else {
+			row, err = protoLoopRun(opt, cells[i].sc, cells[i].sched, cells[i].proto)
+		}
+		cellRows[i] = row
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, cellRows...)
+
+	// Enforce the byte contract on the assembled migratory cells: under
+	// every shape HLRC must transfer fewer bytes than Tmk. Migratory
+	// cells were appended in adjacent Tmk/HLRC pairs per scenario.
+	for i, c := range cells {
+		if !c.migratory || c.proto != dsm.Tmk {
+			continue
+		}
+		tmk, hlrc := cellRows[i], cellRows[i+1]
+		if hlrc.Bytes >= tmk.Bytes {
 			return nil, fmt.Errorf(
 				"bench: migratory/%s: hlrc transferred %d bytes, tmk %d; home-based LRC must beat diff chasing on migratory sharing",
-				sc.name, hlrcBytes, tmkBytes)
+				c.sc.name, hlrc.Bytes, tmk.Bytes)
 		}
 	}
 	return rows, nil

@@ -79,8 +79,12 @@ func TestReportRendersSortedJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(data, `"schema": 1`) {
+	if !strings.Contains(data, `"schema": 2`) {
 		t.Errorf("report missing schema stamp:\n%s", data)
+	}
+	// Schema 2 run metadata: the worker-pool level and wall clock.
+	if !strings.Contains(data, `"parallel": 1`) || !strings.Contains(data, `"wall_seconds"`) {
+		t.Errorf("report missing schema-2 run metadata:\n%s", data)
 	}
 	if strings.Index(data, "a/earlier") > strings.Index(data, "b/later") {
 		t.Errorf("records not sorted by scenario:\n%s", data)

@@ -37,21 +37,31 @@ type Table1Row struct {
 
 // Table1 reproduces Table 1: execution times and network traffic on
 // the non-adaptive and adaptive systems with no adapt events, for each
-// application at each team size.
+// application at each team size. Cells are independent runs and fan
+// out across Options.Parallel workers.
 func Table1(opt Options, procCounts []int) ([]Table1Row, error) {
 	opt = opt.withDefaults()
 	if len(procCounts) == 0 {
 		procCounts = []int{8, 4, 1}
 	}
-	var rows []Table1Row
+	type cell struct {
+		app   string
+		procs int
+	}
+	var cells []cell
 	for _, app := range []string{"gauss", "jacobi", "fft3d", "nbf"} {
 		for _, procs := range procCounts {
-			row, err := table1Row(opt, app, procs)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, row)
+			cells = append(cells, cell{app, procs})
 		}
+	}
+	rows := make([]Table1Row, len(cells))
+	err := runCells(opt.Parallel, len(cells), func(i int) error {
+		row, err := table1Row(opt, cells[i].app, cells[i].procs)
+		rows[i] = row
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -82,21 +82,32 @@ func taskingN(scale float64) int {
 }
 
 // Tasking runs the comparison for both workloads across team sizes.
+// Points are independent runs and fan out across Options.Parallel
+// workers.
 func Tasking(opt Options) ([]TaskingRow, error) {
 	opt = opt.withDefaults()
 	n := taskingN(opt.Scale)
-	var rows []TaskingRow
+	type cell struct {
+		workload string
+		procs    int
+	}
+	var cells []cell
 	for _, workload := range []string{"uniform", "skewed"} {
 		for _, procs := range []int{2, 4, 8} {
 			if procs > opt.Hosts {
 				continue
 			}
-			row, err := taskingPoint(workload, n, procs, opt.Hosts)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, row)
+			cells = append(cells, cell{workload, procs})
 		}
+	}
+	rows := make([]TaskingRow, len(cells))
+	err := runCells(opt.Parallel, len(cells), func(i int) error {
+		row, err := taskingPoint(cells[i].workload, n, cells[i].procs, opt.Hosts)
+		rows[i] = row
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -27,11 +27,22 @@ type goldenCell struct {
 // tmkGolden is the full kernel matrix measured on the pre-refactor
 // system (commit 837e983, before the coherence machinery moved behind
 // the Protocol interface), captured with TestCaptureGolden. The
-// extracted Tmk protocol must reproduce every cell bit for bit — the
+// engine-based runtime must reproduce every cell bit for bit — the
 // refactor's core contract: identical simulated times and identical
 // fabric byte/message counts across all four loop kernels and both
 // task kernels, plain, with an adapt schedule, and with heterogeneous
 // machine/link costs.
+//
+// One cell, fft3d/hetero, is pinned to the pre-engine system's
+// GOMAXPROCS>=4 value rather than the one PR 4 committed: the
+// pre-engine runtime produced 701952 fabric bytes at GOMAXPROCS<=2 and
+// 697712 at GOMAXPROCS>=4 (and flaked between the two at 2) because a
+// Tmk read fault fetches its base copy from the page owner with
+// whatever diffs the owner happened to have applied in real time —
+// mid-phase fault interleaving leaked into the byte counts whenever
+// links were heterogeneous. The discrete-event engine fixes the fault
+// order (lowest virtual time, host-id ties), which lands on the
+// multi-core value; every other cell is the PR 4 capture verbatim.
 var tmkGolden = []goldenCell{
 	{Name: "gauss/base", Time: 4.2990982271985363, Bytes: 6213312, Messages: 6534, Checksum: 265116.67143948283},
 	{Name: "gauss/adapt", Time: 5.0199088643769096, Bytes: 7131800, Messages: 7019, Checksum: 265116.67143948283},
@@ -41,7 +52,7 @@ var tmkGolden = []goldenCell{
 	{Name: "jacobi/hetero", Time: 0.97610357561562566, Bytes: 1920648, Messages: 1741, Checksum: 450862.44785374403},
 	{Name: "fft3d/base", Time: 0.10780723999999979, Bytes: 862032, Messages: 639, Checksum: 2607.0611865067449},
 	{Name: "fft3d/adapt", Time: 0.13097978312499989, Bytes: 727056, Messages: 538, Checksum: 2607.0611865067449},
-	{Name: "fft3d/hetero", Time: 0.22146107171875029, Bytes: 701952, Messages: 524, Checksum: 2607.0611865067449},
+	{Name: "fft3d/hetero", Time: 0.22079788742187531, Bytes: 697712, Messages: 520, Checksum: 2607.0611865067449},
 	{Name: "nbf/base", Time: 0.55833904800000012, Bytes: 2317488, Messages: 1251, Checksum: 18635.568711964494},
 	{Name: "nbf/adapt", Time: 0.77134135200000031, Bytes: 2408512, Messages: 1262, Checksum: 18635.568711964494},
 	{Name: "nbf/hetero", Time: 2.2849237609876605, Bytes: 5452320, Messages: 1335, Checksum: 18635.568711964494},

@@ -23,6 +23,7 @@ package dsm
 import (
 	"fmt"
 
+	"nowomp/internal/engine"
 	"nowomp/internal/machine"
 	"nowomp/internal/simnet"
 	"nowomp/internal/simtime"
@@ -116,9 +117,10 @@ type Cluster struct {
 	// the last barrier, guarded by the directory lock.
 	releaseLog []relEntry
 
-	// phases tracks the clocks of the current parallel construct for
-	// conservative lock granting.
-	phases phaseRegistry
+	// eng is the discrete-event engine driving the current parallel
+	// construct (nil between constructs); blocking primitives park the
+	// running proc on it.
+	eng *engine.Engine
 
 	stats Stats
 }

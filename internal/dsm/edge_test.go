@@ -3,6 +3,7 @@ package dsm
 import (
 	"testing"
 
+	"nowomp/internal/engine"
 	"nowomp/internal/page"
 	"nowomp/internal/simtime"
 )
@@ -121,43 +122,38 @@ func TestBarrierActiveMismatchPanics(t *testing.T) {
 	c.Barrier([]HostID{0, 1}, []simtime.Seconds{0})
 }
 
-// TestConservativeLockGrantFollowsVirtualTime: with a registered
-// phase, the goroutine that requests a lock later in virtual time must
-// wait for the virtually-earlier one even if it runs first in real
-// time.
+// TestConservativeLockGrantFollowsVirtualTime: under the engine, the
+// proc that requests a lock later in virtual time must wait for the
+// virtually-earlier one even when its coroutine is registered first
+// (and so would win any arrival-order race).
 func TestConservativeLockGrantFollowsVirtualTime(t *testing.T) {
 	c, _ := newTestCluster(t, 2, 2)
 	r, _ := c.Alloc("a", page.Size)
 
 	early := simtime.NewClock(1.0)
 	late := simtime.NewClock(5.0)
-	c.BeginPhase([]*simtime.Clock{early, late})
+	e := engine.New()
+	c.BeginPhase(e)
 	defer c.EndPhase()
 
-	order := make(chan int, 2)
-	done := make(chan struct{}, 2)
-	// The late-requesting goroutine starts first in real time.
-	go func() {
+	var order []int
+	// The late requester is registered first: registration order must
+	// not matter.
+	e.Go("late", 1, late, func(*engine.Proc) {
 		c.AcquireLock(1, c.Host(1), late)
-		order <- 2
+		order = append(order, 2)
 		putU64(c, 1, r.ID, 8, 2, late)
 		c.ReleaseLock(1, c.Host(1), late)
-		c.PhaseProcDone(1)
-		done <- struct{}{}
-	}()
-	go func() {
+	})
+	e.Go("early", 0, early, func(*engine.Proc) {
 		c.AcquireLock(1, c.Host(0), early)
-		order <- 1
+		order = append(order, 1)
 		putU64(c, 0, r.ID, 0, 1, early)
 		c.ReleaseLock(1, c.Host(0), early)
-		c.PhaseProcDone(0)
-		done <- struct{}{}
-	}()
-	<-done
-	<-done
-	first, second := <-order, <-order
-	if first != 1 || second != 2 {
-		t.Fatalf("grant order = %d then %d, want virtual-time order 1 then 2", first, second)
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("grant order = %v, want virtual-time order [1 2]", order)
 	}
 	// The late acquirer's clock must sit after the early release.
 	if late.Now() <= 5.0 {

@@ -1,8 +1,7 @@
 package dsm
 
 import (
-	"runtime"
-	"sync"
+	"fmt"
 
 	"nowomp/internal/page"
 	"nowomp/internal/simtime"
@@ -11,16 +10,16 @@ import (
 // lockState is one Tmk lock. Lock ids are managed by host 0, matching
 // TreadMarks' static lock-manager assignment.
 //
-// Real mutual exclusion between process goroutines is combined with
-// virtual-order granting: among goroutines waiting for the lock, the
-// one with the earliest virtual request time wins. Without this, real
-// goroutine scheduling (not virtual time) would pick the grant order —
-// on a loaded machine one goroutine could virtually "hold" the lock
-// across work it had not yet reached, serialising time that the
-// simulated cluster would overlap.
+// Mutual exclusion between simulated processes is enforced by the
+// discrete-event engine: a requester parks and is granted the lock
+// only when it is free and the request has the earliest (virtual
+// request time, host id) key among the registered waiters. Because the
+// engine always wakes the runnable proc with the lowest virtual time,
+// a grant at instant T can never be pre-empted by a later-arriving
+// request from before T — the conservative rule the old spin-and-
+// reelect scheduler approximated is now exact, and grant order is
+// fully independent of the Go scheduler.
 type lockState struct {
-	mu   sync.Mutex
-	cond *sync.Cond
 	held bool
 	// waiters maps ticket ids to virtual request times and requesters.
 	waiters     map[uint64]lockWaiter
@@ -37,48 +36,43 @@ type lockWaiter struct {
 }
 
 func newLockState() *lockState {
-	lk := &lockState{lastHolder: -1, waiters: make(map[uint64]lockWaiter)}
-	lk.cond = sync.NewCond(&lk.mu)
-	return lk
+	return &lockState{lastHolder: -1, waiters: make(map[uint64]lockWaiter)}
 }
 
-// acquire blocks until this goroutine holds the lock. Grants follow
+// acquire blocks until the calling proc holds the lock. Grants follow
 // (virtual time, host id) order among registered waiters — host id,
 // not arrival order, breaks virtual-time ties, so that symmetric
 // processes requesting at the identical instant (a uniform loop's
 // first dynamic claim, say) are granted in a reproducible order no
-// matter how the Go scheduler interleaves them. A request at instant
-// `at` additionally waits until no still-running process's clock is
-// behind `at` — a goroutine that happens to run early in real time
-// cannot claim the lock "from the future" of the simulation. While
-// waiting only for other clocks to advance, the goroutine yields the
-// processor rather than blocking on the condition variable (clock
-// advancement does not signal).
-func (lk *lockState) acquire(c *Cluster, self *simtime.Clock, host HostID) {
-	at := self.Now()
-	lk.mu.Lock()
+// matter how the Go scheduler interleaves them. Outside any
+// engine-driven construct (sequential sections, tests driving the
+// cluster directly) the lock is granted immediately when free; a
+// held lock there is a self-deadlock and panics.
+func (lk *lockState) acquire(c *Cluster, id int, clk *simtime.Clock, host HostID) {
+	p := c.runningProc()
+	if p == nil {
+		if lk.held {
+			panic(fmt.Sprintf("dsm: lock %d acquired while held, outside any engine-driven construct (self-deadlock)", id))
+		}
+		lk.held = true
+		return
+	}
+	at := clk.Now()
 	ticket := lk.nextTicket
 	lk.nextTicket++
 	lk.waiters[ticket] = lockWaiter{at: at, host: host}
-	for {
-		if !lk.held && lk.isNext(ticket) {
-			if c.noEarlierRunner(self, at) {
-				delete(lk.waiters, ticket)
-				lk.held = true
-				lk.mu.Unlock()
-				return
-			}
-			lk.mu.Unlock()
-			runtime.Gosched()
-			lk.mu.Lock()
-			continue
+	p.Park(fmt.Sprintf("lock %d (requested at %v)", id, at), func() (simtime.Seconds, bool) {
+		if lk.held || !lk.isNext(ticket) {
+			return 0, false
 		}
-		lk.cond.Wait()
-	}
+		return at, true
+	})
+	delete(lk.waiters, ticket)
+	lk.held = true
 }
 
 // isNext reports whether the ticket has the earliest (virtual time,
-// host id, ticket) key among current waiters. Caller holds lk.mu.
+// host id, ticket) key among current waiters.
 func (lk *lockState) isNext(ticket uint64) bool {
 	mine := lk.waiters[ticket]
 	for t, w := range lk.waiters {
@@ -98,38 +92,27 @@ func (lk *lockState) isNext(ticket uint64) bool {
 	return true
 }
 
-// release frees the lock and wakes the waiters to re-elect.
+// release frees the lock; the engine re-elects among the waiters at
+// its next dispatch.
 func (lk *lockState) release(holder HostID, at simtime.Seconds) {
-	lk.mu.Lock()
 	lk.held = false
 	lk.lastRelease = at
 	lk.lastHolder = holder
 	lk.everHeld = true
-	lk.cond.Broadcast()
-	lk.mu.Unlock()
 }
 
-// LockHeld reports whether lock id is currently held. The task layer
-// uses it to turn a would-block acquire inside a task region — where
-// the holder is a parked worker that can only resume after the caller
-// parks, a certain deadlock — into a diagnosable panic.
+// LockHeld reports whether lock id is currently held (diagnostics).
 func (c *Cluster) LockHeld(id int) bool {
-	lk := c.locks.get(id)
-	lk.mu.Lock()
-	defer lk.mu.Unlock()
-	return lk.held
+	return c.locks.get(id).held
 }
 
 type lockTable struct {
-	mu    sync.Mutex
 	locks map[int]*lockState
 }
 
 func newLockTable() *lockTable { return &lockTable{locks: make(map[int]*lockState)} }
 
 func (t *lockTable) get(id int) *lockState {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	lk := t.locks[id]
 	if lk == nil {
 		lk = newLockState()
@@ -146,7 +129,7 @@ func (t *lockTable) get(id int) *lockState {
 // copies made stale by lock-release intervals it has not yet honoured.
 func (c *Cluster) AcquireLock(id int, h *Host, clk *simtime.Clock) {
 	lk := c.locks.get(id)
-	lk.acquire(c, clk, h.id) // released by ReleaseLock
+	lk.acquire(c, id, clk, h.id) // released by ReleaseLock
 
 	clk.AdvanceTo(lk.lastRelease)
 	manager := c.Master()

@@ -2,9 +2,9 @@ package dsm
 
 import (
 	"encoding/binary"
-	"sync"
 	"testing"
 
+	"nowomp/internal/engine"
 	"nowomp/internal/page"
 	"nowomp/internal/simtime"
 )
@@ -69,13 +69,13 @@ func TestLockMutualExclusion(t *testing.T) {
 	c, _ := newTestCluster(t, 4, 4)
 	r, _ := c.Alloc("a", page.Size)
 	const perHost = 50
-	var wg sync.WaitGroup
+	e := engine.New()
+	c.BeginPhase(e)
 	for h := 0; h < 4; h++ {
-		wg.Add(1)
-		go func(h int) {
-			defer wg.Done()
-			clk := simtime.NewClock(0)
-			host := c.Host(HostID(h))
+		h := h
+		clk := simtime.NewClock(0)
+		host := c.Host(HostID(h))
+		e.Go("incrementer", h, clk, func(*engine.Proc) {
 			for i := 0; i < perHost; i++ {
 				c.AcquireLock(0, host, clk)
 				var b [8]byte
@@ -85,9 +85,10 @@ func TestLockMutualExclusion(t *testing.T) {
 				host.Write(r.ID, 0, b[:], clk)
 				c.ReleaseLock(0, host, clk)
 			}
-		}(h)
+		})
 	}
-	wg.Wait()
+	e.Run()
+	c.EndPhase()
 	clk := simtime.NewClock(0)
 	c.AcquireLock(0, c.Host(0), clk)
 	got := getU64(c, 0, r.ID, 0, clk)
@@ -98,6 +99,50 @@ func TestLockMutualExclusion(t *testing.T) {
 	if n := c.Stats().LockAcquires.Load(); n != 4*perHost+1 {
 		t.Fatalf("LockAcquires = %d, want %d", n, 4*perHost+1)
 	}
+}
+
+// TestUpgradeInPlaceKeepsDiffsOwnWrites pins the twin-patching rule of
+// the dirty-upgrade path: when an acquire patches a committed remote
+// diff into a page the host holds dirty, the host's own next diff must
+// contain only its own writes. Before the fix the twin was left stale,
+// so the next flush re-broadcast the remote word as this host's — and
+// the word-race check panicked on a race-free program as soon as a
+// third host was dirty on that word again.
+func TestUpgradeInPlaceKeepsDiffsOwnWrites(t *testing.T) {
+	c, _ := newTestCluster(t, 2, 2)
+	r, _ := c.Alloc("a", page.Size)
+	e := engine.New()
+	c.BeginPhase(e)
+	defer c.EndPhase()
+
+	clk0 := simtime.NewClock(1.0)
+	clk1 := simtime.NewClock(0)
+	e.Go("h0", 0, clk0, func(*engine.Proc) {
+		// Commit word 0 under the lock, then dirty it again in a new
+		// open interval: the open write is what the race check compares
+		// host 1's later flush against.
+		c.AcquireLock(3, c.Host(0), clk0)
+		putU64(c, 0, r.ID, 0, 5, clk0)
+		c.ReleaseLock(3, c.Host(0), clk0)
+		putU64(c, 0, r.ID, 0, 6, clk0)
+	})
+	e.Go("h1", 1, clk1, func(p *engine.Proc) {
+		// Cache and dirty word 1 before host 0's release, wait out the
+		// release, then acquire: the upgrade patches host 0's committed
+		// word-0 diff into the dirty page. The release's diff must
+		// cover word 1 only — overlapping host 0's open word-0 write
+		// would panic the race check.
+		putU64(c, 1, r.ID, 8, 7, clk1)
+		p.Park("sit out host 0's lock section", func() (simtime.Seconds, bool) { return 5.0, true })
+		clk1.AdvanceTo(5.0)
+		c.AcquireLock(3, c.Host(1), clk1)
+		putU64(c, 1, r.ID, 8, 8, clk1)
+		c.ReleaseLock(3, c.Host(1), clk1)
+		if got := getU64(c, 1, r.ID, 0, clk1); got != 5 {
+			t.Errorf("host 1 word 0 = %d, want 5 (patched in)", got)
+		}
+	})
+	e.Run()
 }
 
 func TestLockCostCharged(t *testing.T) {

@@ -1,75 +1,40 @@
 package dsm
 
-import (
-	"sync"
-	"sync/atomic"
+import "nowomp/internal/engine"
 
-	"nowomp/internal/simtime"
-)
+// Parallel-construct coordination. The OpenMP layer drives every
+// construct — loop bodies and task regions alike — on a deterministic
+// discrete-event engine (internal/engine): team processes are
+// coroutines, exactly one runs at a time, and the engine always wakes
+// the runnable proc with the lowest virtual time. The cluster only
+// needs to know which engine is driving the current construct so that
+// blocking primitives (lock acquires) can park the calling proc on it.
+//
+// This replaces the old phase registry, which let a conservative lock
+// scheduler observe the clocks of concurrently running goroutines: the
+// engine's lowest-virtual-time wake rule subsumes it exactly (a lock
+// request at instant T is elected only once no other proc can still
+// act before T), with none of the spin-and-reelect machinery — and
+// with the grant order fully independent of the Go scheduler.
 
-// The phase registry lets the lock scheduler observe the virtual
-// clocks of the processes executing the current parallel construct.
-// Lock grants are conservative in virtual time: a request at instant T
-// is granted only once no still-running process's clock is behind T,
-// so grant order follows simulated time rather than the Go scheduler.
-// This is the standard conservative discrete-event argument: the
-// process with the minimum clock is never blocked by the rule, so the
-// system always makes progress.
-
-type phaseProc struct {
-	clk  *simtime.Clock
-	done atomic.Bool
+// BeginPhase attaches the engine driving the parallel construct that
+// is about to run. Called by the OpenMP runtime at fork (and by the
+// task runner at region start), with no construct active.
+func (c *Cluster) BeginPhase(e *engine.Engine) {
+	c.eng = e
 }
 
-type phaseRegistry struct {
-	mu    sync.Mutex
-	procs []*phaseProc
-}
-
-// BeginPhase registers the clocks of the processes entering a parallel
-// construct. Called by the OpenMP runtime at fork, with no construct
-// active.
-func (c *Cluster) BeginPhase(clocks []*simtime.Clock) {
-	procs := make([]*phaseProc, len(clocks))
-	for i, clk := range clocks {
-		procs[i] = &phaseProc{clk: clk}
-	}
-	c.phases.mu.Lock()
-	c.phases.procs = procs
-	c.phases.mu.Unlock()
-}
-
-// PhaseProcDone marks process i's construct body as finished: its
-// clock no longer gates lock grants (it will only advance again after
-// the join).
-func (c *Cluster) PhaseProcDone(i int) {
-	c.phases.mu.Lock()
-	if i >= 0 && i < len(c.phases.procs) {
-		c.phases.procs[i].done.Store(true)
-	}
-	c.phases.mu.Unlock()
-}
-
-// EndPhase clears the registry at the join.
+// EndPhase detaches the construct's engine at the join.
 func (c *Cluster) EndPhase() {
-	c.phases.mu.Lock()
-	c.phases.procs = nil
-	c.phases.mu.Unlock()
+	c.eng = nil
 }
 
-// noEarlierRunner reports whether every still-running process other
-// than self has reached virtual instant t. Outside a parallel
-// construct the registry is empty and the answer is trivially true.
-func (c *Cluster) noEarlierRunner(self *simtime.Clock, t simtime.Seconds) bool {
-	c.phases.mu.Lock()
-	defer c.phases.mu.Unlock()
-	for _, pp := range c.phases.procs {
-		if pp.clk == self || pp.done.Load() {
-			continue
-		}
-		if pp.clk.Now() < t {
-			return false
-		}
+// runningProc returns the engine proc currently holding the token, or
+// nil outside any engine-driven construct (sequential sections, unit
+// tests driving the cluster directly).
+func (c *Cluster) runningProc() *engine.Proc {
+	if c.eng == nil {
+		return nil
 	}
-	return true
+	return c.eng.Running()
 }

@@ -328,6 +328,18 @@ func (t *tmkProtocol) upgradeOrInvalidate(h *Host, pk pageKey, clk *simtime.Cloc
 	st = &h.pages[pk.region][pk.page]
 	for _, sd := range pending {
 		sd.diff.Apply(st.data)
+		if st.twin != nil {
+			// The patched words are committed remote writes, not this
+			// host's modifications: apply them to the twin too, so the
+			// diff created when this interval closes contains only the
+			// host's own writes. Leaving the twin stale re-broadcast
+			// other writers' words as this host's and tripped the
+			// word-race check on a race-free program whenever a dirty
+			// page was upgraded mid-interval (a latent pre-engine bug,
+			// exposed once the engine made the interleaving that hits
+			// this path deterministic).
+			sd.diff.Apply(st.twin)
+		}
 	}
 	if st.appliedSeq < latest {
 		st.appliedSeq = latest

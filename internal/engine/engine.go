@@ -1,0 +1,233 @@
+// Package engine implements the deterministic discrete-event
+// scheduler at the heart of the simulated NOW runtime. Every simulated
+// process — an OpenMP team process running a parallel construct, a
+// task-region worker, a lock requester — runs as a coroutine: a real
+// goroutine that executes only while it holds the engine's token and
+// parks at every blocking point. Exactly one coroutine runs at any
+// instant; when it parks or exits, the engine wakes the runnable
+// (parked, wake-condition satisfied) proc with the lowest virtual
+// time, breaking ties by proc id (the host id for team processes, the
+// team slot for task workers) and then by registration order.
+//
+// The wake rule is the standard conservative discrete-event argument:
+// the proc with the minimum virtual time can never be invalidated by
+// an event from another proc (their clocks only move forward), so
+// running it first is always safe and the system always makes
+// progress. The consequence the runtime is built on: no simulated
+// outcome — times, traffic, lock grant order — can depend on the Go
+// scheduler, GOMAXPROCS or real-time interleaving, because the Go
+// scheduler never gets to choose between two runnable simulated
+// processes.
+//
+// If every live proc is parked and no wake condition is satisfied, the
+// simulation cannot progress: the engine panics with a diagnostic
+// naming each parked proc, its virtual clock and the reason it is
+// waiting (the deadlock analogue of a hung pthread program, made
+// loud and reproducible).
+//
+// A panic — a proc's own, re-thrown by Run, or the deadlock
+// diagnostic — abandons the engine: the remaining parked procs stay
+// blocked on their resume channels for the life of the process, along
+// with whatever their wake closures capture. The simulation is
+// unrecoverable at that point (as it was under the task layer's
+// pre-engine dispatcher, which abandoned its workers the same way);
+// an embedder that recovers the panic must treat the runtime as dead
+// and accept one leaked goroutine per parked proc.
+package engine
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+
+	"nowomp/internal/simtime"
+)
+
+// WakeFunc reports whether a parked proc may resume and, if so, the
+// virtual instant its pending action fires at (a lock request's
+// request time, a steal's availability time, ...). It is evaluated by
+// the engine between dispatches, while no proc runs, so it may freely
+// read state shared with other procs; it must not mutate anything.
+type WakeFunc func() (at simtime.Seconds, ok bool)
+
+// Engine is one deterministic scheduler instance, driving the procs of
+// one parallel construct or task region. It is single-use: create,
+// register procs with Go, then Run until every proc has exited.
+type Engine struct {
+	procs   []*Proc
+	running *Proc
+	events  chan event
+}
+
+type eventKind int
+
+const (
+	evParked eventKind = iota
+	evExited
+	evPanicked
+)
+
+// event is the proc-to-scheduler half of the coroutine handshake.
+type event struct {
+	p    *Proc
+	kind eventKind
+	pv   any // evPanicked: the wrapped panic
+}
+
+// Proc is one simulated process registered with an engine.
+type Proc struct {
+	e      *Engine
+	name   string
+	id     int
+	clk    *simtime.Clock
+	resume chan struct{}
+
+	parked bool
+	done   bool
+	reason string
+	wake   WakeFunc
+	wokeAt simtime.Seconds
+}
+
+// New returns an empty engine.
+func New() *Engine {
+	return &Engine{events: make(chan event)}
+}
+
+// Go registers a proc and starts its coroutine. The coroutine begins
+// parked ("start"), runnable at its clock's current instant, and first
+// executes when the engine elects it; fn runs entirely under the
+// engine's token. Go may be called before Run or by the currently
+// running proc (a task region adding workers for a joined host).
+func (e *Engine) Go(name string, id int, clk *simtime.Clock, fn func(*Proc)) *Proc {
+	p := &Proc{
+		e:      e,
+		name:   name,
+		id:     id,
+		clk:    clk,
+		resume: make(chan struct{}),
+		parked: true,
+		reason: "start",
+	}
+	p.wake = func() (simtime.Seconds, bool) { return clk.Now(), true }
+	e.procs = append(e.procs, p)
+	go func() {
+		<-p.resume
+		defer func() {
+			if v := recover(); v != nil {
+				e.events <- event{p: p, kind: evPanicked,
+					pv: fmt.Sprintf("engine: %s panicked: %v\n%s", p.name, v, debug.Stack())}
+				return
+			}
+			e.events <- event{p: p, kind: evExited}
+		}()
+		fn(p)
+	}()
+	return p
+}
+
+// Run drives the procs to completion: it repeatedly elects the
+// runnable proc with the lowest (virtual time, id) and hands it the
+// token until every proc has exited. The calling goroutine is the
+// scheduler; it must not be one of the procs. A panic in a proc is
+// re-thrown here with the proc's original stack attached.
+func (e *Engine) Run() {
+	for {
+		p, at := e.next()
+		if p == nil {
+			if e.allDone() {
+				return
+			}
+			panic(e.deadlockMessage())
+		}
+		p.parked = false
+		p.wokeAt = at
+		e.running = p
+		p.resume <- struct{}{}
+		ev := <-e.events
+		e.running = nil
+		switch ev.kind {
+		case evParked:
+			ev.p.parked = true
+		case evExited:
+			ev.p.done = true
+		case evPanicked:
+			panic(ev.pv)
+		}
+	}
+}
+
+// next elects the runnable proc with the minimal (wake instant, id),
+// ties beyond that broken by registration order.
+func (e *Engine) next() (*Proc, simtime.Seconds) {
+	var best *Proc
+	var bestAt simtime.Seconds
+	for _, p := range e.procs {
+		if p.done || !p.parked {
+			continue
+		}
+		at, ok := p.wake()
+		if !ok {
+			continue
+		}
+		if best == nil || at < bestAt || (at == bestAt && p.id < best.id) {
+			best, bestAt = p, at
+		}
+	}
+	return best, bestAt
+}
+
+func (e *Engine) allDone() bool {
+	for _, p := range e.procs {
+		if !p.done {
+			return false
+		}
+	}
+	return true
+}
+
+// deadlockMessage names every parked proc, its clock and its wait
+// reason: the diagnostic for a simulation that cannot progress.
+func (e *Engine) deadlockMessage() string {
+	var b strings.Builder
+	b.WriteString("engine: deadlock: every proc is parked and none can wake")
+	for _, p := range e.procs {
+		if p.done {
+			continue
+		}
+		fmt.Fprintf(&b, "\n  %s (id %d, clock %v) waiting on %s", p.name, p.id, p.clk.Now(), p.reason)
+	}
+	return b.String()
+}
+
+// Running returns the proc currently holding the token, or nil when
+// the engine is between dispatches (or not running at all). Blocking
+// primitives use it to discover the proc that must park: in the
+// serialised engine, the caller of any runtime operation is exactly
+// the running proc.
+func (e *Engine) Running() *Proc { return e.running }
+
+// Park blocks the calling proc until wake reports ready and the
+// engine elects it, and returns the instant the wake fired at. reason
+// is the wait description shown by the deadlock diagnostic.
+func (p *Proc) Park(reason string, wake WakeFunc) simtime.Seconds {
+	p.reason = reason
+	p.wake = wake
+	p.e.events <- event{p: p, kind: evParked}
+	<-p.resume
+	return p.wokeAt
+}
+
+// ID returns the proc's tiebreak id.
+func (p *Proc) ID() int { return p.id }
+
+// SetID changes the proc's tiebreak id. The task runtime uses it when
+// an adaptation reassigns team slots. Only the running proc (or the
+// scheduler between dispatches) may call it.
+func (p *Proc) SetID(id int) { p.id = id }
+
+// Name returns the proc's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Clock returns the proc's virtual clock.
+func (p *Proc) Clock() *simtime.Clock { return p.clk }

@@ -1,0 +1,167 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"nowomp/internal/simtime"
+)
+
+// TestWakeOrderLowestVirtualTime: procs are elected strictly by their
+// wake instant, regardless of registration order.
+func TestWakeOrderLowestVirtualTime(t *testing.T) {
+	e := New()
+	var order []int
+	for _, p := range []struct {
+		id int
+		at simtime.Seconds
+	}{{0, 3.0}, {1, 1.0}, {2, 2.0}} {
+		p := p
+		e.Go("p", p.id, simtime.NewClock(p.at), func(*Proc) {
+			order = append(order, p.id)
+		})
+	}
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 0 {
+		t.Fatalf("execution order = %v, want [1 2 0] (ascending virtual time)", order)
+	}
+}
+
+// TestWakeOrderTiebreakByID: equal wake instants break by proc id, not
+// registration order.
+func TestWakeOrderTiebreakByID(t *testing.T) {
+	e := New()
+	var order []int
+	for _, id := range []int{2, 0, 1} { // registered out of id order
+		id := id
+		e.Go("p", id, simtime.NewClock(7.0), func(*Proc) {
+			order = append(order, id)
+		})
+	}
+	e.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("execution order = %v, want [0 1 2] (id tiebreak)", order)
+	}
+}
+
+// TestParkWakesInVirtualTimeOrder: a parked proc resumes only when its
+// wake condition holds and it has the minimal (instant, id) key; the
+// wake instant is returned by Park.
+func TestParkWakesInVirtualTimeOrder(t *testing.T) {
+	e := New()
+	var order []string
+	ready := false
+	clkA := simtime.NewClock(0)
+	e.Go("a", 0, clkA, func(p *Proc) {
+		at := p.Park("token from b", func() (simtime.Seconds, bool) {
+			if !ready {
+				return 0, false
+			}
+			return 4.0, true
+		})
+		if at != 4.0 {
+			t.Errorf("Park returned %v, want 4.0", at)
+		}
+		order = append(order, "a")
+	})
+	clkB := simtime.NewClock(2.0)
+	e.Go("b", 1, clkB, func(p *Proc) {
+		ready = true
+		clkB.AdvanceTo(9.0)
+		// After b parks again at 9.0, a (ready at 4.0) must run first.
+		p.Park("later turn", func() (simtime.Seconds, bool) { return clkB.Now(), true })
+		order = append(order, "b")
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("wake order = %v, want [a b]", order)
+	}
+}
+
+// TestDeadlockPanicsNamingProcs: if every proc is parked and none can
+// wake, Run panics with a diagnostic naming the parked procs and their
+// wait reasons.
+func TestDeadlockPanicsNamingProcs(t *testing.T) {
+	e := New()
+	never := func() (simtime.Seconds, bool) { return 0, false }
+	e.Go("reader", 0, simtime.NewClock(1.5), func(p *Proc) {
+		p.Park("lock 7", never)
+	})
+	e.Go("writer", 1, simtime.NewClock(2.5), func(p *Proc) {
+		p.Park("barrier arrival", never)
+	})
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("deadlocked engine did not panic")
+		}
+		msg, ok := v.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want string", v)
+		}
+		for _, want := range []string{"deadlock", "reader", "lock 7", "writer", "barrier arrival"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("deadlock diagnostic missing %q:\n%s", want, msg)
+			}
+		}
+	}()
+	e.Run()
+}
+
+// TestProcPanicCarriesOriginalStack: a panic inside a proc is rethrown
+// by Run with the proc's name and original message attached.
+func TestProcPanicCarriesOriginalStack(t *testing.T) {
+	e := New()
+	e.Go("exploder", 0, simtime.NewClock(0), func(*Proc) {
+		panic("boom at virtual noon")
+	})
+	defer func() {
+		v := recover()
+		msg, ok := v.(string)
+		if !ok || !strings.Contains(msg, "exploder") || !strings.Contains(msg, "boom at virtual noon") {
+			t.Fatalf("unexpected panic: %v", v)
+		}
+	}()
+	e.Run()
+}
+
+// TestGoDuringRun: the running proc may register new procs; they are
+// elected by the same (instant, id) rule.
+func TestGoDuringRun(t *testing.T) {
+	e := New()
+	var order []string
+	e.Go("root", 0, simtime.NewClock(1.0), func(p *Proc) {
+		e.Go("late-early", 1, simtime.NewClock(0.5), func(*Proc) {
+			order = append(order, "late-early")
+		})
+		order = append(order, "root")
+	})
+	e.Go("sibling", 2, simtime.NewClock(3.0), func(*Proc) {
+		order = append(order, "sibling")
+	})
+	e.Run()
+	// late-early's clock (0.5) beats sibling's (3.0) once registered.
+	if len(order) != 3 || order[0] != "root" || order[1] != "late-early" || order[2] != "sibling" {
+		t.Fatalf("execution order = %v, want [root late-early sibling]", order)
+	}
+}
+
+// TestRunningIsTheTokenHolder: Running reports the proc holding the
+// token while it runs, and nil between constructs.
+func TestRunningIsTheTokenHolder(t *testing.T) {
+	e := New()
+	if e.Running() != nil {
+		t.Fatal("Running() non-nil before Run")
+	}
+	var seen *Proc
+	p := e.Go("self", 0, simtime.NewClock(0), func(p *Proc) {
+		seen = e.Running()
+	})
+	e.Run()
+	if seen != p {
+		t.Fatalf("Running() inside proc = %v, want the proc itself", seen)
+	}
+	if e.Running() != nil {
+		t.Fatal("Running() non-nil after Run")
+	}
+}

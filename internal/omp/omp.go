@@ -90,9 +90,6 @@ type Runtime struct {
 	adaptLog []AdaptationPoint
 	forkHook func(*Runtime)
 	dynCtr   *shmem.Int64Array
-	// inTasks is set while a Tasks region runs, so lock acquires can
-	// detect certain-deadlock contention (see Proc.Lock).
-	inTasks bool
 
 	// restore payload, when the runtime was rebuilt from a checkpoint.
 	restoring  []RegionDump

@@ -2,9 +2,9 @@ package omp
 
 import (
 	"fmt"
-	"sync"
 
 	"nowomp/internal/dsm"
+	"nowomp/internal/engine"
 	"nowomp/internal/simnet"
 	"nowomp/internal/simtime"
 )
@@ -96,31 +96,27 @@ func (rt *Runtime) fork(name string) []*Proc {
 // msgHeader is the DSM protocol header size, charged for fork messages.
 const msgHeader = dsm.MsgHeader
 
-// run executes body on every proc concurrently. The master process
-// (proc 0) runs on the calling goroutine, like the real system where
-// the master participates in the team. The procs' clocks are
-// registered with the cluster so lock grants can follow virtual time.
+// run executes body on every proc of the construct under a fresh
+// discrete-event engine: each proc is a coroutine, exactly one runs at
+// any instant, and the engine always wakes the runnable proc with the
+// lowest virtual time (ties broken by host id). The calling goroutine
+// drives the engine, so when run returns every proc has finished the
+// body and the construct is quiescent. Blocking primitives reached
+// from the body (DSM lock acquires) park the proc on the same engine
+// via the cluster, which is what makes lock grant order — and with it
+// every simulated outcome — independent of the Go scheduler and
+// GOMAXPROCS.
 func (rt *Runtime) run(procs []*Proc, body func(p *Proc)) {
-	clocks := make([]*simtime.Clock, len(procs))
-	for i, p := range procs {
-		clocks[i] = p.clk
-	}
-	rt.cluster.BeginPhase(clocks)
+	e := engine.New()
+	rt.cluster.BeginPhase(e)
 	defer rt.cluster.EndPhase()
 
-	var wg sync.WaitGroup
-	for i, p := range procs[1:] {
-		i, p := i+1, p
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			body(p)
-			rt.cluster.PhaseProcDone(i)
-		}()
+	for _, p := range procs {
+		p := p
+		e.Go(fmt.Sprintf("proc %d (host %d)", p.ID, p.host.ID()), int(p.host.ID()), p.clk,
+			func(*engine.Proc) { body(p) })
 	}
-	body(procs[0])
-	rt.cluster.PhaseProcDone(0)
-	wg.Wait()
+	e.Run()
 }
 
 // join implements Tmk_join: urgent-leave classification against the

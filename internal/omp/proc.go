@@ -76,17 +76,16 @@ func (p *Proc) ChargeUnits(n int, perUnit simtime.Seconds) {
 	p.Charge(simtime.Seconds(n) * perUnit)
 }
 
-// Lock acquires the numbered Tmk lock for this process. Inside a task
-// region an acquire that would block is a certain deadlock — the
-// holder is a parked worker that can only resume after this one parks,
-// and the deterministic scheduler runs one worker at a time — so it
-// panics with a diagnostic instead of hanging. Locks whose critical
-// sections contain no task scheduling point (no Spawn/TaskWait) can
-// never be contended there and work normally.
+// Lock acquires the numbered Tmk lock for this process. Acquires park
+// the process on the construct's discrete-event engine; grants follow
+// (virtual request time, host id) order regardless of the Go
+// scheduler. Inside a task region a lock held across a scheduling
+// point (Spawn/TaskWait) simply serialises the contenders — the engine
+// resumes the holder before granting the waiter. A genuine cycle (a
+// process re-acquiring a lock its own host already holds, with no
+// runnable process left) panics with the engine's deadlock diagnostic
+// naming every parked process and its wait reason.
 func (p *Proc) Lock(id int) {
-	if p.rt.inTasks && p.rt.cluster.LockHeld(id) {
-		panic(fmt.Sprintf("omp: lock %d is held by a parked task; a Tmk lock may not be held across a task scheduling point", id))
-	}
 	p.rt.cluster.AcquireLock(id, p.host, p.clk)
 }
 

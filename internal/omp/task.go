@@ -140,9 +140,7 @@ func (rt *Runtime) Tasks(name string, root func(p *TaskProc), opts ...TaskOption
 		w := r.AddWorker(p.host, p.clk)
 		w.Data = &TaskProc{Proc: p, w: w}
 	}
-	rt.inTasks = true
 	stats := r.Run(func(w *task.Worker) { root(w.Data.(*TaskProc)) })
-	rt.inTasks = false
 	rt.join(cur)
 	return stats
 }

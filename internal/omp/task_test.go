@@ -278,10 +278,42 @@ func TestTasksThenLoop(t *testing.T) {
 	}
 }
 
-// A Tmk lock held across a task scheduling point would deadlock the
-// deterministic scheduler; the runtime turns the contended acquire
-// into a diagnosable panic instead of hanging.
-func TestTasksContendedLockPanics(t *testing.T) {
+// A Tmk lock held across a task scheduling point used to be a banned
+// pattern (the bespoke task dispatcher would deadlock); on the shared
+// engine it simply serialises the contenders: the holder is resumed,
+// releases, and the waiter is granted in virtual-time order.
+func TestTasksLockAcrossSchedulingPointWorks(t *testing.T) {
+	rt, err := New(Config{Hosts: 2, Procs: 2, Adaptive: false})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	a, err := Alloc[float64](rt, "locked.v", 8)
+	if err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	rt.Tasks("locked", func(tp *TaskProc) {
+		tp.Lock(7)
+		for i := 0; i < 4; i++ {
+			tp.Spawn(func(c *TaskProc) {
+				c.Lock(7) // contends while the spawner holds the lock
+				a.Set(c.Mem(), 0, a.Get(c.Mem(), 0)+1)
+				c.Unlock(7)
+			})
+		}
+		a.Set(tp.Mem(), 0, a.Get(tp.Mem(), 0)+1)
+		tp.Unlock(7) // released before the wait: children may now run anywhere
+		tp.TaskWait()
+	})
+	if got := a.Get(rt.MasterProc().Mem(), 0); got != 5 {
+		t.Fatalf("locked counter = %g, want 5", got)
+	}
+}
+
+// A genuine lock cycle — a task re-acquiring a lock its own host holds,
+// with no runnable process left to release it — is detected by the
+// engine, which panics naming the parked procs and their wait reasons
+// instead of hanging.
+func TestTasksLockSelfDeadlockPanics(t *testing.T) {
 	rt, err := New(Config{Hosts: 2, Procs: 1, Adaptive: false})
 	if err != nil {
 		t.Fatalf("New: %v", err)
@@ -289,16 +321,17 @@ func TestTasksContendedLockPanics(t *testing.T) {
 	defer func() {
 		v := recover()
 		if v == nil {
-			t.Fatal("contended in-region lock did not panic")
+			t.Fatal("self-deadlocked in-region lock did not panic")
 		}
-		if msg, ok := v.(string); !ok || !strings.Contains(msg, "task scheduling point") {
+		msg, ok := v.(string)
+		if !ok || !strings.Contains(msg, "deadlock") || !strings.Contains(msg, "lock 7") {
 			t.Fatalf("unexpected panic: %v", v)
 		}
 	}()
 	rt.Tasks("locked", func(tp *TaskProc) {
 		tp.Lock(7)
 		tp.Spawn(func(c *TaskProc) {
-			c.Lock(7) // holder is parked at the TaskWait below: must panic
+			c.Lock(7) // same single worker already holds lock 7: a cycle
 			c.Unlock(7)
 		})
 		tp.TaskWait()

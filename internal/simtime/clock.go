@@ -6,9 +6,11 @@ import (
 )
 
 // Clock is the virtual clock of one logical process. Exactly one
-// goroutine advances a clock, but other goroutines may read it
-// concurrently (the conservative lock scheduler observes all running
-// processes' clocks), so the instant is stored atomically.
+// goroutine advances a clock at a time, but another may read it later
+// (the discrete-event engine's scheduler goroutine evaluates wake
+// conditions between dispatches), so the instant is stored atomically
+// — the reads are already ordered by the engine's channel handshakes,
+// and the atomic keeps any future cross-goroutine observer safe too.
 type Clock struct {
 	bits atomic.Uint64
 }

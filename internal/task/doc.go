@@ -48,14 +48,19 @@
 //
 // # Determinism
 //
-// The runtime is a conservative discrete-event simulation. Worker
-// goroutines exist only to hold the Go stacks of suspended tasks;
-// exactly one runs at a time, and every deque action is dispatched by
-// the scheduler in ascending virtual-time order (ties broken by
-// process slot). Victim selection, re-homing and completion bookkeeping
-// are pure functions of that order, so a task program's schedule — and
-// therefore its virtual time, its traffic, and its floating-point
-// result — is reproducible run to run on any machine. Kernel results
-// are asserted bit-identical to their sequential references across
-// team sizes and under mid-run join/leave events.
+// Workers are coroutines of the shared discrete-event engine
+// (internal/engine). Worker goroutines exist only to hold the Go
+// stacks of suspended tasks; exactly one runs at a time, and every
+// deque action is elected by the engine in ascending virtual-time
+// order (ties broken by process slot) via per-worker wake conditions
+// that encode the schedule. Victim selection, re-homing and completion
+// bookkeeping are pure functions of that order, so a task program's
+// schedule — and therefore its virtual time, its traffic, and its
+// floating-point result — is reproducible run to run on any machine,
+// at any GOMAXPROCS. DSM locks acquired inside task bodies park on the
+// same engine, so a lock held across a scheduling point serialises the
+// contenders (a genuine cycle panics with the engine's deadlock
+// diagnostic). Kernel results are asserted bit-identical to their
+// sequential references across team sizes and under mid-run join/leave
+// events.
 package task

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nowomp/internal/dsm"
+	"nowomp/internal/engine"
 	"nowomp/internal/simtime"
 )
 
@@ -18,8 +19,9 @@ const msgHeader = dsm.MsgHeader
 const DefaultClosureBytes = 64
 
 // AdaptHooks connects the scheduler to the adaptation machinery of the
-// embedding runtime. All three callbacks run on the scheduler
-// goroutine with every worker parked.
+// embedding runtime. All three callbacks run with every other worker
+// parked (the engine serialises execution), at a task scheduling
+// point.
 type AdaptHooks struct {
 	// Eligible reports whether at least one adapt event would apply at
 	// virtual instant now. stackless tells the callback whether a
@@ -47,12 +49,17 @@ type Config struct {
 	Hooks *AdaptHooks
 }
 
-// Runner executes one task region: a deterministic discrete-event
-// scheduler over the team's workers. It is single-use.
+// Runner executes one task region on the shared discrete-event engine
+// (internal/engine): each worker is an engine coroutine whose wake
+// conditions encode the work-stealing schedule, so the engine's
+// lowest-virtual-time election reproduces the deterministic dispatch
+// order the task layer's bespoke scheduler used to implement — ties
+// broken by team slot — while DSM primitives reached from task bodies
+// (lock acquires) park on the very same engine. It is single-use.
 type Runner struct {
 	cfg     Config
+	eng     *engine.Engine
 	workers []*Worker
-	parkCh  chan park
 	live    int64 // tasks spawned and not yet completed
 	stats   Stats
 }
@@ -66,15 +73,14 @@ func NewRunner(cfg Config) *Runner {
 		cfg.ClosureBytes = DefaultClosureBytes
 	}
 	return &Runner{
-		cfg:    cfg,
-		parkCh: make(chan park),
-		stats:  Stats{ExecutedByHost: make(map[dsm.HostID]int64)},
+		cfg:   cfg,
+		stats: Stats{ExecutedByHost: make(map[dsm.HostID]int64)},
 	}
 }
 
 // AddWorker registers a team process, in slot order, before Run.
 func (s *Runner) AddWorker(host *dsm.Host, clk *simtime.Clock) *Worker {
-	w := &Worker{s: s, slot: len(s.workers), host: host, clk: clk, resume: make(chan wakeup)}
+	w := &Worker{s: s, slot: len(s.workers), host: host, clk: clk}
 	s.workers = append(s.workers, w)
 	return w
 }
@@ -84,12 +90,21 @@ func (s *Runner) Workers() []*Worker { return s.workers }
 
 // Run executes root on the slot-0 worker (the master) and returns when
 // every transitively spawned task has completed. The caller goroutine
-// becomes the scheduler; worker goroutines run one at a time under its
-// control, so execution is deterministic in virtual-time order.
+// drives the engine; worker coroutines run one at a time under its
+// control, so execution is deterministic in virtual-time order. The
+// engine is attached to the cluster for the duration, so lock acquires
+// inside task bodies park on it too: a lock held across a scheduling
+// point serialises the contenders instead of deadlocking the region
+// (a genuine cycle still panics with the engine's deadlock
+// diagnostic).
 func (s *Runner) Run(root Body) Stats {
 	if len(s.workers) == 0 {
 		panic("task: Run with no workers")
 	}
+	s.eng = engine.New()
+	s.cfg.Cluster.BeginPhase(s.eng)
+	defer s.cfg.Cluster.EndPhase()
+
 	w0 := s.workers[0]
 	rootTask := &Task{body: root, home: w0.host.ID(), at: w0.clk.Now()}
 	w0.deque = append(w0.deque, rootTask)
@@ -99,141 +114,25 @@ func (s *Runner) Run(root Body) Stats {
 	for _, w := range s.workers {
 		s.start(w)
 	}
-	for s.live > 0 || !s.allAtTop() {
-		now, w := s.next()
-		if w == nil {
-			panic(fmt.Sprintf("task: scheduler stalled with %d live tasks", s.live))
-		}
-		if s.maybeAdapt(now) {
-			continue
-		}
-		s.dispatch(w)
-	}
-	// Region over: every worker is parked at its top-level loop.
-	for _, w := range s.workers {
-		if !w.exited {
-			s.exit(w)
-		}
-	}
+	s.eng.Run()
 	return s.stats
+}
+
+// start registers a worker coroutine with the engine, tiebreak id its
+// team slot.
+func (s *Runner) start(w *Worker) {
+	w.ep = s.eng.Go(w.String(), w.slot, w.clk, func(*engine.Proc) { w.run() })
 }
 
 // allAtTop reports whether every worker has unwound to its top-level
 // loop: with no live tasks left, that is the region's quiescent state.
 func (s *Runner) allAtTop() bool {
 	for _, w := range s.workers {
-		if !w.exited && (w.pending == nil || w.pending.kind != parkNeed) {
+		if !w.exited && w.kind != parkNeed {
 			return false
 		}
 	}
 	return true
-}
-
-// start launches a worker goroutine and absorbs its first park.
-func (s *Runner) start(w *Worker) {
-	go w.run()
-	s.awaitPark()
-}
-
-// exit resumes a worker parked at its top level with the done signal
-// and absorbs its exit notification.
-func (s *Runner) exit(w *Worker) {
-	if w.pending == nil || w.pending.kind != parkNeed {
-		panic(fmt.Sprintf("task: exiting %v parked at %d", w, w.pending.kind))
-	}
-	w.pending = nil
-	w.resume <- wakeup{done: true}
-	p := <-s.parkCh
-	if p.kind != parkExited || p.w != w {
-		panic("task: unexpected park during worker exit")
-	}
-	w.exited = true
-}
-
-// resumeWorker hands the token to a parked worker and blocks until it
-// parks again (or exits/panics). This is the only place workers run.
-func (s *Runner) resumeWorker(w *Worker, wk wakeup) {
-	w.pending = nil
-	w.resume <- wk
-	s.awaitPark()
-}
-
-func (s *Runner) awaitPark() {
-	p := <-s.parkCh
-	switch p.kind {
-	case parkPanic:
-		panic(p.pv)
-	case parkExited:
-		p.w.exited = true
-	default:
-		p.w.pending = &p
-	}
-}
-
-// action is one enabled dispatch option for a parked worker.
-type action struct {
-	w  *Worker
-	at simtime.Seconds
-	// steal victim, when the action is a steal.
-	victim *Worker
-}
-
-// next returns the enabled action with the minimal (virtual time,
-// slot), or nil if no parked worker can proceed.
-func (s *Runner) next() (simtime.Seconds, *Worker) {
-	var best *action
-	for _, w := range s.workers {
-		a := s.enabled(w)
-		if a == nil {
-			continue
-		}
-		if best == nil || a.at < best.at {
-			best = a
-		}
-	}
-	if best == nil {
-		return 0, nil
-	}
-	return best.at, best.w
-}
-
-// enabled computes whether w's parked action can be dispatched and at
-// what virtual instant.
-func (s *Runner) enabled(w *Worker) *action {
-	if w.exited || w.pending == nil {
-		return nil
-	}
-	now := w.clk.Now()
-	switch w.pending.kind {
-	case parkSpawn, parkComplete, parkResume:
-		return &action{w: w, at: now}
-	case parkWait:
-		fr := w.pending.fr
-		if fr.outstanding == 0 {
-			at := now
-			if fr.remoteDone > at {
-				at = fr.remoteDone
-			}
-			return &action{w: w, at: at}
-		}
-		if len(w.deque) > 0 {
-			return &action{w: w, at: now}
-		}
-		return nil
-	case parkNeed:
-		if len(w.deque) > 0 {
-			return &action{w: w, at: now}
-		}
-		if v := s.victim(w); v != nil {
-			at := now
-			if t := v.deque[0]; t.at > at {
-				at = t.at
-			}
-			return &action{w: w, at: at, victim: v}
-		}
-		return nil
-	}
-	return nil
 }
 
 // victim picks the steal victim for w: the other worker with the
@@ -250,61 +149,6 @@ func (s *Runner) victim(w *Worker) *Worker {
 		}
 	}
 	return best
-}
-
-// dispatch processes one parked worker's action and, where the action
-// continues that worker, hands it the token.
-func (s *Runner) dispatch(w *Worker) {
-	p := w.pending
-	switch p.kind {
-	case parkResume:
-		s.resumeWorker(w, wakeup{})
-
-	case parkSpawn:
-		t := p.task
-		t.home = w.host.ID()
-		t.at = w.clk.Now()
-		t.parent.outstanding++
-		w.deque = append(w.deque, t)
-		s.live++
-		s.stats.Spawned++
-		// Continue the spawner via a separate resume step so the
-		// spawn's continuation is itself an adaptation point and other
-		// workers with earlier clocks act first.
-		p.kind = parkResume
-
-	case parkComplete:
-		s.complete(w, p.task)
-		p.kind = parkResume
-
-	case parkWait:
-		fr := p.fr
-		if fr.outstanding == 0 {
-			w.clk.AdvanceTo(fr.remoteDone)
-			if fr.sawRemote {
-				s.cfg.Cluster.AcquireInterval(w.host, w.clk)
-				fr.sawRemote = false
-			}
-			fr.remoteDone = 0
-			s.resumeWorker(w, wakeup{done: true})
-			return
-		}
-		s.resumeWorker(w, wakeup{task: s.popOwn(w)})
-
-	case parkNeed:
-		if len(w.deque) > 0 {
-			s.resumeWorker(w, wakeup{task: s.popOwn(w)})
-			return
-		}
-		v := s.victim(w)
-		if v == nil {
-			panic("task: dispatched an idle worker with nothing to steal")
-		}
-		s.resumeWorker(w, wakeup{task: s.steal(w, v)})
-
-	default:
-		panic(fmt.Sprintf("task: dispatch of park kind %d", p.kind))
-	}
 }
 
 // popOwn takes the newest task from w's own deque (LIFO).
@@ -359,7 +203,7 @@ func (s *Runner) complete(w *Worker, t *Task) {
 		return
 	}
 	pf.outstanding--
-	if pf.owner == w || pf.owner.exited {
+	if pf.owner == w || pf.owner.exited || pf.owner.retired {
 		return
 	}
 	costs := s.cfg.Cluster.Costs()
@@ -374,9 +218,9 @@ func (s *Runner) complete(w *Worker, t *Task) {
 	s.stats.RemoteCompletions++
 }
 
-// maybeAdapt drains matured adapt events before the next dispatch, at
-// virtual instant now. Returns true if the team changed (the caller
-// re-evaluates the schedule).
+// maybeAdapt drains matured adapt events at virtual instant now, the
+// instant the actor's wake fired at. Returns true if the team changed
+// (the actor re-parks and the engine re-evaluates the schedule).
 func (s *Runner) maybeAdapt(now simtime.Seconds) bool {
 	h := s.cfg.Hooks
 	if h == nil {
@@ -410,27 +254,28 @@ func (s *Runner) maybeAdapt(now simtime.Seconds) bool {
 
 // rebind rebuilds the worker set for the new team at virtual instant
 // at: surviving workers keep their identity (and any suspended task
-// state) under their new slot, joining hosts get fresh workers, and
-// departing workers — stackless by construction — retire after their
-// deques re-home round-robin onto the new team, priced as closure
-// traffic.
+// state) under their new slot, joining hosts get fresh coroutines, and
+// departing workers — stackless by construction — are retired after
+// their deques re-home round-robin onto the new team, priced as
+// closure traffic. A retired worker's coroutine exits at its next
+// turn, with no further effect on the simulation.
 func (s *Runner) rebind(team []dsm.HostID, at simtime.Seconds) {
 	byHost := make(map[dsm.HostID]*Worker, len(s.workers))
 	for _, w := range s.workers {
 		byHost[w.host.ID()] = w
 	}
 	next := make([]*Worker, len(team))
-	var added []*Worker
 	for slot, h := range team {
 		if w := byHost[h]; w != nil {
 			w.slot = slot
+			w.ep.SetID(slot)
 			next[slot] = w
 			delete(byHost, h)
 		} else {
 			w := &Worker{s: s, slot: slot, host: s.cfg.Cluster.Host(h),
-				clk: simtime.NewClock(at), resume: make(chan wakeup)}
+				clk: simtime.NewClock(at)}
 			next[slot] = w
-			added = append(added, w)
+			s.start(w)
 		}
 	}
 
@@ -458,13 +303,10 @@ func (s *Runner) rebind(team []dsm.HostID, at simtime.Seconds) {
 			s.stats.RehomeBytes += int64(s.cfg.ClosureBytes)
 		}
 		w.deque = nil
-		s.exit(w)
+		w.retired = true
 	}
 
 	s.workers = next
-	for _, w := range added {
-		s.start(w)
-	}
 	// The adaptation is a global synchronisation: no process proceeds
 	// before the transaction completes.
 	for _, w := range s.workers {

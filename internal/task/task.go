@@ -2,9 +2,9 @@ package task
 
 import (
 	"fmt"
-	"runtime/debug"
 
 	"nowomp/internal/dsm"
+	"nowomp/internal/engine"
 	"nowomp/internal/simtime"
 )
 
@@ -33,49 +33,39 @@ type frame struct {
 	remoteDone  simtime.Seconds // latest remote-child completion arrival
 }
 
-// parkKind classifies the scheduling point a worker is parked at.
+// parkKind classifies the scheduling point a worker is parked at. The
+// zero value is parkNeed so that a freshly added worker — registered
+// with the engine but not yet elected for its first turn — already
+// counts as stackless for adaptation decisions, exactly as if it had
+// reached its top-level loop.
 type parkKind int
 
 const (
 	// parkNeed: at the top-level loop, between tasks (stackless).
-	// Wants a pop from its own deque, a steal, or the exit signal.
+	// Runnable when its deque is non-empty, a steal is available, the
+	// region has drained, or the worker was retired by an adaptation.
 	parkNeed parkKind = iota
-	// parkWait: inside TaskWait. Wants a pop from its own deque or the
-	// all-children-done signal.
+	// parkWait: inside TaskWait. Runnable when all children are done or
+	// its own deque is non-empty.
 	parkWait
 	// parkSpawn: a task body called Spawn; the task awaits its deque.
 	parkSpawn
 	// parkComplete: a task body returned; completion bookkeeping due.
 	parkComplete
 	// parkResume: bookkeeping done; the worker just needs the token
-	// back to continue. Kept as a separate dispatch step so that every
-	// scheduling point, including the continuation after a spawn, is an
+	// back to continue. Kept as a separate scheduling point so that
+	// every one, including the continuation after a spawn, is an
 	// adaptation point.
 	parkResume
-	// parkExited: the worker goroutine has terminated.
-	parkExited
-	// parkPanic: the task body panicked; pv carries the value.
-	parkPanic
+	// parkRun: not parked — the worker holds the engine token (or is
+	// blocked inside a DSM primitive such as a lock acquire, which
+	// parks on the engine below this layer).
+	parkRun
 )
 
-// park is the worker-to-scheduler half of the coroutine handshake.
-type park struct {
-	w    *Worker
-	kind parkKind
-	task *Task  // parkSpawn, parkComplete
-	fr   *frame // parkWait
-	pv   any    // parkPanic
-}
-
-// wakeup is the scheduler-to-worker half.
-type wakeup struct {
-	task *Task // task to execute (parkNeed, parkWait)
-	done bool  // parkNeed: region over, exit; parkWait: children done
-}
-
 // Worker is one team process participating in the task region. Exactly
-// one worker goroutine runs at any instant; the scheduler hands the
-// token around in virtual-time order.
+// one worker goroutine runs at any instant; the engine hands the token
+// around in virtual-time order, ties broken by team slot.
 type Worker struct {
 	// Data is opaque storage for the embedding runtime (the omp layer
 	// keeps the per-process handle it passes to task bodies here).
@@ -85,11 +75,16 @@ type Worker struct {
 	slot   int
 	host   *dsm.Host
 	clk    *simtime.Clock
+	ep     *engine.Proc
 	deque  []*Task // index 0 = top (steal end), last = bottom (pop end)
 	frames []*frame
-	resume chan wakeup
 
-	pending *park // the worker's parked action; nil while it runs
+	// kind is the scheduling point the worker is parked at; parkRun
+	// while it holds the token.
+	kind parkKind
+	// retired is set when an adaptation removed the worker from the
+	// team: it exits at its next turn without acting.
+	retired bool
 	exited  bool
 
 	executed int64
@@ -107,13 +102,21 @@ func (w *Worker) Slot() int { return w.slot }
 
 // Spawn queues body as a child task of the currently executing task on
 // this worker's deque. The spawn is a task scheduling point: pending
-// adapt events drain before execution continues.
+// adapt events drain before execution continues, and workers with
+// earlier virtual clocks act between the spawn and its continuation.
 func (w *Worker) Spawn(body Body) {
 	if len(w.frames) == 0 {
 		panic("task: Spawn called outside a task")
 	}
 	t := &Task{body: body, parent: w.frames[len(w.frames)-1]}
-	w.park(park{w: w, kind: parkSpawn, task: t})
+	w.pause(parkSpawn, "spawn", w.readyNow)
+	t.home = w.host.ID()
+	t.at = w.clk.Now()
+	t.parent.outstanding++
+	w.deque = append(w.deque, t)
+	w.s.live++
+	w.s.stats.Spawned++
+	w.pause(parkResume, "resume after spawn", w.readyNow)
 }
 
 // TaskWait blocks until every direct child task of the currently
@@ -127,44 +130,112 @@ func (w *Worker) TaskWait() {
 	}
 	fr := w.frames[len(w.frames)-1]
 	for {
-		wk := w.park(park{w: w, kind: parkWait, fr: fr})
-		if wk.done {
+		w.pause(parkWait, "taskwait", func() (simtime.Seconds, bool) {
+			if fr.outstanding == 0 {
+				at := w.clk.Now()
+				if fr.remoteDone > at {
+					at = fr.remoteDone
+				}
+				return at, true
+			}
+			if len(w.deque) > 0 {
+				return w.clk.Now(), true
+			}
+			return 0, false
+		})
+		if fr.outstanding == 0 {
+			w.clk.AdvanceTo(fr.remoteDone)
+			if fr.sawRemote {
+				w.s.cfg.Cluster.AcquireInterval(w.host, w.clk)
+				fr.sawRemote = false
+			}
+			fr.remoteDone = 0
 			return
 		}
-		w.exec(wk.task)
+		w.exec(w.s.popOwn(w))
 	}
 }
 
-// park hands the token to the scheduler and blocks for the reply.
-func (w *Worker) park(p park) wakeup {
-	w.s.parkCh <- p
-	return <-w.resume
+// readyNow is the wake condition of the bookkeeping scheduling points
+// (spawn, completion, resume): always runnable, at the worker's own
+// clock.
+func (w *Worker) readyNow() (simtime.Seconds, bool) {
+	return w.clk.Now(), true
 }
 
-// run is the worker goroutine: the top-level scheduling loop. A panic
-// in a task body is shipped to the scheduler goroutine with the
-// original stack attached (the rethrow would otherwise show only the
-// scheduler's frames); the region is unrecoverable at that point and
-// the remaining parked workers are abandoned to the dying process.
-func (w *Worker) run() {
-	defer func() {
-		if v := recover(); v != nil {
-			w.s.parkCh <- park{w: w, kind: parkPanic,
-				pv: fmt.Sprintf("task: %v panicked: %v\n%s", w, v, debug.Stack())}
+// needReady is the wake condition of the top-level loop: the worker
+// can act when it has (or can steal) a task, and must wake to exit
+// when it was retired or the region has drained.
+func (w *Worker) needReady() (simtime.Seconds, bool) {
+	if w.retired {
+		return w.clk.Now(), true
+	}
+	s := w.s
+	if len(w.deque) > 0 {
+		return w.clk.Now(), true
+	}
+	if v := s.victim(w); v != nil {
+		at := w.clk.Now()
+		if t := v.deque[0]; t.at > at {
+			at = t.at
 		}
-	}()
+		return at, true
+	}
+	if s.live == 0 && s.allAtTop() {
+		return w.clk.Now(), true
+	}
+	return 0, false
+}
+
+// pause parks the worker at one scheduling point and returns once the
+// engine elects it with the wake condition satisfied. Matured adapt
+// events drain before it returns (every scheduling point is an
+// adaptation point); after an applied adaptation the worker re-parks
+// so the whole schedule is re-evaluated against the new team. A leave
+// can never retire a worker parked here: these are mid-task points, so
+// the worker is not stackless.
+func (w *Worker) pause(kind parkKind, reason string, ready func() (simtime.Seconds, bool)) {
 	for {
-		wk := w.park(park{w: w, kind: parkNeed})
-		if wk.done {
-			w.s.parkCh <- park{w: w, kind: parkExited}
+		w.kind = kind
+		at := w.ep.Park(reason, ready)
+		if !w.s.maybeAdapt(at) {
+			w.kind = parkRun
 			return
 		}
-		w.exec(wk.task)
+	}
+}
+
+// run is the worker coroutine: the top-level scheduling loop. The
+// region-drained exit bypasses the adaptation check — the region is
+// over, and remaining events drain at the next fork boundary, exactly
+// as the pre-engine dispatcher behaved.
+func (w *Worker) run() {
+	for {
+		w.kind = parkNeed
+		at := w.ep.Park("task work", w.needReady)
+		if w.retired || (w.s.live == 0 && w.s.allAtTop()) {
+			w.exited = true
+			return
+		}
+		if w.s.maybeAdapt(at) {
+			continue // team changed: re-evaluate from the same point
+		}
+		w.kind = parkRun
+		if len(w.deque) > 0 {
+			w.exec(w.s.popOwn(w))
+			continue
+		}
+		v := w.s.victim(w)
+		if v == nil {
+			panic("task: dispatched an idle worker with nothing to steal")
+		}
+		w.exec(w.s.steal(w, v))
 	}
 }
 
 // exec runs one task body to completion (the body may nest further
-// pops via TaskWait), then parks for completion bookkeeping.
+// pops via TaskWait), then passes the completion scheduling point and
+// records the completion.
 func (w *Worker) exec(t *Task) {
 	fr := &frame{owner: w}
 	w.frames = append(w.frames, fr)
@@ -172,13 +243,15 @@ func (w *Worker) exec(t *Task) {
 	// No implicit wait on children: like an OpenMP task, completion
 	// does not imply its children completed (the region end does).
 	w.frames = w.frames[:len(w.frames)-1]
-	w.park(park{w: w, kind: parkComplete, task: t})
+	w.pause(parkComplete, "completion", w.readyNow)
+	w.s.complete(w, t)
+	w.pause(parkResume, "resume after completion", w.readyNow)
 }
 
 // stackless reports whether the worker holds no task state: parked at
 // the top level between tasks. Only then may its host leave the team.
 func (w *Worker) stackless() bool {
-	return !w.exited && len(w.frames) == 0 && w.pending != nil && w.pending.kind == parkNeed
+	return !w.exited && len(w.frames) == 0 && w.kind == parkNeed
 }
 
 func (w *Worker) String() string {
