@@ -27,84 +27,76 @@ import (
 	"strings"
 	"time"
 
-	"nowomp/internal/adapt"
 	"nowomp/internal/bench"
-	"nowomp/internal/dsm"
-	"nowomp/internal/machine"
-	"nowomp/internal/simnet"
+	"nowomp/internal/scenario"
 	"nowomp/internal/simtime"
 )
 
 func main() {
+	// The heterogeneity/protocol surface is the shared scenario spec;
+	// bench-only knobs (-exp, -pairs, -json, -parallel) stay local, and
+	// the spec fields every experiment overrides per cell (kernel,
+	// procs, schedule) are not exposed. Procs 1 keeps Normalize's
+	// hosts >= procs check out of the way of small -hosts pools.
+	spec := scenario.Spec{
+		Kernel: "jacobi", Procs: 1, Hosts: 10, Scale: 0.15,
+		Grace: 3.0, Protocol: "tmk", Adaptive: true,
+	}
 	var (
 		exp      = flag.String("exp", "all", "experiment: table1, table2, fig3, migration, micro, ablation, tasking, hetero, protocols or all")
-		scale    = flag.Float64("scale", 0.15, "problem scale (1.0 = the paper's sizes; some experiments enforce larger floors)")
-		hosts    = flag.Int("hosts", 10, "workstation pool size")
 		pairs    = flag.Int("pairs", 3, "leave/join pairs per Table 2 run")
-		grace    = flag.Float64("grace", 3.0, "leave grace period in seconds")
-		machines = flag.String("machines", "", "per-machine CPU speeds, e.g. \"4=0.5,7=2\" (applies to every experiment)")
-		load     = flag.String("load", "", "per-machine load traces, e.g. \"3=2@5,0@15;6=0.5@0\"")
-		links    = flag.String("links", "", "per-link overrides, e.g. \"0-7=lat:4,bw:0.25\"")
-		policy   = flag.String("policy", "", "load policy for the hetero custom scenario, e.g. \"high=1.5,low=0.25,dwell=2\"")
-		protocol = flag.String("protocol", "tmk", "DSM coherence protocol every experiment runs on: tmk or hlrc (the protocols experiment always runs both)")
 		jsonPath = flag.String("json", "", "write a machine-readable BENCH_*.json report to this path")
 		parallel = flag.Int("parallel", 1, "worker-pool size for independent scenario cells (0 = GOMAXPROCS); results are byte-identical at any level")
 	)
+	flag.Float64Var(&spec.Scale, "scale", spec.Scale, "problem scale (1.0 = the paper's sizes; some experiments enforce larger floors)")
+	flag.IntVar(&spec.Hosts, "hosts", spec.Hosts, "workstation pool size")
+	flag.Float64Var(&spec.Grace, "grace", spec.Grace, "leave grace period in seconds")
+	flag.StringVar(&spec.Policy, "policy", spec.Policy, "load policy for the hetero custom scenario, e.g. \"high=1.5,low=0.25,dwell=2\"")
+	spec.BindHetero(flag.CommandLine)
+	spec.BindProtocol(flag.CommandLine)
 	flag.Parse()
 	if *parallel <= 0 {
 		*parallel = runtime.GOMAXPROCS(0)
 	}
-	opt := bench.Options{
-		Scale: *scale, Hosts: *hosts, Pairs: *pairs,
-		Grace:    simtime.Seconds(*grace),
-		Parallel: *parallel,
-	}
-	if err := heteroFlags(&opt, *machines, *load, *links, *policy); err != nil {
-		fmt.Fprintln(os.Stderr, "nowomp-bench:", err)
-		os.Exit(1)
-	}
-	proto, err := dsm.ParseProtocol(*protocol)
+	opt, err := options(spec, *pairs, *parallel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nowomp-bench:", err)
 		os.Exit(1)
 	}
-	opt.Protocol = proto
 	if err := run(*exp, opt, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "nowomp-bench:", err)
 		os.Exit(1)
 	}
 }
 
-// heteroFlags folds the heterogeneity flags into the options: speeds
-// and loads build a machine model every experiment runs on, links bend
-// each run's fabric, and a policy reaches the hetero experiment's
-// custom scenario.
-func heteroFlags(opt *bench.Options, machines, load, links, policy string) error {
-	if machines != "" || load != "" {
-		mm := machine.New(opt.Hosts)
-		if err := machine.ParseSpeeds(mm, machines); err != nil {
-			return err
-		}
-		if err := machine.ParseLoads(mm, load); err != nil {
-			return err
-		}
-		opt.Machine = mm
+// options folds the scenario spec into the bench options: speeds and
+// loads build a machine model every experiment runs on, links bend
+// each run's fabric, the policy reaches the hetero experiment's custom
+// scenario, and the protocol applies everywhere (the protocols
+// experiment keeps its own tmk-vs-hlrc matrix regardless).
+func options(spec scenario.Spec, pairs, parallel int) (bench.Options, error) {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return bench.Options{}, err
 	}
-	if links != "" {
-		spec := links
-		opt.Links = func(f *simnet.Fabric) error { return machine.ParseLinks(f, spec) }
+	opt := bench.Options{
+		Scale: norm.Scale, Hosts: norm.Hosts, Pairs: pairs,
+		Grace:    simtime.Seconds(norm.Grace),
+		Parallel: parallel,
 	}
-	if policy != "" {
-		p, err := adapt.ParsePolicy(policy)
-		if err != nil {
-			return err
-		}
-		if load == "" {
-			return fmt.Errorf("-policy needs -load traces to watch")
-		}
-		opt.Policy = &p
+	if opt.Machine, err = norm.MachineModel(); err != nil {
+		return bench.Options{}, err
 	}
-	return nil
+	if opt.Links, err = norm.LinksFunc(); err != nil {
+		return bench.Options{}, err
+	}
+	if opt.Policy, err = norm.LoadPolicy(); err != nil {
+		return bench.Options{}, err
+	}
+	if opt.Protocol, err = norm.ProtocolKind(); err != nil {
+		return bench.Options{}, err
+	}
+	return opt, nil
 }
 
 func run(exp string, opt bench.Options, jsonPath string) error {

@@ -16,8 +16,8 @@ import (
 	"os"
 
 	"nowomp/internal/ckpt"
-	"nowomp/internal/dsm"
 	"nowomp/internal/omp"
+	"nowomp/internal/scenario"
 )
 
 const (
@@ -27,15 +27,21 @@ const (
 )
 
 func main() {
+	// The team/protocol surface is the shared scenario spec; the demo
+	// fixes its own workload, so only -procs and -protocol are bound.
+	spec := scenario.Spec{
+		Kernel: "jacobi", Procs: 4, Scale: 0.2,
+		Grace: 3.0, Protocol: "tmk", Adaptive: true,
+	}
 	var (
-		file     = flag.String("file", "nowomp.ckpt", "checkpoint file")
-		restore  = flag.Bool("restore", false, "resume from the checkpoint file")
-		crashAt  = flag.Int("crash-at", 0, "simulate a crash before this iteration (0 = run to completion)")
-		procs    = flag.Int("procs", 4, "team size")
-		protocol = flag.String("protocol", "tmk", "DSM coherence protocol: tmk or hlrc (must match across save and restore)")
+		file    = flag.String("file", "nowomp.ckpt", "checkpoint file")
+		restore = flag.Bool("restore", false, "resume from the checkpoint file")
+		crashAt = flag.Int("crash-at", 0, "simulate a crash before this iteration (0 = run to completion)")
 	)
+	flag.IntVar(&spec.Procs, "procs", spec.Procs, "team size")
+	spec.BindProtocol(flag.CommandLine)
 	flag.Parse()
-	if err := run(*file, *restore, *crashAt, *procs, *protocol); err != nil {
+	if err := run(*file, *restore, *crashAt, spec); err != nil {
 		fmt.Fprintln(os.Stderr, "nowomp-ckpt:", err)
 		os.Exit(1)
 	}
@@ -43,12 +49,18 @@ func main() {
 
 var errCrash = errors.New("simulated crash (machine reboot)")
 
-func run(file string, restore bool, crashAt, procs int, protocol string) error {
-	proto, err := dsm.ParseProtocol(protocol)
+func run(file string, restore bool, crashAt int, spec scenario.Spec) error {
+	// One spare host beyond the team, as the fault-tolerance demo always
+	// ran; the save/restore cycle needs the same config on both sides.
+	spec.Hosts = spec.Procs + 1
+	norm, err := spec.Normalize()
 	if err != nil {
 		return err
 	}
-	cfg := omp.Config{Hosts: procs + 1, Procs: procs, Adaptive: true, Protocol: proto}
+	cfg, err := norm.Config()
+	if err != nil {
+		return err
+	}
 
 	var (
 		rt    *omp.Runtime

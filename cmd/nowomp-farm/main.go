@@ -1,0 +1,130 @@
+// Command nowomp-farm is the multi-tenant simulation service: a
+// long-running HTTP/JSON server that accepts scenario jobs, runs them
+// on concurrent engine instances under admission control (per-tenant
+// FIFO queues, bounded global worker pool), and serves every result
+// from a content-addressed cache keyed by the canonical scenario hash
+// — determinism makes identical requests return identical bytes, so a
+// cached result is valid forever.
+//
+// Endpoints: POST /v1/jobs (scenario spec body, X-Tenant header,
+// ?wait=true to block), GET /v1/jobs/{id}, GET /v1/results/{hash},
+// GET /v1/stats.
+//
+// Examples:
+//
+//	nowomp-farm -addr :8080 -workers 8
+//	nowomp-farm -drive -jobs 128 -trace poisson -json BENCH_farm.json
+//	nowomp-farm -selftest
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"nowomp/internal/bench"
+	"nowomp/internal/farm"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address for serve mode")
+		workers  = flag.Int("workers", 0, "global worker-pool size (0 = GOMAXPROCS)")
+		queueCap = flag.Int("queue", 32, "per-tenant pending-queue capacity")
+		inflight = flag.Int("inflight", 2, "per-tenant max concurrently running jobs")
+
+		drive    = flag.Bool("drive", false, "run the synthetic load driver against an in-process server instead of serving")
+		selftest = flag.Bool("selftest", false, "run the driver with small defaults and fail unless every response is byte-identical to a sequential re-run")
+		jobs     = flag.Int("jobs", 96, "driver: jobs to generate")
+		seed     = flag.Int64("seed", 1999, "driver: arrival/mix generator seed")
+		scale    = flag.Float64("scale", 0.04, "driver: problem scale of the catalogue scenarios")
+		tenants  = flag.Int("tenants", 4, "driver: synthetic tenant count")
+		trace    = flag.String("trace", "mix", "driver: arrival process (poisson, diurnal or mix)")
+		horizon  = flag.Duration("horizon", 3*time.Second, "driver: wall-clock window the arrivals spread over")
+		jsonPath = flag.String("json", "", "driver: write the schema-3 BENCH_*.json report here")
+	)
+	flag.Parse()
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	limits := farm.Limits{Workers: *workers, QueueCap: *queueCap, MaxInflight: *inflight}
+	var err error
+	switch {
+	case *selftest:
+		err = runDrive(limits, farm.DriveOptions{
+			Jobs: 64, Seed: *seed, Scale: 0.03, Tenants: *tenants,
+			Trace: *trace, Horizon: 2 * time.Second, Limits: limits,
+		}, *jsonPath)
+	case *drive:
+		err = runDrive(limits, farm.DriveOptions{
+			Jobs: *jobs, Seed: *seed, Scale: *scale, Tenants: *tenants,
+			Trace: *trace, Horizon: *horizon, Limits: limits,
+		}, *jsonPath)
+	default:
+		err = serve(*addr, limits)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nowomp-farm:", err)
+		os.Exit(1)
+	}
+}
+
+// serve runs the server until the process is killed.
+func serve(addr string, limits farm.Limits) error {
+	srv := farm.NewServer(limits)
+	defer srv.Close()
+	fmt.Printf("nowomp-farm serving on %s (%d workers, queue %d, inflight %d per tenant)\n",
+		addr, limits.Workers, limits.QueueCap, limits.MaxInflight)
+	return http.ListenAndServe(addr, srv.Handler())
+}
+
+// runDrive starts an in-process server on a loopback port, fires the
+// load driver at it, prints the summary, and writes the report.
+func runDrive(limits farm.Limits, opt farm.DriveOptions, jsonPath string) error {
+	srv := farm.NewServer(limits)
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	opt.BaseURL = "http://" + ln.Addr().String()
+	opt.Progress = os.Stdout
+	report, err := farm.Drive(opt)
+	if err != nil {
+		return err
+	}
+	printSummary(report)
+	if jsonPath != "" {
+		if err := report.Write(jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("[json report written to %s]\n", jsonPath)
+	}
+	if !report.Farm.ByteIdentical {
+		return fmt.Errorf("served responses were NOT byte-identical to sequential re-runs")
+	}
+	return nil
+}
+
+func printSummary(r *bench.Report) {
+	f := r.Farm
+	fmt.Printf("\nfarm load report (trace %s, seed %d)\n", f.Trace, f.Seed)
+	fmt.Printf("  jobs          %d (%d unique scenarios)\n", f.Jobs, len(r.Results))
+	fmt.Printf("  throughput    %.1f jobs/s over %.2fs wall\n", f.ThroughputJobsPerSec, r.WallSeconds)
+	fmt.Printf("  latency       p50 %.0fms  p95 %.0fms  p99 %.0fms (total, wall clock)\n",
+		f.P50Seconds*1e3, f.P95Seconds*1e3, f.P99Seconds*1e3)
+	fmt.Printf("  cache         hit ratio %.2f, %d retries after 429\n", f.CacheHitRatio, f.Retries429)
+	fmt.Printf("  byte-identity %v (every response vs a sequential re-run)\n", f.ByteIdentical)
+	for name, t := range f.Tenants {
+		fmt.Printf("  tenant %-10s submitted %3d  completed %3d  rejected %3d  max queue depth %d\n",
+			name, t.Submitted, t.Completed, t.Rejected, t.MaxQueueDepth)
+	}
+}

@@ -2,7 +2,9 @@
 // on the simulated NOW, optionally with an adapt-event schedule (the
 // stand-in for the paper's event daemons) or a heterogeneous machine
 // model with a load policy deriving the events, and reports the Table
-// 1-style measurements plus a log of every adaptation.
+// 1-style measurements plus a log of every adaptation. The flag
+// surface is the shared scenario spec (internal/scenario) — the same
+// canonical form the farm service hashes.
 //
 // Examples:
 //
@@ -21,121 +23,48 @@ import (
 	"text/tabwriter"
 
 	"nowomp/internal/adapt"
-	"nowomp/internal/apps"
-	"nowomp/internal/dsm"
-	"nowomp/internal/machine"
-	"nowomp/internal/omp"
-	"nowomp/internal/simnet"
-	"nowomp/internal/simtime"
+	"nowomp/internal/scenario"
 )
 
-// options collects the run configuration parsed from flags.
-type options struct {
-	app      string
-	procs    int
-	hosts    int
-	scale    float64
-	schedule string
-	grace    float64
-	adaptive bool
-	verify   bool
-	machines string
-	load     string
-	links    string
-	policy   string
-	protocol string
-}
-
 func main() {
-	var o options
-	flag.StringVar(&o.app, "app", "jacobi", "application: gauss, jacobi, fft3d, nbf, mergesort or quadrature")
-	flag.IntVar(&o.procs, "procs", 8, "initial team size")
-	flag.IntVar(&o.hosts, "hosts", 10, "workstation pool size")
-	flag.Float64Var(&o.scale, "scale", 0.2, "problem scale (1.0 = the paper's sizes)")
-	flag.StringVar(&o.schedule, "schedule", "", "adapt events, e.g. \"6:leave:7,9:join:7\"")
-	flag.Float64Var(&o.grace, "grace", 3.0, "default leave grace period in seconds")
-	flag.BoolVar(&o.adaptive, "adaptive", true, "use the adaptive runtime variant")
-	flag.BoolVar(&o.verify, "verify", true, "check the result against the sequential reference")
-	flag.StringVar(&o.machines, "machines", "", "per-machine CPU speeds, e.g. \"4=0.5,7=2\"")
-	flag.StringVar(&o.load, "load", "", "per-machine load traces, e.g. \"3=2@5,0@15;6=0.5@0\"")
-	flag.StringVar(&o.links, "links", "", "per-link overrides, e.g. \"0-7=lat:4,bw:0.25\"")
-	flag.StringVar(&o.policy, "policy", "", "derive adapt events from the load traces, e.g. \"high=1.5,low=0.25,dwell=2\"")
-	flag.StringVar(&o.protocol, "protocol", "tmk", "DSM coherence protocol: tmk (TreadMarks homeless LRC) or hlrc (home-based LRC)")
+	spec := scenario.Spec{
+		Kernel: "jacobi", Procs: 8, Hosts: 10, Scale: 0.2,
+		Grace: 3.0, Protocol: "tmk",
+	}
+	spec.BindAll(flag.CommandLine)
+	flag.BoolVar(&spec.Adaptive, "adaptive", true, "use the adaptive runtime variant")
+	flag.BoolVar(&spec.Verify, "verify", true, "check the result against the sequential reference")
 	flag.Parse()
-	if err := run(o); err != nil {
+	if err := run(spec); err != nil {
 		fmt.Fprintln(os.Stderr, "nowomp-run:", err)
 		os.Exit(1)
 	}
 }
 
-func run(o options) error {
-	runner, ok := apps.RunnerByName(o.app)
-	if !ok {
-		return fmt.Errorf("unknown application %q", o.app)
-	}
-	events, err := adapt.ParseSchedule(o.schedule)
+func run(spec scenario.Spec) error {
+	norm, err := spec.Normalize()
 	if err != nil {
 		return err
 	}
-	if len(events) > 0 && !o.adaptive {
-		return fmt.Errorf("a schedule requires -adaptive")
-	}
-	proto, err := dsm.ParseProtocol(o.protocol)
+	rt, derived, err := norm.Build()
 	if err != nil {
 		return err
 	}
-	cfg := omp.Config{
-		Hosts: o.hosts, Procs: o.procs, Adaptive: o.adaptive,
-		Grace: simtime.Seconds(o.grace), Protocol: proto,
-	}
-	if o.machines != "" || o.load != "" {
-		mm := machine.New(o.hosts)
-		if err := machine.ParseSpeeds(mm, o.machines); err != nil {
-			return err
-		}
-		if err := machine.ParseLoads(mm, o.load); err != nil {
-			return err
-		}
-		cfg.Machine = mm
-	}
-	if o.links != "" {
-		cfg.Links = func(f *simnet.Fabric) error { return machine.ParseLinks(f, o.links) }
-	}
-	rt, err := omp.New(cfg)
-	if err != nil {
-		return err
-	}
-	for _, ev := range events {
-		if err := rt.Submit(ev); err != nil {
-			return err
-		}
-	}
-	if o.policy != "" {
-		p, err := adapt.ParsePolicy(o.policy)
-		if err != nil {
-			return err
-		}
-		if !o.adaptive {
-			return fmt.Errorf("a policy requires -adaptive")
-		}
-		if o.load == "" {
-			return fmt.Errorf("a policy needs -load traces to watch")
-		}
-		derived, err := rt.ApplyLoadPolicy(p)
-		if err != nil {
-			return err
-		}
+	if norm.Policy != "" {
 		fmt.Printf("policy %s derived %d events: %s\n\n",
-			adapt.FormatPolicy(p), len(derived), adapt.FormatSchedule(derived))
+			norm.Policy, len(derived), adapt.FormatSchedule(derived))
 	}
-
-	res, err := runner.Run(rt, o.scale)
+	runner, err := norm.Runner()
+	if err != nil {
+		return err
+	}
+	res, err := runner.Run(rt, norm.Scale)
 	if err != nil {
 		return err
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
-	fmt.Fprintf(w, "app\t%s (scale %g)\n", res.App, o.scale)
+	fmt.Fprintf(w, "app\t%s (scale %g)\n", res.App, norm.Scale)
 	fmt.Fprintf(w, "protocol\t%s\n", rt.Cluster().Protocol())
 	fmt.Fprintf(w, "team\t%d initial, %d final\n", res.Procs, rt.NProcs())
 	fmt.Fprintf(w, "shared memory\t%.1f MB\n", float64(res.SharedBytes)/1e6)
@@ -163,8 +92,8 @@ func run(o options) error {
 		w.Flush()
 	}
 
-	if o.verify {
-		want := runner.Reference(o.scale)
+	if norm.Verify {
+		want := runner.Reference(norm.Scale)
 		if res.Checksum == want {
 			fmt.Println("\nverified: result matches the sequential reference bit for bit")
 		} else {

@@ -45,11 +45,69 @@ type Report struct {
 	Parallel    int      `json:"parallel"`
 	WallSeconds float64  `json:"wall_seconds"`
 	Results     []Record `json:"results"`
+	// Farm is the farm load-driver section (nil for plain bench runs):
+	// per-job queue/sim/total latency, cache-hit ratio, throughput and
+	// admission-control evidence. Schema 3 added it.
+	Farm *FarmSection `json:"farm,omitempty"`
 }
 
 // ReportSchema is the current -json document version. Schema 2 added
-// the parallel and wall_seconds run metadata.
-const ReportSchema = 2
+// the parallel and wall_seconds run metadata; schema 3 added the farm
+// section with per-job queue/sim/total latency and the cache-hit
+// ratio.
+const ReportSchema = 3
+
+// FarmJob is one served job in the farm section. The latency split is
+// real (wall-clock) seconds: queue is admission wait (for a dedup job,
+// the wait on the in-flight leader), sim is worker occupancy, total is
+// submission to terminal state.
+type FarmJob struct {
+	Job          string  `json:"job"`
+	Tenant       string  `json:"tenant"`
+	Scenario     string  `json:"scenario"`
+	Hash         string  `json:"hash"`
+	Cache        string  `json:"cache"`
+	QueueSeconds float64 `json:"queue_seconds"`
+	SimSeconds   float64 `json:"sim_seconds"`
+	TotalSeconds float64 `json:"total_seconds"`
+}
+
+// FarmTenant is one tenant's admission-control record.
+type FarmTenant struct {
+	Submitted     int64 `json:"submitted"`
+	Completed     int64 `json:"completed"`
+	Rejected      int64 `json:"rejected"`
+	MaxQueueDepth int   `json:"max_queue_depth"`
+}
+
+// FarmSection is the farm load-driver report: the aggregate service
+// metrics plus every job's latency record.
+type FarmSection struct {
+	// Trace names the arrival process (poisson, diurnal or mix) and
+	// Seed its generator seed; Jobs is the number served.
+	Trace string `json:"trace"`
+	Seed  int64  `json:"seed"`
+	Jobs  int    `json:"jobs"`
+	// Workers/QueueCap/MaxInflight echo the service limits.
+	Workers     int `json:"workers"`
+	QueueCap    int `json:"queue_cap"`
+	MaxInflight int `json:"max_inflight"`
+	// ThroughputJobsPerSec is completed jobs over the serving window;
+	// P50/P95/P99 are total-latency percentiles in seconds.
+	ThroughputJobsPerSec float64 `json:"throughput_jobs_per_sec"`
+	P50Seconds           float64 `json:"p50_seconds"`
+	P95Seconds           float64 `json:"p95_seconds"`
+	P99Seconds           float64 `json:"p99_seconds"`
+	// CacheHitRatio is (hits+dedups)/completed; Retries429 counts
+	// submissions that had to retry after a 429.
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	Retries429    int64   `json:"retries_429"`
+	// ByteIdentical records the driver's verification that every
+	// served response matched a sequential re-run byte for byte.
+	ByteIdentical bool                  `json:"byte_identical"`
+	Tenants       map[string]FarmTenant `json:"tenants"`
+	PerJob        []FarmJob             `json:"per_job"`
+}
 
 // NewReport starts a report for one bench invocation.
 func NewReport(opt Options) *Report {

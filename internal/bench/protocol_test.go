@@ -79,10 +79,10 @@ func TestReportRendersSortedJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(data, `"schema": 2`) {
+	if !strings.Contains(data, `"schema": 3`) {
 		t.Errorf("report missing schema stamp:\n%s", data)
 	}
-	// Schema 2 run metadata: the worker-pool level and wall clock.
+	// Run metadata (since schema 2): the worker-pool level and wall clock.
 	if !strings.Contains(data, `"parallel": 1`) || !strings.Contains(data, `"wall_seconds"`) {
 		t.Errorf("report missing schema-2 run metadata:\n%s", data)
 	}

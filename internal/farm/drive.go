@@ -1,0 +1,431 @@
+package farm
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nowomp/internal/bench"
+	"nowomp/internal/scenario"
+)
+
+// The synthetic load driver: a seeded arrival-trace generator plus an
+// HTTP client fleet that drives a farm server the way a crowd of
+// tenants would — Poisson bursts, diurnal swells, a mixed scenario
+// catalogue with plenty of repeats — then audits the service: every
+// served response must be byte-identical to a sequential re-run of the
+// same scenario, and the report cites throughput, latency percentiles,
+// the cache hit ratio and the admission-control record.
+
+// DriveOptions configures one driver run.
+type DriveOptions struct {
+	// BaseURL is the farm server to drive, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Jobs is how many submissions to generate (default 96).
+	Jobs int
+	// Seed seeds the arrival/mix generator (default 1999, the paper's
+	// year). The same seed generates the same submission sequence.
+	Seed int64
+	// Scale is the problem scale of every catalogue scenario (default
+	// 0.04: a few tens of milliseconds per fresh simulation).
+	Scale float64
+	// Tenants is how many synthetic tenants submit (default 4).
+	Tenants int
+	// Trace picks the arrival process: "poisson" (square-wave bursts),
+	// "diurnal" (sinusoidal swell), or "mix" (default: bursts for the
+	// first half, diurnal for the second).
+	Trace string
+	// Horizon is the wall-clock window the arrivals are spread over
+	// (default 3s).
+	Horizon time.Duration
+	// Limits echoes the server's limits into the report.
+	Limits Limits
+	// Progress receives one-line updates (nil = silent).
+	Progress io.Writer
+}
+
+func (o DriveOptions) withDefaults() DriveOptions {
+	if o.Jobs <= 0 {
+		o.Jobs = 96
+	}
+	if o.Seed == 0 {
+		o.Seed = 1999
+	}
+	if o.Scale <= 0 {
+		o.Scale = 0.04
+	}
+	if o.Tenants <= 0 {
+		o.Tenants = 4
+	}
+	if o.Trace == "" {
+		o.Trace = "mix"
+	}
+	if o.Horizon <= 0 {
+		o.Horizon = 3 * time.Second
+	}
+	return o
+}
+
+// Catalogue is the scenario mix the driver samples from: every kernel,
+// both protocols, heterogeneity, link overrides and an adapt schedule,
+// all at the driver's scale.
+func Catalogue(scale float64) []scenario.Spec {
+	return []scenario.Spec{
+		{Kernel: "jacobi", Scale: scale, Procs: 4, Hosts: 6, Verify: true},
+		{Kernel: "jacobi", Scale: scale, Procs: 8, Hosts: 10},
+		{Kernel: "jacobi", Scale: scale, Procs: 4, Hosts: 6, Protocol: "hlrc"},
+		{Kernel: "gauss", Scale: scale, Procs: 4, Hosts: 6},
+		{Kernel: "gauss", Scale: scale, Procs: 4, Hosts: 6, Links: "0-3=lat:4,bw:0.25"},
+		{Kernel: "fft3d", Scale: scale, Procs: 4, Hosts: 6},
+		{Kernel: "nbf", Scale: scale, Procs: 4, Hosts: 6, Verify: true},
+		{Kernel: "nbf", Scale: scale, Procs: 4, Hosts: 6,
+			Machines: "1=0.5,3=2", Loads: "2=1.5@0"},
+		{Kernel: "mergesort", Scale: scale, Procs: 4, Hosts: 6},
+		{Kernel: "mergesort", Scale: scale, Procs: 4, Hosts: 6, Protocol: "hlrc"},
+		{Kernel: "quadrature", Scale: scale, Procs: 4, Hosts: 6},
+		{Kernel: "jacobi", Scale: scale, Procs: 4, Hosts: 6,
+			Adaptive: true, Schedule: "0.05:leave:3,0.12:join:3"},
+	}
+}
+
+// arrivalOffsets generates n arrival instants in [0, 1) under the
+// named arrival process and rescales them onto the unit interval; the
+// caller stretches them over the wall-clock horizon. Inter-arrival
+// gaps are exponential with an instantaneous rate that follows the
+// process shape, which is the standard inhomogeneous-Poisson
+// construction.
+func arrivalOffsets(kind string, n int, rng *rand.Rand) ([]float64, error) {
+	rate := func(t float64) float64 { return 1 }
+	switch kind {
+	case "poisson":
+		// Square-wave bursts: period 1/4 of the run, duty cycle 25%,
+		// 16x rate inside a burst.
+		rate = func(t float64) float64 {
+			if math.Mod(t, float64(n)/4) < float64(n)/16 {
+				return 16
+			}
+			return 0.5
+		}
+	case "diurnal":
+		// A sinusoidal "day": quiet night, busy noon, two cycles.
+		rate = func(t float64) float64 {
+			return 1 + 0.9*math.Sin(2*math.Pi*t/(float64(n)/2)-math.Pi/2)
+		}
+	case "mix":
+		rate = func(t float64) float64 {
+			if t < float64(n)/2 {
+				if math.Mod(t, float64(n)/8) < float64(n)/32 {
+					return 16
+				}
+				return 0.5
+			}
+			return 1 + 0.9*math.Sin(2*math.Pi*t/(float64(n)/4)-math.Pi/2)
+		}
+	default:
+		return nil, fmt.Errorf("farm: unknown trace %q (want poisson, diurnal or mix)", kind)
+	}
+	offsets := make([]float64, n)
+	t := 0.0
+	for i := 0; i < n; i++ {
+		r := rate(t)
+		if r < 1e-3 {
+			r = 1e-3
+		}
+		t += rng.ExpFloat64() / r
+		offsets[i] = t
+	}
+	max := offsets[n-1]
+	for i := range offsets {
+		offsets[i] /= max * 1.0001 // keep strictly inside [0, 1)
+	}
+	return offsets, nil
+}
+
+// submission is one generated job: who sends what, when.
+type submission struct {
+	offset float64 // fraction of the horizon
+	tenant string
+	spec   scenario.Spec
+}
+
+// generate builds the full seeded submission sequence.
+func generate(opt DriveOptions) ([]submission, error) {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	offsets, err := arrivalOffsets(opt.Trace, opt.Jobs, rng)
+	if err != nil {
+		return nil, err
+	}
+	catalogue := Catalogue(opt.Scale)
+	subs := make([]submission, opt.Jobs)
+	for i := range subs {
+		subs[i] = submission{
+			offset: offsets[i],
+			tenant: fmt.Sprintf("tenant-%d", rng.Intn(opt.Tenants)),
+			spec:   catalogue[rng.Intn(len(catalogue))],
+		}
+	}
+	return subs, nil
+}
+
+// Drive generates the seeded trace, submits it against the server at
+// BaseURL, audits byte-identity against sequential re-runs, and
+// assembles the schema-3 bench report. It fails on any transport
+// error, failed job, or byte mismatch.
+func Drive(opt DriveOptions) (*bench.Report, error) {
+	opt = opt.withDefaults()
+	subs, err := generate(opt)
+	if err != nil {
+		return nil, err
+	}
+	progress := func(format string, args ...any) {
+		if opt.Progress != nil {
+			fmt.Fprintf(opt.Progress, format+"\n", args...)
+		}
+	}
+	progress("driving %s: %d jobs, trace %s, seed %d, %d tenants over %v",
+		opt.BaseURL, opt.Jobs, opt.Trace, opt.Seed, opt.Tenants, opt.Horizon)
+
+	client := &http.Client{Timeout: 2 * time.Minute}
+	views := make([]JobView, len(subs))
+	errs := make([]error, len(subs))
+	var retries429 atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, sub := range subs {
+		wg.Add(1)
+		go func(i int, sub submission) {
+			defer wg.Done()
+			time.Sleep(time.Duration(sub.offset * float64(opt.Horizon)))
+			views[i], errs[i] = submitOne(client, opt.BaseURL, sub, &retries429)
+		}(i, sub)
+	}
+	wg.Wait()
+	window := time.Since(start).Seconds()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("farm: job %d (%s %s): %w", i, subs[i].tenant, subs[i].spec.Kernel, err)
+		}
+	}
+	progress("served %d jobs in %.2fs wall", len(subs), window)
+
+	// Audit: every served response must be byte-identical to a
+	// sequential re-run of the same scenario — the determinism contract
+	// the cache stands on.
+	unique := map[string]scenario.Spec{}
+	for i, v := range views {
+		unique[v.Hash] = subs[i].spec
+	}
+	identical := true
+	records := []bench.Record{}
+	for hash, spec := range unique {
+		served, err := fetchResult(client, opt.BaseURL, hash)
+		if err != nil {
+			return nil, err
+		}
+		res, err := spec.Run()
+		if err != nil {
+			return nil, fmt.Errorf("farm: sequential re-run: %w", err)
+		}
+		local, err := res.Encode()
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(served, local) {
+			identical = false
+			progress("BYTE MISMATCH for %s (%s)", hash, spec.Kernel)
+		}
+		records = append(records, bench.Record{
+			Scenario: fmt.Sprintf("%s/%s", res.Scenario, hash[:8]),
+			Seconds:  res.Seconds, Bytes: res.Bytes, Messages: res.Messages,
+		})
+	}
+	progress("byte-identity audit: %d unique scenarios, identical=%v", len(unique), identical)
+
+	stats, err := fetchStats(client, opt.BaseURL)
+	if err != nil {
+		return nil, err
+	}
+
+	report := &bench.Report{
+		Schema: bench.ReportSchema, Scale: opt.Scale, Hosts: scenario.DefaultHosts,
+		Parallel: opt.Limits.withDefaults().Workers, WallSeconds: window,
+		Results: records,
+		Farm:    assemble(opt, subs, views, stats, window, identical, retries429.Load()),
+	}
+	return report, nil
+}
+
+// submitOne runs one job to a terminal state: POST (retrying after
+// 429s per the server's Retry-After), then wait for completion.
+func submitOne(client *http.Client, base string, sub submission, retries *atomic.Int64) (JobView, error) {
+	body, err := json.Marshal(sub.spec)
+	if err != nil {
+		return JobView{}, err
+	}
+	var v JobView
+	for attempt := 0; ; attempt++ {
+		if attempt > 200 {
+			return JobView{}, fmt.Errorf("still rejected after %d attempts", attempt)
+		}
+		req, err := http.NewRequest("POST", base+"/v1/jobs?wait=true", bytes.NewReader(body))
+		if err != nil {
+			return JobView{}, err
+		}
+		req.Header.Set("X-Tenant", sub.tenant)
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return JobView{}, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return JobView{}, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			retries.Add(1)
+			after, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+			if after < 1 {
+				after = 1
+			}
+			// Back off a fraction of Retry-After: the estimate is
+			// conservative and the queue drains continuously.
+			time.Sleep(time.Duration(after) * time.Second / 4)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+			return JobView{}, fmt.Errorf("POST /v1/jobs: %s: %s", resp.Status, data)
+		}
+		if err := json.Unmarshal(data, &v); err != nil {
+			return JobView{}, err
+		}
+		break
+	}
+	// The submit wait can time out under heavy backlog; poll the job
+	// until it is terminal.
+	for v.State != "done" && v.State != "failed" {
+		resp, err := client.Get(base + "/v1/jobs/" + v.ID + "?wait=true")
+		if err != nil {
+			return JobView{}, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return JobView{}, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return JobView{}, fmt.Errorf("GET /v1/jobs/%s: %s: %s", v.ID, resp.Status, data)
+		}
+		if err := json.Unmarshal(data, &v); err != nil {
+			return JobView{}, err
+		}
+	}
+	if v.State == "failed" {
+		return v, fmt.Errorf("job %s failed: %s", v.ID, v.Error)
+	}
+	return v, nil
+}
+
+func fetchResult(client *http.Client, base, hash string) ([]byte, error) {
+	resp, err := client.Get(base + "/v1/results/" + hash)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/results/%s: %s", hash, resp.Status)
+	}
+	return data, nil
+}
+
+func fetchStats(client *http.Client, base string) (Stats, error) {
+	var st Stats
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("GET /v1/stats: %s", resp.Status)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// assemble folds the run into the report's farm section.
+func assemble(opt DriveOptions, subs []submission, views []JobView, stats Stats, window float64, identical bool, retries int64) *bench.FarmSection {
+	limits := opt.Limits.withDefaults()
+	sec := &bench.FarmSection{
+		Trace: opt.Trace, Seed: opt.Seed, Jobs: len(views),
+		Workers: limits.Workers, QueueCap: limits.QueueCap, MaxInflight: limits.MaxInflight,
+		Retries429:    retries,
+		ByteIdentical: identical,
+		Tenants:       map[string]bench.FarmTenant{},
+		PerJob:        make([]bench.FarmJob, len(views)),
+	}
+	totals := make([]float64, 0, len(views))
+	hitsServed := 0
+	for i, v := range views {
+		sec.PerJob[i] = bench.FarmJob{
+			Job: v.ID, Tenant: v.Tenant,
+			Scenario: fmt.Sprintf("farm/%s/%dp", subs[i].spec.Kernel, normProcs(subs[i].spec)),
+			Hash:     v.Hash, Cache: v.Cache,
+			QueueSeconds: v.QueueSeconds, SimSeconds: v.SimSeconds, TotalSeconds: v.TotalSeconds,
+		}
+		totals = append(totals, v.TotalSeconds)
+		if v.Cache != "fresh" {
+			hitsServed++
+		}
+	}
+	sort.Float64s(totals)
+	sec.P50Seconds = quantile(totals, 0.50)
+	sec.P95Seconds = quantile(totals, 0.95)
+	sec.P99Seconds = quantile(totals, 0.99)
+	if window > 0 {
+		sec.ThroughputJobsPerSec = float64(len(views)) / window
+	}
+	if len(views) > 0 {
+		sec.CacheHitRatio = float64(hitsServed) / float64(len(views))
+	}
+	for name, t := range stats.Tenants {
+		sec.Tenants[name] = bench.FarmTenant{
+			Submitted: t.Submitted, Completed: t.Completed,
+			Rejected: t.Rejected, MaxQueueDepth: t.MaxQueueDepth,
+		}
+	}
+	return sec
+}
+
+func normProcs(s scenario.Spec) int {
+	if norm, err := s.Normalize(); err == nil {
+		return norm.Procs
+	}
+	return s.Procs
+}
+
+// quantile is the nearest-rank percentile of a sorted slice.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,84 @@
+package farm
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestArrivalTraceSeededAndOrdered pins the generator: same seed, same
+// trace; offsets ascending in [0,1); unknown kinds rejected.
+func TestArrivalTraceSeededAndOrdered(t *testing.T) {
+	for _, kind := range []string{"poisson", "diurnal", "mix"} {
+		a, err := arrivalOffsets(kind, 64, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := arrivalOffsets(kind, 64, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: offsets not seeded: %g vs %g at %d", kind, a[i], b[i], i)
+			}
+			if a[i] < 0 || a[i] >= 1 {
+				t.Fatalf("%s: offset %g out of [0,1)", kind, a[i])
+			}
+			if i > 0 && a[i] < a[i-1] {
+				t.Fatalf("%s: offsets not ascending at %d", kind, i)
+			}
+		}
+	}
+	if _, err := arrivalOffsets("weekly", 8, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("unknown trace accepted")
+	}
+}
+
+// TestDriveSmall runs the full driver loop against an in-process
+// server: every job served, every response byte-identical to a
+// sequential re-run, cache hits present, report assembled.
+func TestDriveSmall(t *testing.T) {
+	limits := Limits{Workers: 4, QueueCap: 16, MaxInflight: 2}
+	srv := NewServer(limits)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	report, err := Drive(DriveOptions{
+		BaseURL: ts.URL, Jobs: 24, Seed: 42, Scale: 0.03,
+		Tenants: 3, Trace: "mix", Horizon: 300 * time.Millisecond,
+		Limits: limits,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := report.Farm
+	if f == nil {
+		t.Fatal("report has no farm section")
+	}
+	if !f.ByteIdentical {
+		t.Fatal("served responses not byte-identical to sequential re-runs")
+	}
+	if f.Jobs != 24 || len(f.PerJob) != 24 {
+		t.Fatalf("jobs %d, per-job %d, want 24", f.Jobs, len(f.PerJob))
+	}
+	if f.CacheHitRatio <= 0 {
+		t.Fatalf("24 jobs over a 12-scenario catalogue produced no cache hits: %+v", f)
+	}
+	if f.ThroughputJobsPerSec <= 0 || f.P50Seconds < 0 || f.P99Seconds < f.P50Seconds {
+		t.Fatalf("implausible aggregates: %+v", f)
+	}
+	if len(report.Results) == 0 || len(f.Tenants) == 0 {
+		t.Fatalf("missing records or tenants: %d results, %d tenants", len(report.Results), len(f.Tenants))
+	}
+	// The unique-scenario records must cover every distinct hash seen.
+	hashes := map[string]bool{}
+	for _, j := range f.PerJob {
+		hashes[j.Hash] = true
+	}
+	if len(report.Results) != len(hashes) {
+		t.Fatalf("%d result records for %d unique hashes", len(report.Results), len(hashes))
+	}
+}

@@ -1,0 +1,67 @@
+// Package farm is the multi-tenant simulation service: a long-running
+// HTTP/JSON server that accepts scenario jobs (internal/scenario
+// specs), multiplexes concurrent engine instances across cores, and
+// caches every result by the scenario's content address.
+//
+// The design cashes in PR 5's determinism contract: a scenario's
+// outcome is a pure function of its canonical spec, so the SHA-256 of
+// the canonical encoding is a sound cache key — identical request
+// means identical bytes, forever. Three layers follow from that:
+//
+//   - Store: the content-addressed result store with single-flight
+//     coalescing. A submission whose hash is cached is served without
+//     simulating (hit); one whose hash is already being computed
+//     attaches to the in-flight run without consuming a worker
+//     (dedup); only the first submission of a hash simulates (fresh).
+//
+//   - Admission: per-tenant FIFO queues with a bounded depth and a
+//     per-tenant inflight cap, drained by a bounded global worker pool
+//     (the semaphore mechanics of internal/bench's cell pool, kept
+//     resident). A full tenant queue rejects with 429 + Retry-After.
+//
+//   - Server: the HTTP surface — POST /v1/jobs, GET /v1/jobs/{id},
+//     GET /v1/results/{hash}, GET /v1/stats — streaming the scenario
+//     package's schema-2-shaped result JSON.
+//
+// Drive is the synthetic load driver: seeded Poisson-burst and diurnal
+// arrival traces over a scenario mix, reporting cluster throughput,
+// latency percentiles, admission-control behaviour and the cache hit
+// ratio, and checking every served response byte-identical against a
+// sequential re-run.
+package farm
+
+import "time"
+
+// Limits bounds the service: the global worker pool and the per-tenant
+// queues. The zero value of any field selects its default.
+type Limits struct {
+	// Workers is the global worker-pool size: at most this many engine
+	// instances simulate concurrently (default 4).
+	Workers int
+	// QueueCap is the per-tenant pending-queue capacity; a submission
+	// beyond it is rejected with 429 + Retry-After (default 32).
+	QueueCap int
+	// MaxInflight caps how many of one tenant's jobs may occupy
+	// workers at once, so a burst from one tenant cannot starve the
+	// pool (default 2).
+	MaxInflight int
+	// WaitTimeout bounds how long GET /v1/jobs/{id}?wait=true blocks
+	// for a terminal state (default 30s).
+	WaitTimeout time.Duration
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.Workers <= 0 {
+		l.Workers = 4
+	}
+	if l.QueueCap <= 0 {
+		l.QueueCap = 32
+	}
+	if l.MaxInflight <= 0 {
+		l.MaxInflight = 2
+	}
+	if l.WaitTimeout <= 0 {
+		l.WaitTimeout = 30 * time.Second
+	}
+	return l
+}

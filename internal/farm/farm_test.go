@@ -1,0 +1,362 @@
+package farm
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"nowomp/internal/scenario"
+)
+
+func testSpec() scenario.Spec {
+	return scenario.Spec{Kernel: "jacobi", Scale: 0.03, Procs: 4, Hosts: 6, Verify: true}
+}
+
+func specBody(t *testing.T, s scenario.Spec) []byte {
+	t.Helper()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// post submits a spec and decodes the job view.
+func post(t *testing.T, ts *httptest.Server, tenant string, s scenario.Spec, wait bool) (JobView, *http.Response) {
+	t.Helper()
+	url := ts.URL + "/v1/jobs"
+	if wait {
+		url += "?wait=true"
+	}
+	req, err := http.NewRequest("POST", url, bytes.NewReader(specBody(t, s)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Tenant", tenant)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v JobView
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return v, resp
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) ([]byte, int) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), resp.StatusCode
+}
+
+// TestCacheHitIsByteIdentical pins the cache contract: the second
+// submission of an identical spec is a hit, simulates nothing, and
+// /v1/results serves exactly the bytes the fresh run produced.
+func TestCacheHitIsByteIdentical(t *testing.T) {
+	srv := NewServer(Limits{Workers: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	v1, resp1 := post(t, ts, "alice", testSpec(), true)
+	if resp1.StatusCode != http.StatusOK || v1.State != "done" || v1.Cache != "fresh" {
+		t.Fatalf("fresh submit: %d %+v", resp1.StatusCode, v1)
+	}
+	fresh, code := get(t, ts, "/v1/results/"+v1.Hash)
+	if code != http.StatusOK {
+		t.Fatalf("results after fresh: %d", code)
+	}
+
+	v2, resp2 := post(t, ts, "bob", testSpec(), true)
+	if resp2.StatusCode != http.StatusOK || v2.State != "done" || v2.Cache != "hit" {
+		t.Fatalf("second submit not a hit: %d %+v", resp2.StatusCode, v2)
+	}
+	if v2.Hash != v1.Hash {
+		t.Fatalf("hash mismatch: %s vs %s", v2.Hash, v1.Hash)
+	}
+	hit, _ := get(t, ts, "/v1/results/"+v2.Hash)
+	if !bytes.Equal(fresh, hit) {
+		t.Fatalf("hit body differs from fresh body:\n%s\nvs\n%s", fresh, hit)
+	}
+
+	// And both match a direct in-process run of the same spec.
+	res, err := testSpec().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := res.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fresh, local) {
+		t.Fatalf("served body differs from direct run:\n%s\nvs\n%s", fresh, local)
+	}
+
+	st := srv.Stats()
+	if st.Cache.Hits != 1 || st.Cache.Misses != 1 || st.Cache.Dedups != 0 {
+		t.Fatalf("cache counters: %+v", st.Cache)
+	}
+}
+
+// TestSingleFlightDedup pins coalescing: N concurrent identical
+// submissions run the engine once; the rest attach as dedups and all
+// get the same result.
+func TestSingleFlightDedup(t *testing.T) {
+	srv := NewServer(Limits{Workers: 4, MaxInflight: 4})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const n = 8
+	spec := scenario.Spec{Kernel: "nbf", Scale: 0.04, Procs: 4, Hosts: 6}
+	views := make([]JobView, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			views[i], _ = post(t, ts, fmt.Sprintf("tenant-%d", i%3), spec, true)
+		}(i)
+	}
+	wg.Wait()
+
+	for i, v := range views {
+		if v.State != "done" {
+			t.Fatalf("job %d not done: %+v", i, v)
+		}
+		if v.Hash != views[0].Hash {
+			t.Fatalf("job %d hash differs", i)
+		}
+	}
+	st := srv.Stats()
+	if st.Cache.Misses != 1 {
+		t.Errorf("misses = %d, want exactly 1 engine run", st.Cache.Misses)
+	}
+	if st.Cache.Hits+st.Cache.Dedups != n-1 {
+		t.Errorf("hits %d + dedups %d != %d", st.Cache.Hits, st.Cache.Dedups, n-1)
+	}
+	if st.Jobs.Submitted != n || st.Jobs.Completed != n || st.Jobs.Failed != 0 {
+		t.Errorf("job counters: %+v", st.Jobs)
+	}
+}
+
+// TestStatsCountersAddUp submits a mixed batch and checks the ledger:
+// submitted = completed + failed, and every completion is a hit, a
+// dedup, or a fresh miss.
+func TestStatsCountersAddUp(t *testing.T) {
+	srv := NewServer(Limits{Workers: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	specs := []scenario.Spec{
+		{Kernel: "jacobi", Scale: 0.03, Procs: 2, Hosts: 4},
+		{Kernel: "jacobi", Scale: 0.03, Procs: 2, Hosts: 4}, // hit
+		{Kernel: "quadrature", Scale: 0.05, Procs: 2, Hosts: 4},
+		{Kernel: "jacobi", Scale: 0.03, Procs: 2, Hosts: 4}, // hit
+	}
+	for _, s := range specs {
+		if v, resp := post(t, ts, "carol", s, true); resp.StatusCode != http.StatusOK || v.State != "done" {
+			t.Fatalf("submit: %d %+v", resp.StatusCode, v)
+		}
+	}
+	st := srv.Stats()
+	if st.Jobs.Submitted != 4 || st.Jobs.Completed != 4 || st.Jobs.Failed != 0 {
+		t.Fatalf("jobs: %+v", st.Jobs)
+	}
+	if st.Cache.Hits+st.Cache.Dedups+st.Cache.Misses != st.Jobs.Submitted {
+		t.Fatalf("dispositions %d+%d+%d do not cover %d submissions",
+			st.Cache.Hits, st.Cache.Dedups, st.Cache.Misses, st.Jobs.Submitted)
+	}
+	if st.Cache.Entries != 2 || st.Cache.Bytes <= 0 {
+		t.Fatalf("store: %+v", st.Cache)
+	}
+	ten := st.Tenants["carol"]
+	if ten.Submitted != 4 || ten.Completed != 4 || ten.MaxQueueDepth < 1 {
+		t.Fatalf("tenant: %+v", ten)
+	}
+}
+
+// TestAdmissionRejectsWith429 fills one tenant's queue and checks the
+// 429 + Retry-After path, the rejected counter, and that rejected
+// submissions never become jobs.
+func TestAdmissionRejectsWith429(t *testing.T) {
+	// One worker, tiny queue, and slow-ish jobs so the queue backs up.
+	srv := NewServer(Limits{Workers: 1, QueueCap: 2, MaxInflight: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Distinct hashes so nothing coalesces, heavy enough (~100ms of
+	// real simulation each) that the single worker cannot drain the
+	// queue between two back-to-back submissions.
+	spec := func(i int) scenario.Spec {
+		return scenario.Spec{Kernel: "jacobi", Scale: 0.12, Procs: 2, Hosts: 4 + i}
+	}
+	var rejected int
+	var last *http.Response
+	views := []JobView{}
+	for i := 0; i < 6; i++ {
+		v, resp := post(t, ts, "dave", spec(i), false)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			rejected++
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("429 without Retry-After")
+			}
+			last = resp
+		} else if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+			views = append(views, v)
+		} else {
+			t.Fatalf("submit %d: %d", i, resp.StatusCode)
+		}
+	}
+	_ = last
+	if rejected == 0 {
+		t.Fatal("queue never filled: no 429 observed")
+	}
+	// Drain the accepted jobs.
+	for _, v := range views {
+		if body, code := get(t, ts, "/v1/jobs/"+v.ID+"?wait=true"); code != http.StatusOK || !strings.Contains(string(body), `"done"`) {
+			t.Fatalf("job %s: %d %s", v.ID, code, body)
+		}
+	}
+	st := srv.Stats()
+	if st.Jobs.Rejected != int64(rejected) {
+		t.Errorf("rejected counter %d, observed %d", st.Jobs.Rejected, rejected)
+	}
+	if st.Tenants["dave"].Rejected != int64(rejected) {
+		t.Errorf("tenant rejected %d, observed %d", st.Tenants["dave"].Rejected, rejected)
+	}
+	if st.Tenants["dave"].MaxQueueDepth != 2 {
+		t.Errorf("max queue depth %d, want 2", st.Tenants["dave"].MaxQueueDepth)
+	}
+	if int(st.Jobs.Submitted)+rejected != 6 {
+		t.Errorf("submitted %d + rejected %d != 6", st.Jobs.Submitted, rejected)
+	}
+}
+
+// TestMalformedRequests pins the 4xx surface.
+func TestMalformedRequests(t *testing.T) {
+	srv := NewServer(Limits{Workers: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for name, body := range map[string]string{
+		"not json":      "{",
+		"unknown field": `{"kernel":"jacobi","scael":0.1}`,
+		"bad kernel":    `{"kernel":"nope"}`,
+		"bad spec":      `{"kernel":"jacobi","procs":8,"hosts":2}`,
+	} {
+		resp, err := ts.Client().Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	if _, code := get(t, ts, "/v1/jobs/j-999999"); code != http.StatusNotFound {
+		t.Errorf("unknown job: %d, want 404", code)
+	}
+	if _, code := get(t, ts, "/v1/results/deadbeef"); code != http.StatusNotFound {
+		t.Errorf("unknown result: %d, want 404", code)
+	}
+	if st := srv.Stats(); st.Jobs.Submitted != 0 {
+		t.Errorf("malformed requests became jobs: %+v", st.Jobs)
+	}
+}
+
+// TestDispatcherFIFOAndInflightCap pins the admission order
+// structurally: per-tenant FIFO, global-FIFO among eligible tenants,
+// and the per-tenant inflight cap making an over-subscribed tenant
+// yield to others.
+func TestDispatcherFIFOAndInflightCap(t *testing.T) {
+	d := newDispatcher(Limits{QueueCap: 8, MaxInflight: 1}.withDefaults())
+	job := func(seq int64, tenant string) *Job {
+		return &Job{ID: fmt.Sprintf("j-%d", seq), Seq: seq, Tenant: tenant}
+	}
+	// Arrival order: a1 a2 b3 a4 b5.
+	for _, j := range []*Job{job(1, "a"), job(2, "a"), job(3, "b"), job(4, "a"), job(5, "b")} {
+		if ok, _ := d.enqueue(j); !ok {
+			t.Fatalf("enqueue %s rejected", j.ID)
+		}
+	}
+	// First claim: a's oldest (seq 1). With a at its inflight cap, the
+	// next claim must skip a2/a4 and take b3.
+	first := d.next()
+	if first.Seq != 1 {
+		t.Fatalf("first claim seq %d, want 1", first.Seq)
+	}
+	second := d.next()
+	if second.Seq != 3 {
+		t.Fatalf("second claim seq %d, want 3 (tenant a is at its cap)", second.Seq)
+	}
+	// Releasing a's slot makes a2 the globally oldest eligible again.
+	d.finish(first, false)
+	third := d.next()
+	if third.Seq != 2 {
+		t.Fatalf("third claim seq %d, want 2 (per-tenant FIFO)", third.Seq)
+	}
+	d.finish(second, false)
+	d.finish(third, false)
+	if d.next().Seq != 4 || d.next().Seq != 5 {
+		t.Fatal("tail order violated")
+	}
+	// Queue-cap accounting: a sixth pending job for one tenant beyond
+	// the cap is rejected and counted.
+	small := newDispatcher(Limits{QueueCap: 1, MaxInflight: 1}.withDefaults())
+	if ok, _ := small.enqueue(job(1, "c")); !ok {
+		t.Fatal("first enqueue rejected")
+	}
+	ok, retry := small.enqueue(job(2, "c"))
+	if ok || retry < 1 {
+		t.Fatalf("over-cap enqueue: ok=%v retry=%d", ok, retry)
+	}
+	if st := small.stats()["c"]; st.Rejected != 1 || st.MaxQueueDepth != 1 {
+		t.Fatalf("tenant stats: %+v", st)
+	}
+}
+
+// TestFailedJobPath: a spec that passes Normalize but fails at build
+// time surfaces as a failed job, and dedup waiters share the failure.
+func TestFailedJobPath(t *testing.T) {
+	srv := NewServer(Limits{Workers: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// A schedule leaving host 0 (the master) is rejected by the adapt
+	// manager at submit time — inside the job run, after admission.
+	bad := scenario.Spec{Kernel: "jacobi", Scale: 0.03, Procs: 2, Hosts: 4,
+		Adaptive: true, Schedule: "0.01:leave:0"}
+	v, resp := post(t, ts, "erin", bad, true)
+	if resp.StatusCode != http.StatusOK || v.State != "failed" || v.Error == "" {
+		t.Fatalf("want failed job, got %d %+v", resp.StatusCode, v)
+	}
+	if _, code := get(t, ts, "/v1/results/"+v.Hash); code != http.StatusNotFound {
+		t.Errorf("failed job cached a result: %d", code)
+	}
+	st := srv.Stats()
+	if st.Jobs.Failed != 1 {
+		t.Errorf("failed counter: %+v", st.Jobs)
+	}
+}

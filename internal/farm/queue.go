@@ -1,0 +1,183 @@
+package farm
+
+import (
+	"sync"
+)
+
+// Admission control: one FIFO queue per tenant with a bounded depth,
+// drained by the global worker pool under a per-tenant inflight cap.
+// The pool itself is the resident form of internal/bench's cell-pool
+// mechanics — a fixed worker count bounding concurrent engine
+// instances — but where the bench pool drains a known matrix and
+// exits, the dispatcher blocks on a condition variable for the next
+// eligible job: the oldest pending job among tenants below their
+// inflight cap (global FIFO across tenants, strict FIFO within one).
+
+// tenant is one tenant's admission state. All fields are guarded by
+// the dispatcher's mutex.
+type tenant struct {
+	name    string
+	pending []*Job // FIFO
+	// inflight counts this tenant's jobs currently occupying workers.
+	inflight int
+	// maxDepth is the maximum observed pending-queue depth and
+	// rejected the number of submissions turned away with 429 — the
+	// admission-control evidence GET /v1/stats reports.
+	maxDepth  int
+	rejected  int64
+	submitted int64
+	completed int64
+	failed    int64
+}
+
+// dispatcher owns the tenant queues and hands eligible jobs to
+// workers.
+type dispatcher struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	tenants map[string]*tenant
+	limits  Limits
+	closed  bool
+}
+
+func newDispatcher(limits Limits) *dispatcher {
+	d := &dispatcher{tenants: map[string]*tenant{}, limits: limits}
+	d.cond = sync.NewCond(&d.mu)
+	return d
+}
+
+func (d *dispatcher) tenantLocked(name string) *tenant {
+	t, ok := d.tenants[name]
+	if !ok {
+		t = &tenant{name: name}
+		d.tenants[name] = t
+	}
+	return t
+}
+
+// enqueue admits a job into its tenant's queue, or reports the queue
+// full (the 429 path). retryAfter estimates, in whole seconds, how
+// long until the queue has drained enough to admit — the Retry-After
+// the handler sends.
+func (d *dispatcher) enqueue(j *Job) (admitted bool, retryAfter int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t := d.tenantLocked(j.Tenant)
+	if len(t.pending) >= d.limits.QueueCap {
+		t.rejected++
+		// Drain estimate: the backlog ahead of us, served MaxInflight
+		// at a time; assume a second per job as the floor.
+		waves := (len(t.pending) + d.limits.MaxInflight - 1) / d.limits.MaxInflight
+		if waves < 1 {
+			waves = 1
+		}
+		return false, waves
+	}
+	t.submitted++
+	t.pending = append(t.pending, j)
+	if len(t.pending) > t.maxDepth {
+		t.maxDepth = len(t.pending)
+	}
+	d.cond.Signal()
+	return true, 0
+}
+
+// next blocks until an eligible job exists — the globally oldest
+// pending job whose tenant is below its inflight cap — and claims it.
+// It returns nil when the dispatcher is closed.
+func (d *dispatcher) next() *Job {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.closed {
+			return nil
+		}
+		var (
+			best *tenant
+		)
+		for _, t := range d.tenants {
+			if len(t.pending) == 0 || t.inflight >= d.limits.MaxInflight {
+				continue
+			}
+			if best == nil || t.pending[0].Seq < best.pending[0].Seq {
+				best = t
+			}
+		}
+		if best != nil {
+			j := best.pending[0]
+			best.pending = best.pending[1:]
+			best.inflight++
+			return j
+		}
+		d.cond.Wait()
+	}
+}
+
+// finish releases a claimed job's worker slot and records its outcome.
+func (d *dispatcher) finish(j *Job, failed bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t := d.tenantLocked(j.Tenant)
+	t.inflight--
+	if failed {
+		t.failed++
+	} else {
+		t.completed++
+	}
+	// A slot freed may make this tenant's next job eligible, and
+	// another worker may be waiting for exactly that.
+	d.cond.Broadcast()
+}
+
+// recordServed counts a job that bypassed the queue (cache hit or
+// dedup) toward the tenant's totals.
+func (d *dispatcher) recordServed(tenantName string, failed bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t := d.tenantLocked(tenantName)
+	t.submitted++
+	if failed {
+		t.failed++
+	} else {
+		t.completed++
+	}
+}
+
+// close wakes every worker to exit.
+func (d *dispatcher) close() {
+	d.mu.Lock()
+	d.closed = true
+	d.mu.Unlock()
+	d.cond.Broadcast()
+}
+
+// TenantStats is one tenant's admission snapshot in GET /v1/stats.
+type TenantStats struct {
+	// Queued and Inflight are the instantaneous queue depth and
+	// running-job count.
+	Queued   int `json:"queued"`
+	Inflight int `json:"inflight"`
+	// MaxQueueDepth is the highest pending depth ever observed and
+	// Rejected the submissions refused with 429 — the admission-control
+	// record the load driver cites.
+	MaxQueueDepth int   `json:"max_queue_depth"`
+	Rejected      int64 `json:"rejected"`
+	Submitted     int64 `json:"submitted"`
+	Completed     int64 `json:"completed"`
+	Failed        int64 `json:"failed"`
+}
+
+// stats snapshots every tenant.
+func (d *dispatcher) stats() map[string]TenantStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]TenantStats, len(d.tenants))
+	for name, t := range d.tenants {
+		out[name] = TenantStats{
+			Queued: len(t.pending), Inflight: t.inflight,
+			MaxQueueDepth: t.maxDepth, Rejected: t.rejected,
+			Submitted: t.submitted, Completed: t.completed, Failed: t.failed,
+		}
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package farm
+
+import "sync"
+
+// Disposition classifies what the store decided about a submission.
+type Disposition int
+
+const (
+	// Hit: the hash is cached; the stored bytes are the response.
+	Hit Disposition = iota
+	// Dedup: an identical submission is already in flight; wait for it.
+	Dedup
+	// Fresh: this submission is the hash's first — it must simulate.
+	Fresh
+)
+
+func (d Disposition) String() string {
+	switch d {
+	case Hit:
+		return "hit"
+	case Dedup:
+		return "dedup"
+	}
+	return "fresh"
+}
+
+// Flight is one in-flight computation of a hash. The leader runs the
+// simulation and calls Complete; every dedup waiter blocks on Done and
+// then reads Data/Err. Both are immutable once Done is closed.
+type Flight struct {
+	// Done is closed when the leader completes (or aborts).
+	Done chan struct{}
+	// Data is the result body; Err the leader's failure.
+	Data []byte
+	Err  error
+}
+
+// Store is the content-addressed result store: canonical scenario hash
+// -> result bytes, plus the single-flight table coalescing concurrent
+// identical submissions. Determinism makes entries infinitely valid,
+// so there is no eviction and no TTL.
+type Store struct {
+	mu      sync.Mutex
+	entries map[string][]byte
+	flights map[string]*Flight
+	bytes   int64
+
+	hits, misses, dedups int64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{entries: map[string][]byte{}, flights: map[string]*Flight{}}
+}
+
+// Lookup returns the cached bytes for a hash without touching the
+// hit/miss counters (the raw GET /v1/results path).
+func (s *Store) Lookup(hash string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.entries[hash]
+	return data, ok
+}
+
+// Begin classifies a submission. Hit returns the cached bytes. Dedup
+// returns the flight to wait on. Fresh registers the caller as the
+// hash's leader and returns the flight it must Complete (or Abort).
+func (s *Store) Begin(hash string) (Disposition, []byte, *Flight) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if data, ok := s.entries[hash]; ok {
+		s.hits++
+		return Hit, data, nil
+	}
+	if f, ok := s.flights[hash]; ok {
+		s.dedups++
+		return Dedup, nil, f
+	}
+	s.misses++
+	f := &Flight{Done: make(chan struct{})}
+	s.flights[hash] = f
+	return Fresh, nil, f
+}
+
+// Complete finishes a flight: on success the bytes are stored under
+// the hash; either way every waiter is released with the outcome.
+func (s *Store) Complete(hash string, f *Flight, data []byte, err error) {
+	s.mu.Lock()
+	if err == nil {
+		if _, ok := s.entries[hash]; !ok {
+			s.entries[hash] = data
+			s.bytes += int64(len(data))
+		}
+	}
+	delete(s.flights, hash)
+	s.mu.Unlock()
+	f.Data, f.Err = data, err
+	close(f.Done)
+}
+
+// Abort withdraws a Fresh registration that never ran (the leader was
+// rejected by admission control before reaching a worker) and rolls
+// back its miss. Any waiter that attached in between is released with
+// the error.
+func (s *Store) Abort(hash string, f *Flight, err error) {
+	s.mu.Lock()
+	delete(s.flights, hash)
+	s.misses--
+	s.mu.Unlock()
+	f.Err = err
+	close(f.Done)
+}
+
+// CacheStats is the store's counter snapshot.
+type CacheStats struct {
+	// Hits are submissions served from the store, Misses submissions
+	// that led (or will lead) a fresh simulation, Dedups submissions
+	// coalesced onto an in-flight one.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Dedups int64 `json:"dedups"`
+	// Entries and Bytes size the store; Inflight counts open flights.
+	Entries  int   `json:"entries"`
+	Bytes    int64 `json:"bytes"`
+	Inflight int   `json:"inflight"`
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return CacheStats{
+		Hits: s.hits, Misses: s.misses, Dedups: s.dedups,
+		Entries: len(s.entries), Bytes: s.bytes, Inflight: len(s.flights),
+	}
+}

@@ -1,0 +1,234 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"nowomp/internal/adapt"
+	"nowomp/internal/apps"
+	"nowomp/internal/dsm"
+	"nowomp/internal/machine"
+	"nowomp/internal/omp"
+	"nowomp/internal/simnet"
+	"nowomp/internal/simtime"
+)
+
+// The build layer turns a Spec into runnable pieces — the omp.Config,
+// the machine model, the link configurer, the adapt events — and all
+// the way into a Result. Every cmd and the farm build through these
+// accessors instead of re-parsing flag strings.
+
+// ProtocolKind returns the spec's coherence protocol.
+func (s Spec) ProtocolKind() (dsm.ProtocolKind, error) {
+	return dsm.ParseProtocol(s.Protocol)
+}
+
+// MachineModel builds the per-machine speed/load model, or nil when
+// the spec is homogeneous.
+func (s Spec) MachineModel() (*machine.Model, error) {
+	if s.Machines == "" && s.Loads == "" {
+		return nil, nil
+	}
+	m := machine.New(s.Hosts)
+	if err := machine.ParseSpeeds(m, s.Machines); err != nil {
+		return nil, err
+	}
+	if err := machine.ParseLoads(m, s.Loads); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// LinksFunc returns the fabric configurer for the spec's link
+// overrides, or nil when every link is at the baseline. The spec is
+// validated eagerly against a throwaway fabric so errors surface here,
+// not mid-construction.
+func (s Spec) LinksFunc() (func(*simnet.Fabric) error, error) {
+	if s.Links == "" {
+		return nil, nil
+	}
+	if err := machine.ParseLinks(simnet.New(s.Hosts), s.Links); err != nil {
+		return nil, err
+	}
+	spec := s.Links
+	return func(f *simnet.Fabric) error { return machine.ParseLinks(f, spec) }, nil
+}
+
+// Events parses the hand-written adapt schedule.
+func (s Spec) Events() ([]adapt.Event, error) {
+	return adapt.ParseSchedule(s.Schedule)
+}
+
+// LoadPolicy parses the load policy, or nil when the spec has none.
+func (s Spec) LoadPolicy() (*adapt.LoadPolicy, error) {
+	if s.Policy == "" {
+		return nil, nil
+	}
+	p, err := adapt.ParsePolicy(s.Policy)
+	if err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Runner resolves the spec's kernel.
+func (s Spec) Runner() (apps.Runner, error) {
+	r, ok := apps.RunnerByName(s.Kernel)
+	if !ok {
+		return apps.Runner{}, fmt.Errorf("scenario: unknown kernel %q", s.Kernel)
+	}
+	return r, nil
+}
+
+// Config assembles the omp.Config the spec describes.
+func (s Spec) Config() (omp.Config, error) {
+	proto, err := s.ProtocolKind()
+	if err != nil {
+		return omp.Config{}, err
+	}
+	m, err := s.MachineModel()
+	if err != nil {
+		return omp.Config{}, err
+	}
+	links, err := s.LinksFunc()
+	if err != nil {
+		return omp.Config{}, err
+	}
+	return omp.Config{
+		Hosts: s.Hosts, Procs: s.Procs, Adaptive: s.Adaptive,
+		Grace: simtime.Seconds(s.Grace), Protocol: proto,
+		Machine: m, Links: links,
+	}, nil
+}
+
+// Build normalizes the spec, constructs the runtime, submits the
+// schedule's events, and applies the load policy. It returns the
+// ready-to-run runtime and the events the policy derived (nil without
+// a policy).
+func (s Spec) Build() (*omp.Runtime, []adapt.Event, error) {
+	norm, err := s.Normalize()
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg, err := norm.Config()
+	if err != nil {
+		return nil, nil, err
+	}
+	rt, err := omp.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	events, err := norm.Events()
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, ev := range events {
+		if err := rt.Submit(ev); err != nil {
+			return nil, nil, err
+		}
+	}
+	var derived []adapt.Event
+	if p, err := norm.LoadPolicy(); err != nil {
+		return nil, nil, err
+	} else if p != nil {
+		derived, err = rt.ApplyLoadPolicy(*p)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return rt, derived, nil
+}
+
+// Result is the outcome of one scenario run. Its leading fields —
+// scenario key, seconds, bytes, messages — mirror the bench report's
+// schema-2 record shape, so a farm result body reads like one more
+// bench cell; the rest carries the full measurement. Encode renders it
+// deterministically: identical specs produce byte-identical encodings
+// at any parallelism level, which is the property the farm's
+// content-addressed store serves from.
+type Result struct {
+	// Scenario is the human-readable cell key, "farm/<kernel>/<procs>p".
+	Scenario string `json:"scenario"`
+	// Seconds is the virtual (simulated) runtime.
+	Seconds float64 `json:"seconds"`
+	// Bytes and Messages are the fabric traffic.
+	Bytes    int64 `json:"bytes"`
+	Messages int64 `json:"messages"`
+	// Hash is the spec's content address; Spec its canonical form.
+	Hash string `json:"hash"`
+	Spec Spec   `json:"spec"`
+	// Pages and Diffs are full-page transfers and diffs fetched;
+	// SharedBytes the allocated shared memory.
+	Pages       int64 `json:"pages"`
+	Diffs       int64 `json:"diffs"`
+	SharedBytes int   `json:"shared_bytes"`
+	// Checksum is the kernel's result checksum; Verified is set when
+	// the spec asked for verification (always true then — a mismatch
+	// fails the run instead).
+	Checksum float64 `json:"checksum"`
+	Verified bool    `json:"verified"`
+	// TeamFinal and Adaptations summarise the adapt activity.
+	TeamFinal   int `json:"team_final"`
+	Adaptations int `json:"adaptations"`
+}
+
+// Encode renders the result as canonical JSON bytes (trailing
+// newline), the exact body the farm stores and serves.
+func (r Result) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: encode result: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Run executes the scenario end to end: normalize, build, run the
+// kernel, verify if asked, and assemble the Result. The engine makes
+// the outcome a pure function of the spec, so concurrent Runs of
+// different (or identical) specs never interfere.
+func (s Spec) Run() (Result, error) {
+	norm, err := s.Normalize()
+	if err != nil {
+		return Result{}, err
+	}
+	hash, err := norm.Hash()
+	if err != nil {
+		return Result{}, err
+	}
+	rt, _, err := norm.Build()
+	if err != nil {
+		return Result{}, err
+	}
+	runner, err := norm.Runner()
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := runner.Run(rt, norm.Scale)
+	if err != nil {
+		return Result{}, err
+	}
+	if norm.Verify {
+		if want := runner.Reference(norm.Scale); res.Checksum != want {
+			return Result{}, fmt.Errorf("scenario: verification failed: checksum %g, reference %g", res.Checksum, want)
+		}
+	}
+	adaptations := 0
+	for _, ap := range rt.AdaptLog() {
+		adaptations += len(ap.Applied)
+	}
+	return Result{
+		Scenario:    fmt.Sprintf("farm/%s/%dp", norm.Kernel, norm.Procs),
+		Seconds:     float64(res.Time),
+		Bytes:       res.Bytes,
+		Messages:    res.Messages,
+		Hash:        hash,
+		Spec:        norm,
+		Pages:       res.Pages,
+		Diffs:       res.Diffs,
+		SharedBytes: res.SharedBytes,
+		Checksum:    res.Checksum,
+		Verified:    norm.Verify,
+		TeamFinal:   rt.NProcs(),
+		Adaptations: adaptations,
+	}, nil
+}

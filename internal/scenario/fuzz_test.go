@@ -1,0 +1,57 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCanonical drives arbitrary JSON through Decode -> Normalize ->
+// Canonical and checks the canonical encoding is a fixed point: it
+// decodes and re-encodes to itself, and the hash it produces is the
+// hash of every equivalent layout of the same spec. This is the
+// contract the farm's content-addressed cache depends on — any input
+// that normalizes successfully has exactly one canonical byte string.
+func FuzzCanonical(f *testing.F) {
+	f.Add([]byte(`{"kernel":"jacobi","scale":0.05}`))
+	f.Add([]byte(`{"kernel":"nbf","scale":0.1,"procs":4,"hosts":6,"verify":true}`))
+	f.Add([]byte(`{"kernel":"gauss","protocol":"hlrc","machines":"2=0.5,5=2","loads":"3=2@5,0@15"}`))
+	f.Add([]byte(`{"kernel":"mergesort","adaptive":true,"schedule":"6:leave:7,9:join:7","grace":1.5}`))
+	f.Add([]byte(`{"kernel":"fft3d","adaptive":true,"loads":"3=2@5","policy":"high=1.5,low=0.25,dwell=2","links":"0-7=lat:4,bw:0.25"}`))
+	f.Add([]byte(`{ "scale" : 2e-1 , "kernel" : "quadrature" }`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return // malformed JSON or unknown fields: rejected is fine
+		}
+		canon, err := s.Canonical()
+		if err != nil {
+			return // invalid spec: rejected is fine
+		}
+		// The canonical encoding must decode and re-normalize to the
+		// identical byte string (parse -> format -> parse identity).
+		back, err := Decode(canon)
+		if err != nil {
+			t.Fatalf("canonical bytes do not decode: %v\n%s", err, canon)
+		}
+		canon2, err := back.Canonical()
+		if err != nil {
+			t.Fatalf("canonical bytes do not re-normalize: %v\n%s", err, canon)
+		}
+		if !bytes.Equal(canon, canon2) {
+			t.Fatalf("canonical not a fixed point:\n%s\nvs\n%s", canon, canon2)
+		}
+		// And the hash is a function of the canonical form alone.
+		h1, err := s.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := back.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 {
+			t.Fatalf("hash not stable across round trip: %s vs %s", h1, h2)
+		}
+	})
+}

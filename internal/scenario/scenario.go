@@ -1,0 +1,206 @@
+// Package scenario defines the canonical simulation-scenario
+// specification shared by every tool and by the farm service: one
+// struct that names a kernel, a problem scale, a team, a protocol, the
+// heterogeneity model (machine speeds, load traces, link overrides),
+// an adapt schedule and/or load policy, and whether to verify against
+// the sequential reference.
+//
+// A Spec has a canonical form (Normalize): every compact sub-spec
+// string is parsed and re-formatted through its package's
+// Parse*/Format* pair, defaults are made explicit, and the result
+// round-trips bit-for-bit. Canonical encodes the normalized spec as
+// deterministic JSON (fixed field order, shortest float form, every
+// field present), and Hash is the SHA-256 of those bytes — the
+// content-address of the scenario. Because PR 5's engine made every
+// scenario outcome a pure function of its spec, two specs with the
+// same hash produce byte-identical results at any parallelism level,
+// which is what makes the farm's result cache sound.
+package scenario
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"nowomp/internal/adapt"
+	"nowomp/internal/apps"
+	"nowomp/internal/dsm"
+	"nowomp/internal/machine"
+	"nowomp/internal/simnet"
+)
+
+// Spec is the complete description of one simulation scenario. The
+// string fields reuse the tools' compact flag formats (see the
+// machine and adapt packages); zero values mean "default" and are made
+// explicit by Normalize. The JSON form of a normalized Spec is the
+// canonical scenario encoding the farm hashes.
+type Spec struct {
+	// Kernel names the application: gauss, jacobi, fft3d, nbf,
+	// mergesort or quadrature.
+	Kernel string `json:"kernel"`
+	// Scale is the linear problem scale (1.0 = the paper's sizes).
+	Scale float64 `json:"scale"`
+	// Procs is the initial team size, Hosts the workstation pool.
+	Procs int `json:"procs"`
+	Hosts int `json:"hosts"`
+	// Adaptive enables adapt-event processing; a schedule or policy
+	// requires it.
+	Adaptive bool `json:"adaptive"`
+	// Grace is the default leave grace period in virtual seconds
+	// (0 = the paper's 3 s, made explicit by Normalize).
+	Grace float64 `json:"grace"`
+	// Protocol is the DSM coherence protocol: "tmk" or "hlrc".
+	Protocol string `json:"protocol"`
+	// Machines / Loads / Links are the heterogeneity sub-specs in
+	// machine.ParseSpeeds / ParseLoads / ParseLinks form.
+	Machines string `json:"machines"`
+	Loads    string `json:"loads"`
+	Links    string `json:"links"`
+	// Policy derives adapt events from the load traces
+	// (adapt.ParsePolicy form); it requires Loads and Adaptive.
+	Policy string `json:"policy"`
+	// Schedule is a hand-written adapt-event schedule
+	// (adapt.ParseSchedule form); it requires Adaptive.
+	Schedule string `json:"schedule"`
+	// Verify checks the result against the sequential reference.
+	Verify bool `json:"verify"`
+}
+
+// Defaults mirror the tools' historical flag defaults.
+const (
+	DefaultProcs = 8
+	DefaultHosts = 10
+	DefaultScale = 0.2
+)
+
+// Normalize validates the spec and returns its canonical form:
+// defaults explicit, every sub-spec string re-formatted through its
+// Parse/Format round trip (so field order and whitespace inside the
+// compact formats cannot change the hash). Normalize is idempotent —
+// normalizing a normalized spec is the identity.
+func (s Spec) Normalize() (Spec, error) {
+	if s.Kernel == "" {
+		s.Kernel = "jacobi"
+	}
+	if _, ok := apps.RunnerByName(s.Kernel); !ok {
+		return Spec{}, fmt.Errorf("scenario: unknown kernel %q", s.Kernel)
+	}
+	if s.Scale == 0 {
+		s.Scale = DefaultScale
+	}
+	if s.Scale <= 0 || s.Scale > 4 {
+		return Spec{}, fmt.Errorf("scenario: scale %g out of range (0, 4]", s.Scale)
+	}
+	if s.Procs == 0 {
+		s.Procs = DefaultProcs
+	}
+	if s.Hosts == 0 {
+		s.Hosts = DefaultHosts
+	}
+	if s.Procs < 1 {
+		return Spec{}, fmt.Errorf("scenario: procs %d must be at least 1", s.Procs)
+	}
+	if s.Hosts < s.Procs {
+		return Spec{}, fmt.Errorf("scenario: hosts %d must cover the team of %d", s.Hosts, s.Procs)
+	}
+	if s.Grace == 0 {
+		s.Grace = float64(adapt.DefaultGrace)
+	}
+	if s.Grace < 0 {
+		return Spec{}, fmt.Errorf("scenario: grace %g must be non-negative", s.Grace)
+	}
+	proto, err := dsm.ParseProtocol(s.Protocol)
+	if err != nil {
+		return Spec{}, err
+	}
+	s.Protocol = proto.String()
+
+	// Round-trip the heterogeneity sub-specs through one model so the
+	// canonical strings are exactly what Format* emits.
+	if s.Machines != "" || s.Loads != "" {
+		m := machine.New(s.Hosts)
+		if err := machine.ParseSpeeds(m, s.Machines); err != nil {
+			return Spec{}, err
+		}
+		if err := machine.ParseLoads(m, s.Loads); err != nil {
+			return Spec{}, err
+		}
+		s.Machines = machine.FormatSpeeds(m)
+		s.Loads = machine.FormatLoads(m)
+	}
+	if s.Links != "" {
+		f := simnet.New(s.Hosts)
+		if err := machine.ParseLinks(f, s.Links); err != nil {
+			return Spec{}, err
+		}
+		s.Links = machine.FormatLinks(f)
+	}
+	if s.Policy != "" {
+		p, err := adapt.ParsePolicy(s.Policy)
+		if err != nil {
+			return Spec{}, err
+		}
+		if !s.Adaptive {
+			return Spec{}, fmt.Errorf("scenario: a policy requires adaptive")
+		}
+		if s.Loads == "" {
+			return Spec{}, fmt.Errorf("scenario: a policy needs load traces to watch")
+		}
+		s.Policy = adapt.FormatPolicy(p)
+	}
+	if s.Schedule != "" {
+		events, err := adapt.ParseSchedule(s.Schedule)
+		if err != nil {
+			return Spec{}, err
+		}
+		if !s.Adaptive {
+			return Spec{}, fmt.Errorf("scenario: a schedule requires adaptive")
+		}
+		s.Schedule = adapt.FormatSchedule(events)
+	}
+	return s, nil
+}
+
+// Canonical returns the deterministic JSON encoding of the spec's
+// canonical form: fixed field order, shortest float representation,
+// every field present. Two requests that differ only in JSON field
+// order, whitespace, or sub-spec item order encode identically.
+func (s Spec) Canonical() ([]byte, error) {
+	norm, err := s.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.Marshal(norm)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: encode: %w", err)
+	}
+	return data, nil
+}
+
+// Hash is the scenario's content address: the hex SHA-256 of its
+// canonical encoding. Identical hash means identical simulation
+// results, byte for byte — the determinism contract the engine
+// enforces and the farm's result cache relies on.
+func (s Spec) Hash() (string, error) {
+	data, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Decode parses a JSON scenario spec. Unknown fields are rejected so a
+// typoed field name fails loudly instead of silently meaning "default"
+// (and hashing as a different scenario than the client intended).
+func Decode(data []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: decode: %w", err)
+	}
+	return s, nil
+}
