@@ -1,0 +1,60 @@
+// Command nowomp-fuzz is the deterministic batch face of the scenario
+// fuzzer: generate -count random valid scenarios from -seed, run each
+// under the differential oracle battery (determinism across
+// GOMAXPROCS, sequential-reference checksum, cross-protocol output
+// equivalence, adaptive transparency, no panics), shrink every failure
+// to a minimal reproducing spec, and exit non-zero if anything failed.
+// Stdout is byte-deterministic for a given (seed, count): CI diffs two
+// runs as a determinism gate and commits minimal specs as testdata
+// regressions.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"nowomp/internal/scenfuzz"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1999, "generator seed (same seed, same specs, same verdicts)")
+	count := flag.Int("count", 25, "number of scenarios to generate and check")
+	budget := flag.Int("shrink-budget", 0, "oracle batteries per shrink (0 = default, negative = no shrinking)")
+	jsonOut := flag.String("json", "", "write the full report as JSON to this file")
+	quiet := flag.Bool("q", false, "suppress per-scenario progress lines")
+	flag.Parse()
+
+	var progress io.Writer = os.Stdout
+	if *quiet {
+		progress = nil
+	}
+	rep := scenfuzz.Batch(scenfuzz.BatchOptions{
+		Seed: *seed, Count: *count, ShrinkBudget: *budget, Progress: progress,
+	})
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nowomp-fuzz:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "nowomp-fuzz:", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("seed %d: %d/%d scenarios passed, %d failed\n",
+		rep.Seed, rep.Passed, rep.Count, len(rep.Failures))
+	for _, f := range rep.Failures {
+		min, _ := json.Marshal(f.Minimal)
+		fmt.Printf("FAIL spec %d oracle=%s hash=%s\n  detail: %s\n  minimal (%s): %s\n",
+			f.Index, f.Oracle, f.Hash, f.Detail, f.MinimalHash, min)
+	}
+	if len(rep.Failures) > 0 {
+		os.Exit(1)
+	}
+}

@@ -47,6 +47,10 @@ const DefaultDwell = simtime.Seconds(2.0)
 // Validate reports whether the policy is well-formed.
 func (p LoadPolicy) Validate() error {
 	switch {
+	case math.IsNaN(p.High) || math.IsInf(p.High, 0) ||
+		math.IsNaN(p.Low) || math.IsInf(p.Low, 0) ||
+		math.IsNaN(float64(p.Dwell)) || math.IsInf(float64(p.Dwell), 0):
+		return fmt.Errorf("adapt: policy thresholds must be finite")
 	case p.High <= 0:
 		return fmt.Errorf("adapt: policy high threshold %g must be positive", p.High)
 	case p.Low < 0:

@@ -2,6 +2,7 @@ package adapt
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -58,7 +59,7 @@ func parseEvent(item string) (Event, error) {
 		return Event{}, fmt.Errorf("adapt: event %q: want TIME:KIND:HOST[:grace=G]", item)
 	}
 	t, err := strconv.ParseFloat(parts[0], 64)
-	if err != nil || t < 0 {
+	if err != nil || t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
 		return Event{}, fmt.Errorf("adapt: event %q: bad time %q", item, parts[0])
 	}
 	var kind Kind
@@ -81,7 +82,7 @@ func parseEvent(item string) (Event, error) {
 			return Event{}, fmt.Errorf("adapt: event %q: unknown option %q", item, parts[3])
 		}
 		gv, err := strconv.ParseFloat(g, 64)
-		if err != nil || gv <= 0 {
+		if err != nil || gv <= 0 || math.IsNaN(gv) || math.IsInf(gv, 0) {
 			return Event{}, fmt.Errorf("adapt: event %q: bad grace %q", item, g)
 		}
 		if kind != KindLeave {

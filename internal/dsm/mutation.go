@@ -1,0 +1,57 @@
+package dsm
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Injected coherence mutations: deliberately broken protocol variants
+// the scenario fuzzer uses to prove its oracles can detect real
+// coherence bugs (and that its shrinker reduces a detection to a
+// minimal scenario). Production code never enables a mutation; the
+// check on the fault path is a single predictable-branch load of an
+// atomic that is zero everywhere outside the fuzzer's self-tests.
+//
+// The mutations model real bug classes from this codebase's history:
+// "drop-newest-diff" reproduces the shape of the stale-twin Tmk bug PR
+// 5 fixed (a reader silently misses the newest writer's words — results
+// are wrong but deterministic, so only a differential oracle catches
+// it), and "fault-panic" stands in for any invariant violation that
+// panics mid-run (word-race checks, deadlock diagnostics).
+
+// mutation codes, stored in activeMutation.
+const (
+	mutationNone int32 = iota
+	mutationDropNewestDiff
+	mutationFaultPanic
+)
+
+var activeMutation atomic.Int32
+
+// InjectCoherenceMutation enables a named protocol defect and returns a
+// restore function that disables it again. Supported names:
+//
+//   - "drop-newest-diff": a Tmk read fault silently discards the
+//     highest-sequence diff it should have applied, so the faulting
+//     host computes on stale data. Deterministic — repeated runs agree
+//     with each other and only cross-protocol or reference comparison
+//     exposes the corruption.
+//   - "fault-panic": the first Tmk read fault panics, modelling an
+//     invariant-check firing mid-run.
+//
+// Only one mutation is active at a time; the hook is for sequential
+// test use (set, run scenarios, restore) and must not be toggled while
+// a simulation is in flight.
+func InjectCoherenceMutation(name string) (restore func(), err error) {
+	var code int32
+	switch name {
+	case "drop-newest-diff":
+		code = mutationDropNewestDiff
+	case "fault-panic":
+		code = mutationFaultPanic
+	default:
+		return nil, fmt.Errorf("dsm: unknown coherence mutation %q", name)
+	}
+	activeMutation.Store(code)
+	return func() { activeMutation.Store(mutationNone) }, nil
+}

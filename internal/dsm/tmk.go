@@ -55,6 +55,9 @@ func (t *tmkProtocol) storageLocked() int {
 // owner if the local copy is missing or too old for diff patching, then
 // fetch and apply the missing diffs writer by writer.
 func (t *tmkProtocol) fault(h *Host, pk pageKey, clk *simtime.Clock) {
+	if activeMutation.Load() == mutationFaultPanic {
+		panic(fmt.Sprintf("dsm: injected fault-panic mutation (host %d, page %d/%d)", h.id, pk.region, pk.page))
+	}
 	c := t.c
 	r, p := pk.region, pk.page
 	meta := c.dir.meta(r, p)
@@ -90,6 +93,13 @@ func (t *tmkProtocol) fault(h *Host, pk pageKey, clk *simtime.Clock) {
 		pending = append(pending, t.fetchDiffs(h, pk, w, applied, target, clk)...)
 	}
 	sort.Slice(pending, func(i, j int) bool { return pending[i].seq < pending[j].seq })
+	if activeMutation.Load() == mutationDropNewestDiff && len(pending) > 0 {
+		// Injected defect: silently skip the newest diff. appliedSeq
+		// still advances to target, so the staleness is never repaired —
+		// exactly the silent-wrong-result class a differential oracle
+		// must catch.
+		pending = pending[:len(pending)-1]
+	}
 
 	h.mu.Lock()
 	st = &h.pages[r][p]

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"testing"
 
+	"nowomp/internal/dsm"
 	"nowomp/internal/scenario"
 )
 
@@ -336,21 +337,36 @@ func TestDispatcherFIFOAndInflightCap(t *testing.T) {
 	}
 }
 
-// TestFailedJobPath: a spec that passes Normalize but fails at build
-// time surfaces as a failed job, and dedup waiters share the failure.
+// TestFailedJobPath: a spec that passes Normalize but whose simulation
+// dies mid-run surfaces as a failed job — the worker's panic barrier
+// keeps the service alive — and dedup waiters share the failure. The
+// mid-run death comes from the dsm package's injected fault-panic
+// mutation (the sharpest case: a panic, not an error return).
 func TestFailedJobPath(t *testing.T) {
+	restore, err := dsm.InjectCoherenceMutation("fault-panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restore()
+
 	srv := NewServer(Limits{Workers: 1})
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
-	// A schedule leaving host 0 (the master) is rejected by the adapt
-	// manager at submit time — inside the job run, after admission.
-	bad := scenario.Spec{Kernel: "jacobi", Scale: 0.03, Procs: 2, Hosts: 4,
-		Adaptive: true, Schedule: "0.01:leave:0"}
+	bad := scenario.Spec{Kernel: "jacobi", Scale: 0.03, Procs: 2, Hosts: 4}
 	v, resp := post(t, ts, "erin", bad, true)
 	if resp.StatusCode != http.StatusOK || v.State != "failed" || v.Error == "" {
 		t.Fatalf("want failed job, got %d %+v", resp.StatusCode, v)
+	}
+	if !strings.Contains(v.Error, "panicked") {
+		t.Errorf("failure should cite the recovered panic: %q", v.Error)
+	}
+	// The server survived: a healthy spec still runs to completion.
+	restore()
+	good, resp := post(t, ts, "erin", testSpec(), true)
+	if resp.StatusCode != http.StatusOK || good.State != "done" {
+		t.Fatalf("server did not survive the panic: %d %+v", resp.StatusCode, good)
 	}
 	if _, code := get(t, ts, "/v1/results/"+v.Hash); code != http.StatusNotFound {
 		t.Errorf("failed job cached a result: %d", code)

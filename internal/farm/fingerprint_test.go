@@ -1,0 +1,77 @@
+package farm
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// The farm extends the determinism contract over HTTP: the bytes
+// /v1/results serves for a spec are exactly the bytes an in-process
+// run encodes, whatever GOMAXPROCS the serving process runs under.
+// farmGmpFingerprint persists across -cpu reruns of the test binary,
+// so `go test -run FarmDeterminism -cpu 1,4,16` compares the served
+// bytes across GOMAXPROCS settings within one process — the same gate
+// the bench package runs for in-process results.
+var farmGmpFingerprint struct {
+	sync.Mutex
+	byKey map[string]string
+}
+
+func TestFarmDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	// Three catalogue entries spanning the axes: a verified baseline,
+	// the HLRC protocol, and an adaptive schedule.
+	cat := Catalogue(0.02)
+	specs := []int{0, 2, 11}
+
+	srv := NewServer(Limits{Workers: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var fp bytes.Buffer
+	for _, i := range specs {
+		spec := cat[i]
+		v, resp := post(t, ts, "fingerprint", spec, true)
+		if resp.StatusCode != 200 || v.State != "done" {
+			t.Fatalf("catalogue[%d]: status %d, state %q, error %q", i, resp.StatusCode, v.State, v.Error)
+		}
+		served, code := get(t, ts, v.ResultURL)
+		if code != 200 {
+			t.Fatalf("catalogue[%d]: result fetch status %d", i, code)
+		}
+
+		// The farm-served bytes must equal an in-process run's encoding.
+		res, err := spec.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		local, err := res.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(served, local) {
+			t.Errorf("catalogue[%d]: served result differs from in-process run:\nserved: %s\nlocal:  %s", i, served, local)
+		}
+		fp.Write(served)
+		fp.WriteByte('\n')
+	}
+
+	farmGmpFingerprint.Lock()
+	defer farmGmpFingerprint.Unlock()
+	if farmGmpFingerprint.byKey == nil {
+		farmGmpFingerprint.byKey = make(map[string]string)
+	}
+	prev, ok := farmGmpFingerprint.byKey["catalogue"]
+	if !ok {
+		farmGmpFingerprint.byKey["catalogue"] = fp.String()
+		t.Logf("GOMAXPROCS=%d recorded baseline farm fingerprint", runtime.GOMAXPROCS(0))
+		return
+	}
+	if fp.String() != prev {
+		t.Errorf("farm fingerprint diverged at GOMAXPROCS=%d:\nfirst run:\n%s\nthis run:\n%s",
+			runtime.GOMAXPROCS(0), prev, fp.String())
+	}
+}

@@ -173,7 +173,10 @@ func (s *Server) worker() {
 		s.busy++
 		s.mu.Unlock()
 
-		res, err := j.Spec.Run()
+		// RunChecked keeps a poisoned scenario from unwinding the worker:
+		// a panicking simulation becomes one failed job, not a dead
+		// service.
+		res, err := j.Spec.RunChecked()
 		var body []byte
 		if err == nil {
 			body, err = res.Encode()

@@ -2,12 +2,22 @@ package machine
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
 	"nowomp/internal/simnet"
 	"nowomp/internal/simtime"
 )
+
+// finite reports whether f is a usable numeric value. ParseFloat
+// happily accepts "NaN" and "Inf", but a NaN speed or load poisons
+// every virtual-time comparison downstream (NaN compares false with
+// everything, so the engine's wake ordering — and with it determinism —
+// silently breaks), so the parsers reject non-finite values outright.
+func finite(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}
 
 // ParseSpeeds parses a compact per-machine speed spec of the form
 //
@@ -33,8 +43,8 @@ func ParseSpeeds(m *Model, spec string) error {
 			return fmt.Errorf("machine: speed %q: machine %q not in [0,%d)", item, id, m.Machines())
 		}
 		f, err := strconv.ParseFloat(val, 64)
-		if err != nil || f <= 0 {
-			return fmt.Errorf("machine: speed %q: factor %q must be a positive number", item, val)
+		if err != nil || f <= 0 || !finite(f) {
+			return fmt.Errorf("machine: speed %q: factor %q must be a positive finite number", item, val)
 		}
 		m.SetSpeed(simnet.MachineID(mid), f)
 	}
@@ -88,12 +98,12 @@ func ParseLoads(m *Model, spec string) error {
 				return fmt.Errorf("machine: load %q: step %q: want LOAD@TIME", entry, sp)
 			}
 			lv, err := strconv.ParseFloat(load, 64)
-			if err != nil || lv < 0 {
-				return fmt.Errorf("machine: load %q: step %q: load %q must be a non-negative number", entry, sp, load)
+			if err != nil || lv < 0 || !finite(lv) {
+				return fmt.Errorf("machine: load %q: step %q: load %q must be a non-negative finite number", entry, sp, load)
 			}
 			tv, err := strconv.ParseFloat(at, 64)
-			if err != nil || tv < 0 {
-				return fmt.Errorf("machine: load %q: step %q: time %q must be a non-negative number", entry, sp, at)
+			if err != nil || tv < 0 || !finite(tv) {
+				return fmt.Errorf("machine: load %q: step %q: time %q must be a non-negative finite number", entry, sp, at)
 			}
 			steps = append(steps, Step{At: simtime.Seconds(tv), Load: lv})
 		}
@@ -174,8 +184,8 @@ func ParseLinks(f *simnet.Fabric, spec string) error {
 				return fmt.Errorf("machine: link %q: option %q: want lat:F or bw:F", entry, kv)
 			}
 			fv, err := strconv.ParseFloat(val, 64)
-			if err != nil || fv <= 0 {
-				return fmt.Errorf("machine: link %q: option %q: factor must be a positive number", entry, kv)
+			if err != nil || fv <= 0 || !finite(fv) {
+				return fmt.Errorf("machine: link %q: option %q: factor must be a positive finite number", entry, kv)
 			}
 			switch key {
 			case "lat":

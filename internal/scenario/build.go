@@ -182,6 +182,23 @@ func (r Result) Encode() ([]byte, error) {
 	return append(data, '\n'), nil
 }
 
+// RunChecked is Run behind a panic barrier: a panic anywhere in the
+// simulation — a word-race check firing, the engine's deadlock
+// diagnostic, a protocol invariant violation — comes back as an error
+// instead of unwinding the caller. The farm's workers run jobs through
+// it so one poisoned scenario fails one job rather than the whole
+// service, and the fuzzer's oracles use it to turn "no panics on
+// race-free kernels" into a checkable verdict. The runtime behind a
+// recovered panic is abandoned, never reused.
+func (s Spec) RunChecked() (res Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("scenario: run panicked: %v", v)
+		}
+	}()
+	return s.Run()
+}
+
 // Run executes the scenario end to end: normalize, build, run the
 // kernel, verify if asked, and assemble the Result. The engine makes
 // the outcome a pure function of the spec, so concurrent Runs of

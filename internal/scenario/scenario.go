@@ -23,6 +23,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math"
 
 	"nowomp/internal/adapt"
 	"nowomp/internal/apps"
@@ -75,6 +76,14 @@ const (
 	DefaultScale = 0.2
 )
 
+// MaxHosts caps the workstation pool a single scenario may request.
+// The fabric keeps per-link state (O(hosts²)) and the paper's NOW is a
+// few dozen workstations, so an absurd pool size is a malformed
+// request, not a bigger simulation — important for the farm (an
+// unauthenticated POST must not allocate unbounded state) and for the
+// fuzzer (every accepted spec must be cheap enough to run).
+const MaxHosts = 64
+
 // Normalize validates the spec and returns its canonical form:
 // defaults explicit, every sub-spec string re-formatted through its
 // Parse/Format round trip (so field order and whitespace inside the
@@ -90,7 +99,7 @@ func (s Spec) Normalize() (Spec, error) {
 	if s.Scale == 0 {
 		s.Scale = DefaultScale
 	}
-	if s.Scale <= 0 || s.Scale > 4 {
+	if !(s.Scale > 0 && s.Scale <= 4) { // NaN fails both comparisons
 		return Spec{}, fmt.Errorf("scenario: scale %g out of range (0, 4]", s.Scale)
 	}
 	if s.Procs == 0 {
@@ -105,11 +114,14 @@ func (s Spec) Normalize() (Spec, error) {
 	if s.Hosts < s.Procs {
 		return Spec{}, fmt.Errorf("scenario: hosts %d must cover the team of %d", s.Hosts, s.Procs)
 	}
+	if s.Hosts > MaxHosts {
+		return Spec{}, fmt.Errorf("scenario: hosts %d exceeds the pool cap %d", s.Hosts, MaxHosts)
+	}
 	if s.Grace == 0 {
 		s.Grace = float64(adapt.DefaultGrace)
 	}
-	if s.Grace < 0 {
-		return Spec{}, fmt.Errorf("scenario: grace %g must be non-negative", s.Grace)
+	if !(s.Grace >= 0) || math.IsInf(s.Grace, 0) { // NaN fails the comparison
+		return Spec{}, fmt.Errorf("scenario: grace %g must be a non-negative finite number", s.Grace)
 	}
 	proto, err := dsm.ParseProtocol(s.Protocol)
 	if err != nil {
@@ -157,6 +169,18 @@ func (s Spec) Normalize() (Spec, error) {
 		}
 		if !s.Adaptive {
 			return Spec{}, fmt.Errorf("scenario: a schedule requires adaptive")
+		}
+		// Validate every event against this scenario's pool: the adapt
+		// manager trusts event hosts (a join of a host outside the pool
+		// would panic mid-run), so the spec layer is where a bad host id
+		// must be rejected with a stable error.
+		for _, ev := range events {
+			if int(ev.Host) >= s.Hosts {
+				return Spec{}, fmt.Errorf("scenario: schedule event host %d not in pool [0,%d)", ev.Host, s.Hosts)
+			}
+			if ev.Kind == adapt.KindLeave && ev.Host == 0 {
+				return Spec{}, fmt.Errorf("scenario: schedule cannot leave host 0 (the master)")
+			}
 		}
 		s.Schedule = adapt.FormatSchedule(events)
 	}

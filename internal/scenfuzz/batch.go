@@ -1,0 +1,103 @@
+package scenfuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"nowomp/internal/scenario"
+)
+
+// Batch mode: generate -count specs from -seed, run each under the
+// oracle battery, shrink every failure, and report. The report is a
+// pure function of (seed, count): same seed, same specs, same
+// verdicts, same minimal reproducers — which is what lets CI diff two
+// runs as a determinism gate.
+
+// BatchOptions configures one batch run.
+type BatchOptions struct {
+	// Seed seeds the generator (default 1999).
+	Seed int64
+	// Count is how many specs to generate and check (default 25).
+	Count int
+	// ShrinkBudget caps the shrink cost per failure
+	// (DefaultShrinkBudget when zero); negative disables shrinking.
+	ShrinkBudget int
+	// Progress receives one line per spec (nil = silent). Progress
+	// lines carry no wall-clock timing, keeping the stream
+	// byte-deterministic.
+	Progress io.Writer
+}
+
+// Failure is one oracle rejection with its minimal reproducer.
+type Failure struct {
+	Index  int           `json:"index"`
+	Spec   scenario.Spec `json:"spec"`
+	Hash   string        `json:"hash"`
+	Oracle string        `json:"oracle"`
+	Detail string        `json:"detail"`
+	// Minimal is the shrunk spec, MinimalHash its content address and
+	// ShrinkSteps how many reductions the shrinker accepted. When
+	// shrinking is disabled Minimal equals Spec.
+	Minimal     scenario.Spec `json:"minimal"`
+	MinimalHash string        `json:"minimal_hash"`
+	ShrinkSteps int           `json:"shrink_steps"`
+}
+
+// Report is a batch run's outcome.
+type Report struct {
+	Seed     int64     `json:"seed"`
+	Count    int       `json:"count"`
+	Passed   int       `json:"passed"`
+	Failures []Failure `json:"failures"`
+}
+
+func (o BatchOptions) withDefaults() BatchOptions {
+	if o.Seed == 0 {
+		o.Seed = 1999
+	}
+	if o.Count <= 0 {
+		o.Count = 25
+	}
+	return o
+}
+
+// Batch runs the deterministic batch harness.
+func Batch(opt BatchOptions) Report {
+	opt = opt.withDefaults()
+	g := NewGen(opt.Seed)
+	rep := Report{Seed: opt.Seed, Count: opt.Count}
+	logf := func(format string, args ...any) {
+		if opt.Progress != nil {
+			fmt.Fprintf(opt.Progress, format+"\n", args...)
+		}
+	}
+	for i := 0; i < opt.Count; i++ {
+		spec := g.Spec()
+		v := Check(spec)
+		if !v.Failed() {
+			rep.Passed++
+			logf("spec %3d pass %s %s/%dp/%dh scale %g", i, short(v.Hash), v.Spec.Kernel, v.Spec.Procs, v.Spec.Hosts, v.Spec.Scale)
+			continue
+		}
+		f := Failure{Index: i, Spec: v.Spec, Hash: v.Hash, Oracle: v.Oracle, Detail: v.Detail,
+			Minimal: v.Spec, MinimalHash: v.Hash}
+		logf("spec %3d FAIL %s oracle=%s %s", i, short(v.Hash), v.Oracle, v.Detail)
+		if opt.ShrinkBudget >= 0 {
+			sh := Shrink(v, opt.ShrinkBudget)
+			f.Minimal, f.MinimalHash, f.ShrinkSteps = sh.Spec, sh.Hash, sh.Steps
+			if min, err := json.Marshal(sh.Spec); err == nil {
+				logf("         shrunk in %d steps to %s %s", sh.Steps, short(sh.Hash), min)
+			}
+		}
+		rep.Failures = append(rep.Failures, f)
+	}
+	return rep
+}
+
+func short(hash string) string {
+	if len(hash) > 12 {
+		return hash[:12]
+	}
+	return hash
+}

@@ -1,0 +1,73 @@
+package scenfuzz
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nowomp/internal/scenario"
+)
+
+// fuzzMaxScale / fuzzMaxHosts bound what the native fuzz target will
+// simulate: arbitrary mutated inputs may describe arbitrarily large
+// (but valid) scenarios, and the fuzz loop needs every accepted run to
+// finish in tens of milliseconds. Specs beyond the bound still went
+// through Decode and Normalize, so the parse/canonicalize surface is
+// fuzzed at full width even when the simulation is skipped.
+const (
+	fuzzMaxScale = 0.1
+	fuzzMaxHosts = 12
+)
+
+// corpusSpecs reads every committed corpus entry (canonical spec JSON).
+func corpusSpecs(t testing.TB) map[string][]byte {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no corpus entries under testdata/corpus")
+	}
+	out := make(map[string][]byte, len(files))
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[filepath.Base(f)] = data
+	}
+	return out
+}
+
+// FuzzScenario is the native fuzz face of the harness: a corpus entry
+// is the canonical JSON of a scenario spec. Any input that decodes and
+// normalizes into a small-enough scenario runs the full differential
+// oracle battery; a failure is shrunk before reporting so the crash
+// artifact already names the minimal reproducer.
+func FuzzScenario(f *testing.F) {
+	for _, data := range corpusSpecs(f) {
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := scenario.Decode(data)
+		if err != nil {
+			return // malformed JSON or unknown fields: rejected is fine
+		}
+		norm, err := s.Normalize()
+		if err != nil {
+			return // invalid spec: rejected is fine
+		}
+		if norm.Scale > fuzzMaxScale || norm.Hosts > fuzzMaxHosts {
+			return // valid but too expensive for the fuzz loop
+		}
+		v := Check(norm)
+		if v.Failed() {
+			sh := Shrink(v, 0)
+			min, _ := json.Marshal(sh.Spec)
+			t.Fatalf("oracle %s rejected scenario %s\ndetail: %s\nminimal reproducer (hash %s): %s",
+				v.Oracle, v.Hash, v.Detail, sh.Hash, min)
+		}
+	})
+}

@@ -1,0 +1,185 @@
+package scenfuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"nowomp/internal/scenario"
+)
+
+// Gen is the seeded scenario generator. Every draw comes from one
+// rand.Rand, so a seed fully determines the spec sequence — the batch
+// mode's reproducibility contract. Specs are valid by construction
+// (Normalize must accept every generated spec; a rejection is a
+// generator bug the harness reports as such) and sized so one oracle
+// battery stays in the tens-of-milliseconds range.
+type Gen struct {
+	rng *rand.Rand
+}
+
+// NewGen returns a generator seeded with seed.
+func NewGen(seed int64) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed))}
+}
+
+// kernels lists every runnable kernel with the scale grid the
+// generator samples for it. The grids keep the cost of one run small
+// and give the shrinker a ladder to descend.
+var kernels = []struct {
+	name   string
+	scales []float64
+}{
+	{"jacobi", []float64{0.02, 0.03, 0.05, 0.08}},
+	{"gauss", []float64{0.02, 0.03, 0.05, 0.08}},
+	{"fft3d", []float64{0.02, 0.03, 0.05}},
+	{"nbf", []float64{0.02, 0.03, 0.05}},
+	{"mergesort", []float64{0.02, 0.04, 0.06}},
+	{"quadrature", []float64{0.02, 0.04, 0.06}},
+}
+
+func (g *Gen) pickF(vals []float64) float64 { return vals[g.rng.Intn(len(vals))] }
+func (g *Gen) chance(n int) bool            { return g.rng.Intn(n) == 0 }
+
+// distinctIDs draws k distinct machine ids from [lo, hosts), ascending.
+func (g *Gen) distinctIDs(k, lo, hosts int) []int {
+	if hosts-lo <= 0 {
+		return nil
+	}
+	seen := map[int]bool{}
+	for len(seen) < k && len(seen) < hosts-lo {
+		seen[lo+g.rng.Intn(hosts-lo)] = true
+	}
+	ids := make([]int, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// machinesSpec draws a per-machine speed spec.
+func (g *Gen) machinesSpec(hosts int) string {
+	speeds := []float64{0.25, 0.5, 2, 4}
+	var parts []string
+	for _, id := range g.distinctIDs(1+g.rng.Intn(3), 0, hosts) {
+		parts = append(parts, fmt.Sprintf("%d=%s", id, ftoa(g.pickF(speeds))))
+	}
+	return strings.Join(parts, ",")
+}
+
+// loadsSpec draws piecewise-constant load traces for one or two
+// machines: strictly ascending step times, loads spanning idle to
+// heavily shared.
+func (g *Gen) loadsSpec(hosts int) string {
+	loads := []float64{0, 0.5, 1, 2, 3}
+	starts := []float64{0, 0.02, 0.05, 0.1}
+	incs := []float64{0.05, 0.1, 0.25, 0.5}
+	var entries []string
+	for _, id := range g.distinctIDs(1+g.rng.Intn(2), 0, hosts) {
+		t := g.pickF(starts)
+		var steps []string
+		for n := 1 + g.rng.Intn(3); n > 0; n-- {
+			steps = append(steps, fmt.Sprintf("%s@%s", ftoa(g.pickF(loads)), ftoa(t)))
+			t += g.pickF(incs)
+		}
+		entries = append(entries, fmt.Sprintf("%d=%s", id, strings.Join(steps, ",")))
+	}
+	return strings.Join(entries, ";")
+}
+
+// linksSpec draws one or two non-default duplex link overrides.
+func (g *Gen) linksSpec(hosts int) string {
+	if hosts < 2 {
+		return ""
+	}
+	lats := []float64{2, 4, 8}
+	bws := []float64{0.25, 0.5, 1}
+	var entries []string
+	for n := 1 + g.rng.Intn(2); n > 0; n-- {
+		a := g.rng.Intn(hosts - 1)
+		b := a + 1 + g.rng.Intn(hosts-a-1)
+		entries = append(entries, fmt.Sprintf("%d-%d=lat:%s,bw:%s",
+			a, b, ftoa(g.pickF(lats)), ftoa(g.pickF(bws))))
+	}
+	return strings.Join(entries, ";")
+}
+
+// scheduleSpec draws one to three join/leave events over the non-master
+// hosts, with an occasional per-leave grace override.
+func (g *Gen) scheduleSpec(hosts int) string {
+	if hosts < 2 {
+		return ""
+	}
+	times := []float64{0.02, 0.05, 0.1, 0.2, 0.4}
+	var events []string
+	for n := 1 + g.rng.Intn(3); n > 0; n-- {
+		host := 1 + g.rng.Intn(hosts-1)
+		kind := "leave"
+		if g.chance(2) {
+			kind = "join"
+		}
+		ev := fmt.Sprintf("%s:%s:%d", ftoa(g.pickF(times)), kind, host)
+		if kind == "leave" && g.chance(4) {
+			ev += ":grace=" + ftoa(g.pickF([]float64{0.5, 1}))
+		}
+		events = append(events, ev)
+	}
+	return strings.Join(events, ",")
+}
+
+// policySpec draws a load policy; the value sets guarantee low < high.
+func (g *Gen) policySpec() string {
+	s := fmt.Sprintf("high=%s,low=%s",
+		ftoa(g.pickF([]float64{1, 1.5, 2})), ftoa(g.pickF([]float64{0, 0.25, 0.5})))
+	if g.chance(2) {
+		s += ",dwell=" + ftoa(g.pickF([]float64{0.1, 0.5, 1}))
+	}
+	return s
+}
+
+// Spec draws one random valid scenario.
+func (g *Gen) Spec() scenario.Spec {
+	k := kernels[g.rng.Intn(len(kernels))]
+	procs := 1 + g.rng.Intn(5)
+	hosts := procs + g.rng.Intn(4)
+
+	s := scenario.Spec{
+		Kernel: k.name,
+		Scale:  g.pickF(k.scales),
+		Procs:  procs,
+		Hosts:  hosts,
+		Verify: g.chance(3),
+	}
+	if g.chance(2) {
+		s.Protocol = "hlrc"
+	} else {
+		s.Protocol = "tmk"
+	}
+	if g.chance(2) {
+		s.Machines = g.machinesSpec(hosts)
+	}
+	if g.chance(2) {
+		s.Loads = g.loadsSpec(hosts)
+	}
+	if g.chance(3) {
+		s.Links = g.linksSpec(hosts)
+	}
+	if hosts >= 2 && g.chance(2) {
+		s.Adaptive = true
+		if !g.chance(3) {
+			s.Schedule = g.scheduleSpec(hosts)
+		}
+		if s.Loads != "" && g.chance(2) {
+			s.Policy = g.policySpec()
+		}
+		if g.chance(3) {
+			s.Grace = g.pickF([]float64{0.5, 1.5})
+		}
+	}
+	return s
+}

@@ -1,0 +1,99 @@
+package scenfuzz
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"nowomp/internal/scenario"
+)
+
+// TestCorpusReplay replays every committed corpus entry through the
+// full oracle battery as an ordinary deterministic regression test —
+// the corpus is useful under plain `go test`, not only under -fuzz.
+func TestCorpusReplay(t *testing.T) {
+	for name, data := range corpusSpecs(t) {
+		t.Run(name, func(t *testing.T) {
+			s, err := scenario.Decode(data)
+			if err != nil {
+				t.Fatalf("corpus entry does not decode: %v", err)
+			}
+			v := Check(s)
+			if v.Failed() {
+				t.Fatalf("oracle %s rejected committed corpus spec: %s", v.Oracle, v.Detail)
+			}
+			// Corpus entries are stored canonical: re-encoding must
+			// reproduce the committed bytes exactly.
+			canon, err := s.Canonical()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(canon, data) {
+				t.Fatalf("corpus entry is not in canonical form:\n  committed: %s\n  canonical: %s", data, canon)
+			}
+		})
+	}
+}
+
+// TestGeneratorValidAndDiverse checks the generator's two contracts:
+// every spec normalizes (valid by construction) and the stream covers
+// the interesting axes — kernels, both protocols, heterogeneity,
+// adaptivity. No simulations run here; this is cheap.
+func TestGeneratorValidAndDiverse(t *testing.T) {
+	g := NewGen(3)
+	kernelsSeen := map[string]bool{}
+	protocols := map[string]bool{}
+	var adaptive, hetero, multiProc int
+	const n = 200
+	for i := 0; i < n; i++ {
+		s := g.Spec()
+		if _, err := s.Normalize(); err != nil {
+			t.Fatalf("generated spec %d does not normalize: %v\nspec: %+v", i, err, s)
+		}
+		kernelsSeen[s.Kernel] = true
+		protocols[s.Protocol] = true
+		if s.Adaptive {
+			adaptive++
+		}
+		if s.Machines != "" || s.Loads != "" || s.Links != "" {
+			hetero++
+		}
+		if s.Procs > 1 {
+			multiProc++
+		}
+	}
+	if len(kernelsSeen) < len(kernels) {
+		t.Errorf("only %d of %d kernels drawn in %d specs: %v", len(kernelsSeen), len(kernels), n, kernelsSeen)
+	}
+	if !protocols["tmk"] || !protocols["hlrc"] {
+		t.Errorf("protocol coverage incomplete: %v", protocols)
+	}
+	if adaptive == 0 || hetero == 0 {
+		t.Errorf("no adaptive (%d) or heterogeneous (%d) specs in %d draws", adaptive, hetero, n)
+	}
+	if multiProc < n/2 {
+		t.Errorf("only %d/%d specs are multi-process", multiProc, n)
+	}
+}
+
+// TestBatchDeterministic runs the batch harness twice with the same
+// seed and demands identical reports and identical progress bytes —
+// the contract the CLI's CI determinism gate diffs for.
+func TestBatchDeterministic(t *testing.T) {
+	run := func() (Report, []byte) {
+		var buf bytes.Buffer
+		rep := Batch(BatchOptions{Seed: 5, Count: 4, Progress: &buf})
+		return rep, buf.Bytes()
+	}
+	rep1, out1 := run()
+	rep2, out2 := run()
+	if !reflect.DeepEqual(rep1, rep2) {
+		t.Errorf("same seed, different reports:\n  first:  %+v\n  second: %+v", rep1, rep2)
+	}
+	if !bytes.Equal(out1, out2) {
+		t.Errorf("same seed, different progress output:\n  first:\n%s\n  second:\n%s", out1, out2)
+	}
+	if rep1.Count != 4 || rep1.Passed+len(rep1.Failures) != 4 {
+		t.Errorf("report does not account for every spec: %+v", rep1)
+	}
+}

@@ -1,0 +1,152 @@
+package scenfuzz
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nowomp/internal/dsm"
+	"nowomp/internal/scenario"
+)
+
+// Self-test: the oracles exist to catch coherence bugs, so prove they
+// do. A test-only mutation hook in the dsm package breaks the Tmk
+// protocol in controlled ways; the battery must detect the breakage on
+// generated scenarios and the shrinker must reduce the failure to a
+// minimal spec — two hosts, no traces, no schedule.
+
+var update = flag.Bool("update", false, "rewrite testdata/crashers from a live shrink")
+
+const crasherFile = "drop-newest-diff.json"
+
+// findMutationFailure generates specs from a fixed seed until the
+// battery rejects one. The mutation is deterministic, so the first
+// failing index is stable for a given seed.
+func findMutationFailure(t *testing.T) Verdict {
+	t.Helper()
+	g := NewGen(11)
+	for i := 0; i < 30; i++ {
+		v := Check(g.Spec())
+		if v.Failed() {
+			t.Logf("spec %d caught by oracle %s: %s", i, v.Oracle, v.Detail)
+			return v
+		}
+	}
+	t.Fatal("injected drop-newest-diff mutation escaped 30 generated scenarios")
+	return Verdict{}
+}
+
+func TestInjectedMutationCaughtAndShrunk(t *testing.T) {
+	restore, err := dsm.InjectCoherenceMutation("drop-newest-diff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restore()
+
+	v := findMutationFailure(t)
+	switch v.Oracle {
+	case OracleReference, OracleCrossProtocol, OracleTransparency, OracleDeterminism:
+	default:
+		t.Fatalf("expected a differential oracle, got %s: %s", v.Oracle, v.Detail)
+	}
+
+	sh := Shrink(v, 0)
+	t.Logf("shrunk in %d steps (%d attempts) to %+v", sh.Steps, sh.Attempts, sh.Spec)
+	min := sh.Spec
+	if min.Hosts > 2 {
+		t.Errorf("minimal spec keeps %d hosts, want <= 2", min.Hosts)
+	}
+	if min.Machines != "" || min.Loads != "" || min.Links != "" {
+		t.Errorf("minimal spec keeps machine traces: machines=%q loads=%q links=%q", min.Machines, min.Loads, min.Links)
+	}
+	if min.Schedule != "" || min.Policy != "" {
+		t.Errorf("minimal spec keeps adapt inputs: schedule=%q policy=%q", min.Schedule, min.Policy)
+	}
+	if got := Check(min); got.Oracle != v.Oracle {
+		t.Fatalf("minimal spec fails oracle %q, original failed %q", got.Oracle, v.Oracle)
+	}
+
+	if *update {
+		canon, err := min.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := filepath.Join("testdata", "crashers")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, crasherFile), canon, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated testdata/crashers/%s", crasherFile)
+	}
+
+	// Transparency of the hook itself: with the mutation restored the
+	// minimal spec must pass the whole battery.
+	restore()
+	if got := Check(min); got.Failed() {
+		t.Fatalf("minimal spec still fails after restore: %s %s", got.Oracle, got.Detail)
+	}
+}
+
+// TestCommittedCrasherReplay replays the committed minimal reproducer:
+// healthy code passes it, the mutation is caught by it. This is the
+// regression face of the self-test — if a refactor ever makes the
+// oracles blind to this bug class, this test fails without needing the
+// generator at all.
+func TestCommittedCrasherReplay(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "crashers", crasherFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := scenario.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := Check(spec); v.Failed() {
+		t.Fatalf("committed crasher fails on healthy code: %s %s", v.Oracle, v.Detail)
+	}
+	restore, err := dsm.InjectCoherenceMutation("drop-newest-diff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restore()
+	if v := Check(spec); !v.Failed() {
+		t.Fatal("drop-newest-diff mutation escaped the committed crasher spec")
+	}
+}
+
+// TestPanicOracle checks the crash face: a protocol that panics
+// mid-run must surface as a panic verdict (not kill the process) and
+// shrink to a minimal multi-host spec.
+func TestPanicOracle(t *testing.T) {
+	restore, err := dsm.InjectCoherenceMutation("fault-panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restore()
+
+	spec := scenario.Spec{Kernel: "gauss", Scale: 0.03, Procs: 3, Hosts: 4, Protocol: "tmk"}
+	v := Check(spec)
+	if v.Oracle != OraclePanic {
+		t.Fatalf("oracle = %q (%s), want %q", v.Oracle, v.Detail, OraclePanic)
+	}
+	if !strings.Contains(v.Detail, "injected fault-panic") {
+		t.Errorf("detail %q does not name the injected fault", v.Detail)
+	}
+	sh := Shrink(v, 60)
+	if sh.Spec.Hosts > 2 || sh.Spec.Procs > 2 {
+		t.Errorf("minimal panic spec is %dp/%dh, want <= 2p/2h", sh.Spec.Procs, sh.Spec.Hosts)
+	}
+}
+
+// TestInjectMutationValidation pins the hook's error path: unknown
+// mutation names must be rejected so a typo in a test cannot silently
+// run with a healthy protocol.
+func TestInjectMutationValidation(t *testing.T) {
+	if _, err := dsm.InjectCoherenceMutation("no-such-mutation"); err == nil {
+		t.Fatal("unknown mutation name was accepted")
+	}
+}

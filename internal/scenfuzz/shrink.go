@@ -1,0 +1,186 @@
+package scenfuzz
+
+import (
+	"strings"
+
+	"nowomp/internal/adapt"
+	"nowomp/internal/scenario"
+)
+
+// Delta-debugging shrinker: given a failing verdict, greedily apply
+// the first candidate reduction that still fails the same oracle, and
+// repeat until no reduction survives (or the check budget runs out).
+// Reductions are ordered cheapest-win first — shrink the scale, drop
+// processes and hosts, strip adapt events, flatten traces, revert
+// fields to defaults — so the minimal reproducer is also the fastest
+// to re-run as a committed regression.
+
+// DefaultShrinkBudget bounds the oracle batteries one shrink may spend.
+const DefaultShrinkBudget = 200
+
+// ShrinkResult is the minimal reproducer the shrinker reached.
+type ShrinkResult struct {
+	Spec scenario.Spec
+	Hash string
+	// Attempts counts the oracle batteries spent, Steps the accepted
+	// reductions.
+	Attempts int
+	Steps    int
+}
+
+// shrinkScales is the scale ladder, smallest first.
+var shrinkScales = []float64{0.01, 0.02, 0.03, 0.05}
+
+// candidates proposes one-step reductions of s, most valuable first.
+// Every candidate is structurally valid (the caller still filters
+// through Normalize before running it).
+func candidates(s scenario.Spec) []scenario.Spec {
+	var out []scenario.Spec
+	try := func(mut func(*scenario.Spec)) {
+		c := s
+		mut(&c)
+		out = append(out, c)
+	}
+
+	for _, sc := range shrinkScales {
+		if sc < s.Scale {
+			try(func(c *scenario.Spec) { c.Scale = sc })
+		}
+	}
+	if s.Kernel != "jacobi" {
+		try(func(c *scenario.Spec) { c.Kernel = "jacobi" })
+	}
+	for p := 1; p < s.Procs; p++ {
+		p := p
+		try(func(c *scenario.Spec) { c.Procs = p })
+	}
+	for h := s.Procs; h < s.Hosts; h++ {
+		h := h
+		try(func(c *scenario.Spec) { c.Hosts = h })
+	}
+	if s.Schedule != "" {
+		try(func(c *scenario.Spec) { c.Schedule = "" })
+		if events, err := adapt.ParseSchedule(s.Schedule); err == nil && len(events) > 1 {
+			for i := range events {
+				rest := make([]adapt.Event, 0, len(events)-1)
+				rest = append(rest, events[:i]...)
+				rest = append(rest, events[i+1:]...)
+				sched := adapt.FormatSchedule(rest)
+				try(func(c *scenario.Spec) { c.Schedule = sched })
+			}
+		}
+	}
+	if s.Policy != "" {
+		try(func(c *scenario.Spec) { c.Policy = "" })
+	}
+	if s.Loads != "" && s.Policy == "" {
+		try(func(c *scenario.Spec) { c.Loads = "" })
+	}
+	for _, c := range dropListItems(s.Loads, ";") {
+		if c != "" || s.Policy == "" {
+			c := c
+			try(func(cc *scenario.Spec) { cc.Loads = c })
+		}
+	}
+	// Flatten traces: truncate each machine's trace to its first step.
+	if s.Loads != "" {
+		entries := strings.Split(s.Loads, ";")
+		for i, e := range entries {
+			id, steps, ok := strings.Cut(e, "=")
+			if !ok || !strings.Contains(steps, ",") {
+				continue
+			}
+			flat := append([]string(nil), entries...)
+			flat[i] = id + "=" + steps[:strings.Index(steps, ",")]
+			spec := strings.Join(flat, ";")
+			try(func(c *scenario.Spec) { c.Loads = spec })
+		}
+	}
+	if s.Machines != "" {
+		try(func(c *scenario.Spec) { c.Machines = "" })
+		for _, c := range dropListItems(s.Machines, ",") {
+			c := c
+			try(func(cc *scenario.Spec) { cc.Machines = c })
+		}
+	}
+	if s.Links != "" {
+		try(func(c *scenario.Spec) { c.Links = "" })
+		for _, c := range dropListItems(s.Links, ";") {
+			c := c
+			try(func(cc *scenario.Spec) { cc.Links = c })
+		}
+	}
+	if s.Adaptive && s.Schedule == "" && s.Policy == "" {
+		try(func(c *scenario.Spec) { c.Adaptive = false })
+	}
+	if s.Grace != 0 && s.Grace != 3 {
+		try(func(c *scenario.Spec) { c.Grace = 0 })
+	}
+	if s.Verify {
+		try(func(c *scenario.Spec) { c.Verify = false })
+	}
+	if s.Protocol != "tmk" && s.Protocol != "" {
+		try(func(c *scenario.Spec) { c.Protocol = "tmk" })
+	}
+	return out
+}
+
+// dropListItems returns sep-joined copies of list each missing one
+// item (only when the list has two or more).
+func dropListItems(list, sep string) []string {
+	if list == "" {
+		return nil
+	}
+	items := strings.Split(list, sep)
+	if len(items) < 2 {
+		return nil
+	}
+	out := make([]string, 0, len(items))
+	for i := range items {
+		rest := make([]string, 0, len(items)-1)
+		rest = append(rest, items[:i]...)
+		rest = append(rest, items[i+1:]...)
+		out = append(out, strings.Join(rest, sep))
+	}
+	return out
+}
+
+// Shrink reduces a failing verdict's spec to a minimal spec that still
+// fails the same oracle. budget caps the oracle batteries spent
+// (DefaultShrinkBudget when zero). The result carries the minimal
+// spec's content hash, ready to commit as a testdata regression.
+func Shrink(v Verdict, budget int) ShrinkResult {
+	if budget <= 0 {
+		budget = DefaultShrinkBudget
+	}
+	cur := v.Spec
+	res := ShrinkResult{}
+	for res.Attempts < budget {
+		accepted := false
+		for _, cand := range candidates(cur) {
+			norm, err := cand.Normalize()
+			if err != nil {
+				continue // constraint violated (e.g. event host out of pool)
+			}
+			if res.Attempts >= budget {
+				break
+			}
+			res.Attempts++
+			if Check(norm).Oracle == v.Oracle {
+				cur = norm
+				res.Steps++
+				accepted = true
+				break
+			}
+		}
+		if !accepted {
+			break
+		}
+	}
+	if norm, err := cur.Normalize(); err == nil {
+		cur = norm
+	}
+	res.Spec = cur
+	res.Hash, _ = cur.Hash()
+	return res
+}
