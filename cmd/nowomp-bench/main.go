@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -47,6 +48,8 @@ func main() {
 		pairs    = flag.Int("pairs", 3, "leave/join pairs per Table 2 run")
 		jsonPath = flag.String("json", "", "write a machine-readable BENCH_*.json report to this path")
 		parallel = flag.Int("parallel", 1, "worker-pool size for independent scenario cells (0 = GOMAXPROCS); results are byte-identical at any level")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this path")
+		memProf  = flag.String("memprofile", "", "write a pprof allocation profile taken at exit to this path")
 	)
 	flag.Float64Var(&spec.Scale, "scale", spec.Scale, "problem scale (1.0 = the paper's sizes; some experiments enforce larger floors)")
 	flag.IntVar(&spec.Hosts, "hosts", spec.Hosts, "workstation pool size")
@@ -63,10 +66,59 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nowomp-bench:", err)
 		os.Exit(1)
 	}
-	if err := run(*exp, opt, *jsonPath); err != nil {
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "nowomp-bench:", err)
 		os.Exit(1)
 	}
+	if err := run(*exp, opt, *jsonPath); err != nil {
+		stopProf()
+		fmt.Fprintln(os.Stderr, "nowomp-bench:", err)
+		os.Exit(1)
+	}
+	stopProf()
+}
+
+// startProfiles wires the optional pprof outputs: the CPU profile spans
+// the whole run, the allocation profile is an at-exit snapshot (taken
+// after a final GC so live objects are accurate). The returned stop
+// function is idempotent.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	stopped := false
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			fmt.Printf("[cpu profile written to %s]\n", cpuPath)
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "nowomp-bench: -memprofile:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "nowomp-bench: -memprofile:", err)
+			}
+			f.Close()
+			fmt.Printf("[mem profile written to %s]\n", memPath)
+		}
+	}, nil
 }
 
 // options folds the scenario spec into the bench options: speeds and

@@ -122,52 +122,42 @@ func (c *Cluster) NormalLeave(leaver HostID, strategy LeaveStrategy) (TransferRe
 // valid-and-current or absent.
 func (c *Cluster) handoffPage(r RegionID, p int, pm *pageMeta, leaver, dest HostID) bool {
 	d := c.Host(dest)
-	d.mu.Lock()
 	dst := &d.pages[r][p]
 	if dst.valid {
-		d.mu.Unlock()
 		return false // destination already current; just flip ownership
 	}
-	d.mu.Unlock()
 
 	src := c.Host(leaver)
-	src.mu.Lock()
 	sst := &src.pages[r][p]
 	if sst.data == nil {
-		src.mu.Unlock()
 		panic(fmt.Sprintf("dsm: leave: owner %d of page %d/%d holds no copy", leaver, r, p))
 	}
-	data := make([]byte, page.Size)
-	copy(data, sst.data)
-	applied := sst.appliedSeq
-	src.mu.Unlock()
 
 	c.fabric.Record(d.machine, src.machine, msgHeader)
 	c.fabric.Record(src.machine, d.machine, page.Size+msgHeader)
 	c.stats.PageFetches.Add(1)
 	c.stats.PageBytes.Add(page.Size)
 
-	d.mu.Lock()
-	dst = &d.pages[r][p]
-	dst.data = data
-	dst.appliedSeq = applied
+	page.Release(dst.data)
+	dst.data = page.Twin(sst.data)
+	dst.appliedSeq = sst.appliedSeq
 	dst.valid = true
-	d.mu.Unlock()
 	return true
 }
 
 func (c *Cluster) deactivateLocked(h *Host) {
-	h.mu.Lock()
 	h.active = false
 	for ri := range h.pages {
 		for p := range h.pages[ri] {
-			h.pages[ri][p] = pageState{}
+			st := &h.pages[ri][p]
+			page.Release(st.data)
+			page.Release(st.twin)
+			*st = pageState{}
 		}
 	}
 	h.written = nil
 	h.diffs = make(map[pageKey][]seqDiff)
 	h.diffBytes = 0
-	h.mu.Unlock()
 }
 
 // Join activates a host as a fresh process and sends it the page-
@@ -182,7 +172,6 @@ func (c *Cluster) Join(id HostID) (TransferReport, error) {
 	c.dir.mu.Lock()
 	defer c.dir.mu.Unlock()
 
-	h.mu.Lock()
 	for ri := range h.pages {
 		for p := range h.pages[ri] {
 			h.pages[ri][p] = pageState{}
@@ -193,7 +182,6 @@ func (c *Cluster) Join(id HostID) (TransferReport, error) {
 	h.diffBytes = 0
 	h.syncSeq = c.seq
 	h.active = true
-	h.mu.Unlock()
 
 	totalPages := 0
 	for _, r := range c.regions {
@@ -222,9 +210,7 @@ func (c *Cluster) CollectToMaster() TransferReport {
 		r := RegionID(ri)
 		for p := range c.dir.pages[ri] {
 			pm := &c.dir.pages[ri][p]
-			master.mu.Lock()
 			current := master.pages[r][p].valid
-			master.mu.Unlock()
 			if current || pm.owner == master.id {
 				continue
 			}
@@ -276,7 +262,5 @@ func (c *Cluster) SetMachine(id HostID, m int) {
 		panic(fmt.Sprintf("dsm: machine %d out of range", m))
 	}
 	h := c.Host(id)
-	h.mu.Lock()
 	h.machine = simnet.MachineID(m)
-	h.mu.Unlock()
 }

@@ -55,17 +55,13 @@ func (hp *hlrcProtocol) initRegion(r *Region) {
 		hp.rr++
 		c.dir.pages[r.ID][p].owner = home
 		hh := c.Host(home)
-		hh.mu.Lock()
 		st := &hh.pages[r.ID][p]
 		st.data = newPage()
 		st.valid = true
-		hh.mu.Unlock()
 		if home != m.id {
-			m.mu.Lock()
 			st := &m.pages[r.ID][p]
 			st.data = newPage()
 			st.valid = true
-			m.mu.Unlock()
 		}
 	}
 }
@@ -86,12 +82,11 @@ func (hp *hlrcProtocol) fault(h *Host, pk pageKey, clk *simtime.Clock) {
 		panic(fmt.Sprintf("dsm: hlrc: home %d of page %d/%d has no valid copy", h.id, pk.region, pk.page))
 	}
 	data, applied := hp.fetchHomePage(h, pk, meta.owner, clk)
-	h.mu.Lock()
 	st := &h.pages[pk.region][pk.page]
+	page.Release(st.data)
 	st.data = data
 	st.appliedSeq = applied
 	st.valid = true
-	h.mu.Unlock()
 }
 
 // fetchHomePage copies the home's page to the requester, recording the
@@ -105,12 +100,11 @@ func (hp *hlrcProtocol) fetchHomePage(h *Host, pk pageKey, home HostID, clk *sim
 // the page is unchanged.
 func (hp *hlrcProtocol) takeDiff(h *Host, pk pageKey, clk *simtime.Clock) *page.Diff {
 	c := hp.c
-	h.mu.Lock()
 	st := &h.pages[pk.region][pk.page]
 	d := page.Make(st.twin, st.data)
+	page.Release(st.twin)
 	st.twin = nil
 	st.dirty = false
-	h.mu.Unlock()
 	if d == nil {
 		return nil
 	}
@@ -137,11 +131,9 @@ func (hp *hlrcProtocol) pushDiff(h *Host, pk pageKey, home HostID, d *page.Diff,
 	} else {
 		// The writer is the home: its copy already carries the words;
 		// just commit the sequence number.
-		h.mu.Lock()
 		st := &h.pages[pk.region][pk.page]
 		st.appliedSeq = s
 		st.valid = true
-		h.mu.Unlock()
 	}
 }
 
@@ -153,16 +145,13 @@ func (hp *hlrcProtocol) pushDiff(h *Host, pk pageKey, home HostID, d *page.Diff,
 // twin as well, so the home's eventual flush carries only its own
 // words.
 func (hp *hlrcProtocol) applyAtHome(from HostID, hh *Host, pk pageKey, d *page.Diff, s int32) {
-	hh.mu.Lock()
 	st := &hh.pages[pk.region][pk.page]
 	if st.data == nil {
-		hh.mu.Unlock()
 		panic(fmt.Sprintf("dsm: hlrc: home %d of page %d/%d holds no copy", hh.id, pk.region, pk.page))
 	}
 	if st.dirty && st.twin != nil {
 		if own := page.Make(st.twin, st.data); own != nil {
 			if w, ok := d.FirstOverlap(own); ok {
-				hh.mu.Unlock()
 				panic(hp.c.wordRaceMessage(from, hh.id, pk, w, "without synchronisation"))
 			}
 		}
@@ -171,7 +160,6 @@ func (hp *hlrcProtocol) applyAtHome(from HostID, hh *Host, pk pageKey, d *page.D
 	d.Apply(st.data)
 	st.appliedSeq = s
 	st.valid = true
-	hh.mu.Unlock()
 }
 
 // closePage commits interval s for one page at a barrier: every
@@ -218,14 +206,12 @@ func (hp *hlrcProtocol) closePage(pk pageKey, writers []HostID, s int32, active 
 			continue
 		}
 		h := c.Host(id)
-		h.mu.Lock()
 		st := &h.pages[pk.region][pk.page]
 		if id == sole && st.valid && st.appliedSeq >= prevLatest {
 			st.appliedSeq = s
 		} else if st.valid && st.appliedSeq < s {
 			st.valid = false
 		}
-		h.mu.Unlock()
 	}
 }
 
@@ -242,10 +228,8 @@ func (hp *hlrcProtocol) flushIntervalLocked(h *Host, clk *simtime.Clock) int {
 	for _, pk := range h.takeWritten() {
 		pm := c.dir.metaLocked(pk.region, pk.page)
 		prevLatest := pm.latestSeq()
-		h.mu.Lock()
 		st := &h.pages[pk.region][pk.page]
 		wasCurrent := st.appliedSeq >= prevLatest
-		h.mu.Unlock()
 
 		d := hp.takeDiff(h, pk, clk)
 		if d == nil {
@@ -253,14 +237,12 @@ func (hp *hlrcProtocol) flushIntervalLocked(h *Host, clk *simtime.Clock) int {
 		}
 		hp.pushDiff(h, pk, pm.owner, d, s, clk)
 		if pm.owner != h.id {
-			h.mu.Lock()
 			st := &h.pages[pk.region][pk.page]
 			if wasCurrent {
 				st.appliedSeq = s // current: old value plus own writes
 			} else {
 				st.valid = false // concurrent writers under other locks
 			}
-			h.mu.Unlock()
 		}
 		pm.baseSeq = s
 		c.releaseLog = append(c.releaseLog, relEntry{pk: pk, seq: s})
@@ -280,28 +262,24 @@ func (hp *hlrcProtocol) upgradeOrInvalidate(h *Host, pk pageKey, clk *simtime.Cl
 	c := hp.c
 	meta := c.dir.meta(pk.region, pk.page)
 	latest := meta.latestSeq()
-	h.mu.Lock()
 	st := &h.pages[pk.region][pk.page]
 	if !st.valid || st.appliedSeq >= latest {
-		h.mu.Unlock()
 		return
 	}
 	if !st.dirty {
 		st.valid = false
-		h.mu.Unlock()
 		return
 	}
 	own := page.Make(st.twin, st.data)
-	h.mu.Unlock()
+	page.Release(st.twin)
+	page.Release(st.data)
 
 	data, applied := hp.fetchHomePage(h, pk, meta.owner, clk)
-	h.mu.Lock()
 	st = &h.pages[pk.region][pk.page]
 	st.twin = page.Twin(data)
 	st.data = data
 	own.Apply(st.data)
 	st.appliedSeq = applied
-	h.mu.Unlock()
 }
 
 // runGCLocked is trivial under HLRC: homes are always current, so the
@@ -319,25 +297,24 @@ func (hp *hlrcProtocol) runGCLocked(active []HostID) simtime.Seconds {
 			pm := &c.dir.pages[ri][p]
 			latest := pm.latestSeq()
 			for _, h := range c.hosts {
-				h.mu.Lock()
 				st := &h.pages[r][p]
+				page.Release(st.twin)
 				st.twin = nil
 				st.dirty = false
 				switch {
 				case h.id == pm.owner:
 					if st.data == nil {
-						h.mu.Unlock()
 						panic(fmt.Sprintf("dsm: hlrc: gc: home %d of page %d/%d holds no copy", pm.owner, r, p))
 					}
 					st.appliedSeq = gcSeq
 				case st.valid && st.appliedSeq >= latest:
 					st.appliedSeq = gcSeq
 				default:
+					page.Release(st.data)
 					st.data = nil
 					st.valid = false
 					st.appliedSeq = 0
 				}
-				h.mu.Unlock()
 			}
 			pm.notices = nil
 			pm.baseSeq = gcSeq

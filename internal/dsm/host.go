@@ -2,7 +2,6 @@ package dsm
 
 import (
 	"fmt"
-	"sync"
 
 	"nowomp/internal/page"
 	"nowomp/internal/simnet"
@@ -38,13 +37,19 @@ type pageState struct {
 // Host is one logical process address space participating in the DSM.
 // Hosts map 1:1 onto machines except while a migrated process shares
 // its target's machine after an urgent leave.
+//
+// Host state is engine-serialised: within one cluster exactly one
+// process runs at a time (see internal/engine), and every cross-host
+// operation — fetches, interval closes, migrations — executes on the
+// running process's goroutine. Distinct clusters never share hosts,
+// so the struct needs no locking; the race-detector CI job guards the
+// assumption.
 type Host struct {
 	id      HostID
 	cluster *Cluster
 	machine simnet.MachineID
 	active  bool
 
-	mu    sync.Mutex
 	pages [][]pageState // [region][page]
 	// written lists the pages dirtied in the open interval, in first-
 	// write order; interval close consumes it.
@@ -74,12 +79,10 @@ func (h *Host) Machine() simnet.MachineID { return h.machine }
 func (h *Host) Active() bool { return h.active }
 
 func (h *Host) addRegion(npages int) {
-	h.mu.Lock()
 	h.pages = append(h.pages, make([]pageState, npages))
-	h.mu.Unlock()
 }
 
-func newPage() []byte { return make([]byte, page.Size) }
+func newPage() []byte { return page.Zeroed() }
 
 func pageCount(bytes int) int { return page.Count(bytes) }
 
@@ -95,8 +98,6 @@ const msgHeader = MsgHeader
 // ResidentBytes returns the bytes of shared pages this host currently
 // holds a copy of: the dominant component of its migration image.
 func (h *Host) ResidentBytes() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	n := 0
 	for _, reg := range h.pages {
 		for i := range reg {
@@ -108,10 +109,60 @@ func (h *Host) ResidentBytes() int {
 	return n
 }
 
+// ReadSpan makes the page at off readable and returns the longest
+// in-page byte span starting at off, clamped to n bytes: the
+// zero-copy read path behind the shmem accessors, which decode
+// elements straight out of page memory instead of staging through an
+// intermediate buffer. The span aliases the host's page store and is
+// valid only until the next operation on the host; callers must not
+// retain it. n must be positive and off+n in range.
+func (h *Host) ReadSpan(r RegionID, off, n int, clk *simtime.Clock) []byte {
+	h.checkRange(r, off, n)
+	p := off / page.Size
+	po := off - p*page.Size
+	if chunk := page.Size - po; chunk < n {
+		n = chunk
+	}
+	st := &h.pages[r][p]
+	if !st.valid {
+		h.ensureRead(r, p, clk)
+	}
+	return st.data[po : po+n]
+}
+
+// WriteSpan makes the page at off writable (faulted in and twinned)
+// and returns the longest in-page byte span starting at off, clamped
+// to n bytes, for the caller to overwrite in place: the zero-copy
+// write path behind the shmem accessors. The span holds the page's
+// current contents (ensureWrite faults it in first), so a partial
+// overwrite is safe. Same aliasing rules as ReadSpan.
+func (h *Host) WriteSpan(r RegionID, off, n int, clk *simtime.Clock) []byte {
+	h.checkRange(r, off, n)
+	p := off / page.Size
+	po := off - p*page.Size
+	if chunk := page.Size - po; chunk < n {
+		n = chunk
+	}
+	st := &h.pages[r][p]
+	if !st.dirty || !st.valid {
+		h.ensureWrite(r, p, clk)
+	}
+	return st.data[po : po+n]
+}
+
 // Read copies len(dst) bytes starting at off in region r into dst,
 // faulting pages in as needed and charging fault costs to clk.
 func (h *Host) Read(r RegionID, off int, dst []byte, clk *simtime.Clock) {
 	h.checkRange(r, off, len(dst))
+	// Fast path: a one-page access to an already-valid page, the
+	// common case for element-granularity kernel loops.
+	p := off / page.Size
+	if po := off - p*page.Size; len(dst) != 0 && po+len(dst) <= page.Size {
+		if st := &h.pages[r][p]; st.valid {
+			copy(dst, st.data[po:po+len(dst)])
+			return
+		}
+	}
 	for n := 0; n < len(dst); {
 		p := (off + n) / page.Size
 		po := (off + n) % page.Size
@@ -120,9 +171,7 @@ func (h *Host) Read(r RegionID, off int, dst []byte, clk *simtime.Clock) {
 			chunk = rem
 		}
 		h.ensureRead(r, p, clk)
-		h.mu.Lock()
 		copy(dst[n:n+chunk], h.pages[r][p].data[po:po+chunk])
-		h.mu.Unlock()
 		n += chunk
 	}
 }
@@ -131,6 +180,15 @@ func (h *Host) Read(r RegionID, off int, dst []byte, clk *simtime.Clock) {
 // needed and charging fault costs to clk.
 func (h *Host) Write(r RegionID, off int, src []byte, clk *simtime.Clock) {
 	h.checkRange(r, off, len(src))
+	// Fast path: a one-page write to a page already twinned in this
+	// interval.
+	p := off / page.Size
+	if po := off - p*page.Size; len(src) != 0 && po+len(src) <= page.Size {
+		if st := &h.pages[r][p]; st.dirty && st.valid {
+			copy(st.data[po:po+len(src)], src)
+			return
+		}
+	}
 	for n := 0; n < len(src); {
 		p := (off + n) / page.Size
 		po := (off + n) % page.Size
@@ -139,9 +197,7 @@ func (h *Host) Write(r RegionID, off int, src []byte, clk *simtime.Clock) {
 			chunk = rem
 		}
 		h.ensureWrite(r, p, clk)
-		h.mu.Lock()
 		copy(h.pages[r][p].data[po:po+chunk], src[n:n+chunk])
-		h.mu.Unlock()
 		n += chunk
 	}
 }
@@ -159,9 +215,7 @@ func (h *Host) checkRange(r RegionID, off, n int) {
 // ensureRead makes the page readable on h, invoking the protocol's
 // read-fault handling if the local copy is missing or invalid.
 func (h *Host) ensureRead(r RegionID, p int, clk *simtime.Clock) {
-	h.mu.Lock()
 	valid := h.pages[r][p].valid
-	h.mu.Unlock()
 	if valid {
 		return
 	}
@@ -175,7 +229,6 @@ func (h *Host) ensureRead(r RegionID, p int, clk *simtime.Clock) {
 // keeps the twin to diff lazily, HLRC to diff eagerly at the flush.
 func (h *Host) ensureWrite(r RegionID, p int, clk *simtime.Clock) {
 	h.ensureRead(r, p, clk)
-	h.mu.Lock()
 	st := &h.pages[r][p]
 	if !st.dirty {
 		st.twin = page.Twin(st.data)
@@ -185,12 +238,9 @@ func (h *Host) ensureWrite(r RegionID, p int, clk *simtime.Clock) {
 		h.cluster.stats.TwinsCreated.Add(1)
 		h.cluster.stats.WriteFaults.Add(1)
 	}
-	h.mu.Unlock()
 }
 
 func (h *Host) localDiffs(pk pageKey) []seqDiff {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	return h.diffs[pk]
 }
 
@@ -198,24 +248,18 @@ func (h *Host) localDiffs(pk pageKey) []seqDiff {
 // Called by interval-close code with the directory write lock held and
 // the host's process parked.
 func (h *Host) takeWritten() []pageKey {
-	h.mu.Lock()
 	w := h.written
 	h.written = nil
-	h.mu.Unlock()
 	return w
 }
 
 // Valid reports whether the host currently holds a valid copy of the
 // page (test and measurement helper).
 func (h *Host) Valid(r RegionID, p int) bool {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	return h.pages[r][p].valid
 }
 
 // HasCopy reports whether the host holds any copy, valid or stale.
 func (h *Host) HasCopy(r RegionID, p int) bool {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	return h.pages[r][p].data != nil
 }

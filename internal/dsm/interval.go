@@ -159,12 +159,10 @@ func (c *Cluster) applyReleaseLog(active []HostID) {
 		latest := pm.latestSeq()
 		for _, id := range active {
 			h := c.Host(id)
-			h.mu.Lock()
 			st := &h.pages[e.pk.region][e.pk.page]
 			if st.valid && st.appliedSeq < latest {
 				st.valid = false
 			}
-			h.mu.Unlock()
 		}
 	}
 	c.releaseLog = c.releaseLog[:0]

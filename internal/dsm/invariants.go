@@ -57,22 +57,17 @@ func (c *Cluster) CheckInvariants() error {
 			var current []byte
 			var currentHost HostID
 			for _, h := range c.hosts {
-				h.mu.Lock()
 				st := &h.pages[r][p]
 				switch {
 				case !h.active:
 					if st.data != nil {
-						h.mu.Unlock()
 						return fmt.Errorf("dsm: invariant: inactive host %d holds page %d/%d", h.id, r, p)
 					}
 				case st.dirty || st.twin != nil:
-					h.mu.Unlock()
 					return fmt.Errorf("dsm: invariant: host %d has an open interval on page %d/%d (call at a barrier)", h.id, r, p)
 				case st.appliedSeq > c.seq:
-					h.mu.Unlock()
 					return fmt.Errorf("dsm: invariant: host %d page %d/%d applied %d beyond global %d", h.id, r, p, st.appliedSeq, c.seq)
 				case st.valid && st.data == nil:
-					h.mu.Unlock()
 					return fmt.Errorf("dsm: invariant: host %d page %d/%d valid without data", h.id, r, p)
 				case st.valid && st.appliedSeq >= latest:
 					// A fully-current copy: all such copies must agree.
@@ -80,18 +75,14 @@ func (c *Cluster) CheckInvariants() error {
 						current = append([]byte(nil), st.data...)
 						currentHost = h.id
 					} else if !bytes.Equal(current, st.data) {
-						h.mu.Unlock()
 						return fmt.Errorf("dsm: invariant: hosts %d and %d disagree on current page %d/%d",
 							currentHost, h.id, r, p)
 					}
 				}
-				h.mu.Unlock()
 			}
 
 			owner := c.Host(pm.owner)
-			owner.mu.Lock()
 			ownerHasData := owner.pages[r][p].data != nil
-			owner.mu.Unlock()
 			if !ownerHasData {
 				return fmt.Errorf("dsm: invariant: owner %d of page %d/%d holds no copy", pm.owner, r, p)
 			}

@@ -3,6 +3,7 @@ package dsm
 import (
 	"fmt"
 
+	"nowomp/internal/engine"
 	"nowomp/internal/page"
 	"nowomp/internal/simtime"
 )
@@ -27,6 +28,12 @@ type lockState struct {
 	lastRelease simtime.Seconds
 	lastHolder  HostID
 	everHeld    bool
+	// wl lists the procs parked in acquire; release notifies it so the
+	// engine re-examines exactly the procs contending for this lock.
+	wl engine.WaitList
+	// reason is the park description, precomputed so contended acquires
+	// in a hot loop do not format a string per claim.
+	reason string
 }
 
 // lockWaiter is one queued acquire request.
@@ -35,8 +42,12 @@ type lockWaiter struct {
 	host HostID
 }
 
-func newLockState() *lockState {
-	return &lockState{lastHolder: -1, waiters: make(map[uint64]lockWaiter)}
+func newLockState(id int) *lockState {
+	return &lockState{
+		lastHolder: -1,
+		waiters:    make(map[uint64]lockWaiter),
+		reason:     fmt.Sprintf("lock %d", id),
+	}
 }
 
 // acquire blocks until the calling proc holds the lock. Grants follow
@@ -61,7 +72,7 @@ func (lk *lockState) acquire(c *Cluster, id int, clk *simtime.Clock, host HostID
 	ticket := lk.nextTicket
 	lk.nextTicket++
 	lk.waiters[ticket] = lockWaiter{at: at, host: host}
-	p.Park(fmt.Sprintf("lock %d (requested at %v)", id, at), func() (simtime.Seconds, bool) {
+	p.ParkOn(&lk.wl, lk.reason, func() (simtime.Seconds, bool) {
 		if lk.held || !lk.isNext(ticket) {
 			return 0, false
 		}
@@ -92,13 +103,14 @@ func (lk *lockState) isNext(ticket uint64) bool {
 	return true
 }
 
-// release frees the lock; the engine re-elects among the waiters at
-// its next dispatch.
+// release frees the lock and notifies the parked waiters; the engine
+// re-elects among them at its next dispatch.
 func (lk *lockState) release(holder HostID, at simtime.Seconds) {
 	lk.held = false
 	lk.lastRelease = at
 	lk.lastHolder = holder
 	lk.everHeld = true
+	lk.wl.Notify()
 }
 
 // LockHeld reports whether lock id is currently held (diagnostics).
@@ -115,7 +127,7 @@ func newLockTable() *lockTable { return &lockTable{locks: make(map[int]*lockStat
 func (t *lockTable) get(id int) *lockState {
 	lk := t.locks[id]
 	if lk == nil {
-		lk = newLockState()
+		lk = newLockState(id)
 		t.locks[id] = lk
 	}
 	return lk
@@ -208,13 +220,11 @@ func (c *Cluster) checkDirtyPeerRaces(writer HostID, pk pageKey, d *page.Diff) {
 		if h2.id == writer || !h2.active {
 			continue
 		}
-		h2.mu.Lock()
 		st2 := &h2.pages[pk.region][pk.page]
 		var d2 *page.Diff
 		if st2.dirty && st2.twin != nil {
 			d2 = page.Make(st2.twin, st2.data)
 		}
-		h2.mu.Unlock()
 		if d2 == nil {
 			continue
 		}

@@ -123,16 +123,12 @@ func (c *Cluster) Protocol() ProtocolKind { return c.proto.Kind() }
 // role names src's protocol role ("owner", "home") in the panic when
 // it holds no copy. Returns the copied data and its appliedSeq.
 func (c *Cluster) copyPageFrom(h, src *Host, pk pageKey, role string, clk *simtime.Clock) ([]byte, int32) {
-	src.mu.Lock()
 	sst := &src.pages[pk.region][pk.page]
 	if sst.data == nil {
-		src.mu.Unlock()
 		panic(fmt.Sprintf("dsm: %s %d of page %d/%d holds no copy", role, src.id, pk.region, pk.page))
 	}
-	data := make([]byte, page.Size)
-	copy(data, sst.data)
+	data := page.Twin(sst.data)
 	applied := sst.appliedSeq
-	src.mu.Unlock()
 
 	c.fabric.Record(h.machine, src.machine, msgHeader)
 	c.fabric.Record(src.machine, h.machine, page.Size+msgHeader)

@@ -13,8 +13,6 @@ import (
 func (c *Cluster) DumpRegion(r *Region) ([]byte, error) {
 	m := c.Master()
 	out := make([]byte, r.Bytes)
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	for p := 0; p < r.NPages; p++ {
 		st := &m.pages[r.ID][p]
 		if !st.valid || st.data == nil {
@@ -42,7 +40,6 @@ func (c *Cluster) InstallRegion(r *Region, data []byte) error {
 	c.dir.mu.Lock()
 	defer c.dir.mu.Unlock()
 	m := c.Master()
-	m.mu.Lock()
 	for p := 0; p < r.NPages; p++ {
 		st := &m.pages[r.ID][p]
 		if st.data == nil {
@@ -56,10 +53,10 @@ func (c *Cluster) InstallRegion(r *Region, data []byte) error {
 		copy(st.data[:hi-lo], data[lo:hi])
 		st.valid = true
 		st.dirty = false
+		page.Release(st.twin)
 		st.twin = nil
 		st.appliedSeq = c.seq
 	}
-	m.mu.Unlock()
 	for p := 0; p < r.NPages; p++ {
 		pm := c.dir.metaLocked(r.ID, p)
 		pm.owner = m.id
@@ -71,9 +68,10 @@ func (c *Cluster) InstallRegion(r *Region, data []byte) error {
 			if h.id == m.id {
 				continue
 			}
-			h.mu.Lock()
-			h.pages[r.ID][p] = pageState{}
-			h.mu.Unlock()
+			st := &h.pages[r.ID][p]
+			page.Release(st.data)
+			page.Release(st.twin)
+			*st = pageState{}
 		}
 	}
 	return nil

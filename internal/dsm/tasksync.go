@@ -16,8 +16,6 @@ import "nowomp/internal/simtime"
 // HasOpenInterval reports whether the host has written shared memory
 // since its interval last closed (at a barrier, lock release or flush).
 func (h *Host) HasOpenInterval() bool {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	return len(h.written) > 0
 }
 

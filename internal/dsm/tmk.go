@@ -27,13 +27,11 @@ func (t *tmkProtocol) Kind() ProtocolKind { return Tmk }
 // master, which the directory already names as every page's owner.
 func (t *tmkProtocol) initRegion(r *Region) {
 	m := t.c.Master()
-	m.mu.Lock()
 	for p := 0; p < r.NPages; p++ {
 		st := &m.pages[r.ID][p]
 		st.data = newPage()
 		st.valid = true
 	}
-	m.mu.Unlock()
 }
 
 // leaveStrategy: Tmk supports both handoffs as configured.
@@ -44,9 +42,7 @@ func (t *tmkProtocol) leaveStrategy(s LeaveStrategy) LeaveStrategy { return s }
 func (t *tmkProtocol) storageLocked() int {
 	n := 0
 	for _, h := range t.c.hosts {
-		h.mu.Lock()
 		n += h.diffBytes
-		h.mu.Unlock()
 	}
 	return n
 }
@@ -63,11 +59,9 @@ func (t *tmkProtocol) fault(h *Host, pk pageKey, clk *simtime.Clock) {
 	meta := c.dir.meta(r, p)
 	target := meta.latestSeq()
 
-	h.mu.Lock()
 	st := &h.pages[r][p]
 	needBase := st.data == nil || st.appliedSeq < meta.baseSeq
 	applied := st.appliedSeq
-	h.mu.Unlock()
 
 	if needBase {
 		applied = t.fetchBase(h, pk, meta.owner, clk)
@@ -101,7 +95,6 @@ func (t *tmkProtocol) fault(h *Host, pk pageKey, clk *simtime.Clock) {
 		pending = pending[:len(pending)-1]
 	}
 
-	h.mu.Lock()
 	st = &h.pages[r][p]
 	for _, sd := range pending {
 		sd.diff.Apply(st.data)
@@ -110,7 +103,6 @@ func (t *tmkProtocol) fault(h *Host, pk pageKey, clk *simtime.Clock) {
 		st.appliedSeq = target
 	}
 	st.valid = true
-	h.mu.Unlock()
 }
 
 // fetchBase copies the owner's page into h and returns the appliedSeq
@@ -120,23 +112,19 @@ func (t *tmkProtocol) fetchBase(h *Host, pk pageKey, owner HostID, clk *simtime.
 	c := t.c
 	if owner == h.id {
 		// We are the designated owner: our copy is the base.
-		h.mu.Lock()
 		st := &h.pages[pk.region][pk.page]
 		if st.data == nil {
-			h.mu.Unlock()
 			panic(fmt.Sprintf("dsm: host %d owns page %v but holds no copy", h.id, pk))
 		}
 		applied := st.appliedSeq
-		h.mu.Unlock()
 		return applied
 	}
 	data, applied := c.copyPageFrom(h, c.Host(owner), pk, "owner", clk)
 
-	h.mu.Lock()
 	st := &h.pages[pk.region][pk.page]
+	page.Release(st.data)
 	st.data = data
 	st.appliedSeq = applied
-	h.mu.Unlock()
 	return applied
 }
 
@@ -145,7 +133,6 @@ func (t *tmkProtocol) fetchBase(h *Host, pk pageKey, owner HostID, clk *simtime.
 func (t *tmkProtocol) fetchDiffs(h *Host, pk pageKey, w HostID, after, upTo int32, clk *simtime.Clock) []seqDiff {
 	c := t.c
 	src := c.Host(w)
-	src.mu.Lock()
 	var got []seqDiff
 	wire := 0
 	for _, sd := range src.diffs[pk] {
@@ -154,7 +141,6 @@ func (t *tmkProtocol) fetchDiffs(h *Host, pk pageKey, w HostID, after, upTo int3
 			wire += sd.diff.WireSize()
 		}
 	}
-	src.mu.Unlock()
 	if len(got) == 0 {
 		return nil
 	}
@@ -186,9 +172,9 @@ func (t *tmkProtocol) closePage(pk pageKey, writers []HostID, s int32, active []
 		var made []writerDiff
 		for _, w := range writers {
 			h := c.Host(w)
-			h.mu.Lock()
 			st := &h.pages[pk.region][pk.page]
 			d := page.Make(st.twin, st.data)
+			page.Release(st.twin)
 			st.twin = nil
 			st.dirty = false
 			if d != nil {
@@ -200,18 +186,16 @@ func (t *tmkProtocol) closePage(pk pageKey, writers []HostID, s int32, active []
 				flush[w] += c.costs.DiffCreate(h.machine, page.Size)
 				made = append(made, writerDiff{writer: w, diff: d})
 			}
-			h.mu.Unlock()
 		}
 		c.checkWordRaces(pk, made)
 	} else {
 		w := writers[0]
 		h := c.Host(w)
-		h.mu.Lock()
 		st := &h.pages[pk.region][pk.page]
+		page.Release(st.twin)
 		st.twin = nil
 		st.dirty = false
 		st.appliedSeq = s
-		h.mu.Unlock()
 		pm.owner = w
 		pm.baseSeq = s
 		// Single-writer pages keep only the latest notice: no diffs
@@ -233,7 +217,6 @@ func (t *tmkProtocol) closePage(pk pageKey, writers []HostID, s int32, active []
 			continue
 		}
 		h := c.Host(id)
-		h.mu.Lock()
 		st := &h.pages[pk.region][pk.page]
 		if multi {
 			if st.valid && (st.appliedSeq < pm.latestSeq() || noticed[id]) {
@@ -242,13 +225,10 @@ func (t *tmkProtocol) closePage(pk pageKey, writers []HostID, s int32, active []
 		} else if st.valid && id != writers[0] {
 			st.valid = false
 		}
-		h.mu.Unlock()
 	}
 	if soleCurrent >= 0 && multi {
 		h := c.Host(soleCurrent)
-		h.mu.Lock()
 		h.pages[pk.region][pk.page].appliedSeq = s
-		h.mu.Unlock()
 	}
 }
 
@@ -273,9 +253,9 @@ func (t *tmkProtocol) flushIntervalLocked(h *Host, clk *simtime.Clock) int {
 			pm.baseSeq = prevLatest
 			pm.mode = ModeMulti
 		}
-		h.mu.Lock()
 		st := &h.pages[pk.region][pk.page]
 		d := page.Make(st.twin, st.data)
+		page.Release(st.twin)
 		st.twin = nil
 		st.dirty = false
 		if d != nil {
@@ -292,7 +272,6 @@ func (t *tmkProtocol) flushIntervalLocked(h *Host, clk *simtime.Clock) int {
 			clk.Advance(c.costs.DiffCreate(h.machine, page.Size))
 			made++
 		}
-		h.mu.Unlock()
 		if d != nil {
 			c.checkDirtyPeerRaces(h.id, pk, d)
 		}
@@ -308,19 +287,15 @@ func (t *tmkProtocol) upgradeOrInvalidate(h *Host, pk pageKey, clk *simtime.Cloc
 	c := t.c
 	meta := c.dir.meta(pk.region, pk.page)
 	latest := meta.latestSeq()
-	h.mu.Lock()
 	st := &h.pages[pk.region][pk.page]
 	if !st.valid || st.appliedSeq >= latest {
-		h.mu.Unlock()
 		return
 	}
 	if !st.dirty {
 		st.valid = false
-		h.mu.Unlock()
 		return
 	}
 	applied := st.appliedSeq
-	h.mu.Unlock()
 
 	// Dirty page: patch in place.
 	var pending []seqDiff
@@ -334,7 +309,6 @@ func (t *tmkProtocol) upgradeOrInvalidate(h *Host, pk pageKey, clk *simtime.Cloc
 		pending = append(pending, t.fetchDiffs(h, pk, w, applied, latest, clk)...)
 	}
 	sort.Slice(pending, func(i, j int) bool { return pending[i].seq < pending[j].seq })
-	h.mu.Lock()
 	st = &h.pages[pk.region][pk.page]
 	for _, sd := range pending {
 		sd.diff.Apply(st.data)
@@ -354,7 +328,6 @@ func (t *tmkProtocol) upgradeOrInvalidate(h *Host, pk pageKey, clk *simtime.Cloc
 	if st.appliedSeq < latest {
 		st.appliedSeq = latest
 	}
-	h.mu.Unlock()
 }
 
 // runGCLocked implements the TreadMarks garbage collection: every
@@ -386,8 +359,8 @@ func (t *tmkProtocol) runGCLocked(active []HostID) simtime.Seconds {
 			// left: valid-and-current copies survive, everything else
 			// is freed.
 			for _, h := range c.hosts {
-				h.mu.Lock()
 				st := &h.pages[r][p]
+				page.Release(st.twin)
 				st.twin = nil
 				st.dirty = false
 				switch {
@@ -396,11 +369,11 @@ func (t *tmkProtocol) runGCLocked(active []HostID) simtime.Seconds {
 				case st.valid && st.appliedSeq >= latest:
 					st.appliedSeq = gcSeq
 				default:
+					page.Release(st.data)
 					st.data = nil
 					st.valid = false
 					st.appliedSeq = 0
 				}
-				h.mu.Unlock()
 			}
 			pm.notices = nil
 			pm.mode = ModeSingle
@@ -410,10 +383,8 @@ func (t *tmkProtocol) runGCLocked(active []HostID) simtime.Seconds {
 
 	// All consistency information is gone.
 	for _, h := range c.hosts {
-		h.mu.Lock()
 		h.diffs = make(map[pageKey][]seqDiff)
 		h.diffBytes = 0
-		h.mu.Unlock()
 	}
 	c.releaseLog = c.releaseLog[:0]
 
@@ -452,15 +423,12 @@ func (t *tmkProtocol) gcPage(r RegionID, p int, pm *pageMeta, pull map[HostID]si
 	owner := c.Host(pm.owner)
 	latest := pm.latestSeq()
 
-	owner.mu.Lock()
 	st := &owner.pages[r][p]
 	if st.data == nil {
-		owner.mu.Unlock()
 		panic(fmt.Sprintf("dsm: gc: owner %d of page %d/%d holds no copy", pm.owner, r, p))
 	}
 	applied := st.appliedSeq
 	current := st.valid && applied >= latest
-	owner.mu.Unlock()
 	if current {
 		return
 	}
@@ -480,7 +448,6 @@ func (t *tmkProtocol) gcPage(r RegionID, p int, pm *pageMeta, pull map[HostID]si
 	sort.Slice(writers, func(i, j int) bool { return writers[i] < writers[j] })
 	for _, w := range writers {
 		src := c.Host(w)
-		src.mu.Lock()
 		wire := 0
 		for _, sd := range src.diffs[pk] {
 			if sd.seq > applied && sd.seq <= latest {
@@ -488,7 +455,6 @@ func (t *tmkProtocol) gcPage(r RegionID, p int, pm *pageMeta, pull map[HostID]si
 				wire += sd.diff.WireSize()
 			}
 		}
-		src.mu.Unlock()
 		if wire == 0 {
 			continue
 		}
@@ -500,12 +466,10 @@ func (t *tmkProtocol) gcPage(r RegionID, p int, pm *pageMeta, pull map[HostID]si
 	}
 	sort.Slice(pending, func(i, j int) bool { return pending[i].seq < pending[j].seq })
 
-	owner.mu.Lock()
 	st = &owner.pages[r][p]
 	for _, sd := range pending {
 		sd.diff.Apply(st.data)
 	}
 	st.appliedSeq = latest
 	st.valid = true
-	owner.mu.Unlock()
 }

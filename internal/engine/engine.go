@@ -19,20 +19,54 @@
 // scheduler never gets to choose between two runnable simulated
 // processes.
 //
-// If every live proc is parked and no wake condition is satisfied, the
-// simulation cannot progress: the engine panics with a diagnostic
-// naming each parked proc, its virtual clock and the reason it is
-// waiting (the deadlock analogue of a hung pthread program, made
-// loud and reproducible).
+// # Dispatch is indexed, not scanned
+//
+// Elections pop a binary min-heap keyed by (wake instant, id,
+// registration order) instead of re-evaluating every proc's wake
+// condition per dispatch. A proc enters the heap when its condition
+// first reports ready and stays there with that key until dispatched.
+// Three mechanisms keep the heap truthful without global re-scans:
+//
+//   - Wait lists. A proc whose condition depends on a shared resource
+//     parks on that resource's WaitList (lock queues, the task
+//     region's scheduler state). Code that mutates the resource calls
+//     Notify, which marks the listed procs for re-evaluation before
+//     the next election. A notification is required whenever a
+//     mutation can turn a parked proc's condition true or move its
+//     wake instant earlier; spurious notifications are always safe.
+//   - Pop revalidation. The heap top's condition is re-evaluated at
+//     election: a condition that went false drops out of the heap
+//     (the resource was consumed by a later grant), a wake instant
+//     that drifted later (a parked clock advanced) re-sorts. This
+//     covers every condition that can only be *invalidated* or
+//     *delayed* by other procs' actions, with no notification needed.
+//   - Polled parks. A plain Park with no wait list keeps the legacy
+//     contract: its condition is re-evaluated before every election.
+//     Used by tests and any caller that cannot name the resource it
+//     waits on.
+//
+// The common "park then immediately re-elect the same proc" case — an
+// uncontended lock claim in a dynamic loop, say — short-circuits in
+// Park: if the parking proc's condition already holds and no heap
+// entry precedes its key, it keeps the token with no channel
+// round-trip and no election. This is exact, not heuristic: the
+// outcome equals the full election's (asserted by a property test
+// against a reference linear-scan implementation).
+//
+// If every live proc is parked and none can wake, the simulation
+// cannot progress: the engine panics with a diagnostic naming each
+// parked proc, its virtual clock and the reason it is waiting (the
+// deadlock analogue of a hung pthread program, made loud and
+// reproducible). A missed Notify surfaces the same way — loudly — and
+// never as a silently different schedule.
 //
 // A panic — a proc's own, re-thrown by Run, or the deadlock
 // diagnostic — abandons the engine: the remaining parked procs stay
 // blocked on their resume channels for the life of the process, along
 // with whatever their wake closures capture. The simulation is
-// unrecoverable at that point (as it was under the task layer's
-// pre-engine dispatcher, which abandoned its workers the same way);
-// an embedder that recovers the panic must treat the runtime as dead
-// and accept one leaked goroutine per parked proc.
+// unrecoverable at that point; an embedder that recovers the panic
+// must treat the runtime as dead and accept one leaked goroutine per
+// parked proc.
 package engine
 
 import (
@@ -46,8 +80,10 @@ import (
 // WakeFunc reports whether a parked proc may resume and, if so, the
 // virtual instant its pending action fires at (a lock request's
 // request time, a steal's availability time, ...). It is evaluated by
-// the engine between dispatches, while no proc runs, so it may freely
-// read state shared with other procs; it must not mutate anything.
+// the engine while no other proc mutates shared state, so it may
+// freely read state shared with other procs; it must not mutate
+// anything. A nil WakeFunc means "always ready at the proc's own
+// clock".
 type WakeFunc func() (at simtime.Seconds, ok bool)
 
 // Engine is one deterministic scheduler instance, driving the procs of
@@ -57,6 +93,17 @@ type Engine struct {
 	procs   []*Proc
 	running *Proc
 	events  chan event
+	live    int
+
+	// heap holds the ready procs, a binary min-heap on
+	// (key, id, order).
+	heap []*Proc
+	// polled holds the procs parked without a wait list; they are
+	// re-evaluated before every election.
+	polled []*Proc
+	// recheck holds the procs flagged for re-evaluation (notified,
+	// freshly parked, or polled), deduplicated by Proc.flagged.
+	recheck []*Proc
 }
 
 type eventKind int
@@ -79,6 +126,7 @@ type Proc struct {
 	e      *Engine
 	name   string
 	id     int
+	order  int
 	clk    *simtime.Clock
 	resume chan struct{}
 
@@ -87,6 +135,57 @@ type Proc struct {
 	reason string
 	wake   WakeFunc
 	wokeAt simtime.Seconds
+
+	// key is the wake instant this proc is heaped under while ready.
+	key simtime.Seconds
+	// heapIdx / polledIdx / listIdx are the proc's positions in the
+	// engine's ready heap, the polled set and its wait list; -1 when
+	// absent.
+	heapIdx   int
+	polledIdx int
+	list      *WaitList
+	listIdx   int
+	flagged   bool
+}
+
+// WaitList is the set of procs parked on one resource (a lock's
+// waiters, a task region's idle workers). Code that mutates the
+// resource calls Notify so the engine re-evaluates exactly those
+// procs. The zero value is ready to use; a list may outlive the
+// engines its procs parked on (a cluster-lifetime lock parking procs
+// of successive constructs), because it holds only currently parked
+// procs.
+type WaitList struct {
+	procs []*Proc
+}
+
+// Notify marks every proc parked on the list for re-evaluation before
+// the next election. It must be called after any mutation that can
+// turn a listed proc's wake condition true or move its wake instant
+// earlier; calling it when nothing changed is harmless. Conditions
+// that can only go false or move later need no notification — the
+// election revalidates the heap top.
+func (wl *WaitList) Notify() {
+	for _, p := range wl.procs {
+		p.e.flag(p)
+	}
+}
+
+func (wl *WaitList) add(p *Proc) {
+	p.list = wl
+	p.listIdx = len(wl.procs)
+	wl.procs = append(wl.procs, p)
+}
+
+func (wl *WaitList) remove(p *Proc) {
+	i := p.listIdx
+	last := len(wl.procs) - 1
+	wl.procs[i] = wl.procs[last]
+	wl.procs[i].listIdx = i
+	wl.procs[last] = nil
+	wl.procs = wl.procs[:last]
+	p.list = nil
+	p.listIdx = -1
 }
 
 // New returns an empty engine.
@@ -101,16 +200,21 @@ func New() *Engine {
 // running proc (a task region adding workers for a joined host).
 func (e *Engine) Go(name string, id int, clk *simtime.Clock, fn func(*Proc)) *Proc {
 	p := &Proc{
-		e:      e,
-		name:   name,
-		id:     id,
-		clk:    clk,
-		resume: make(chan struct{}),
-		parked: true,
-		reason: "start",
+		e:         e,
+		name:      name,
+		id:        id,
+		order:     len(e.procs),
+		clk:       clk,
+		resume:    make(chan struct{}),
+		parked:    true,
+		reason:    "start",
+		heapIdx:   -1,
+		polledIdx: -1,
+		listIdx:   -1,
 	}
-	p.wake = func() (simtime.Seconds, bool) { return clk.Now(), true }
 	e.procs = append(e.procs, p)
+	e.live++
+	e.polledAdd(p)
 	go func() {
 		<-p.resume
 		defer func() {
@@ -132,58 +236,109 @@ func (e *Engine) Go(name string, id int, clk *simtime.Clock, fn func(*Proc)) *Pr
 // scheduler; it must not be one of the procs. A panic in a proc is
 // re-thrown here with the proc's original stack attached.
 func (e *Engine) Run() {
-	for {
-		p, at := e.next()
+	for e.live > 0 {
+		p := e.next()
 		if p == nil {
-			if e.allDone() {
-				return
-			}
 			panic(e.deadlockMessage())
 		}
-		p.parked = false
-		p.wokeAt = at
-		e.running = p
+		e.dispatch(p)
 		p.resume <- struct{}{}
 		ev := <-e.events
 		e.running = nil
 		switch ev.kind {
 		case evParked:
-			ev.p.parked = true
+			// The proc registered itself (wait list or polled set)
+			// and flagged itself for evaluation before it sent the
+			// event; nothing to do here.
 		case evExited:
 			ev.p.done = true
+			e.live--
 		case evPanicked:
 			panic(ev.pv)
 		}
 	}
 }
 
-// next elects the runnable proc with the minimal (wake instant, id),
-// ties beyond that broken by registration order.
-func (e *Engine) next() (*Proc, simtime.Seconds) {
-	var best *Proc
-	var bestAt simtime.Seconds
-	for _, p := range e.procs {
+// next elects the runnable proc with the minimal (wake instant, id,
+// registration order): polled procs are re-evaluated, pending
+// notifications are applied, then the heap top is revalidated until
+// it is truthful.
+func (e *Engine) next() *Proc {
+	for _, p := range e.polled {
+		e.flag(p)
+	}
+	e.drain()
+	for len(e.heap) > 0 {
+		p := e.heap[0]
+		at, ok := p.evalWake()
+		if !ok {
+			e.heapDelete(p)
+			continue
+		}
+		if at != p.key {
+			e.heapFix(p, at)
+			continue
+		}
+		return p
+	}
+	return nil
+}
+
+// dispatch removes an elected proc from every ready/wait structure and
+// hands it the token.
+func (e *Engine) dispatch(p *Proc) {
+	e.heapDelete(p)
+	if p.polledIdx >= 0 {
+		e.polledRemove(p)
+	}
+	if p.list != nil {
+		p.list.remove(p)
+	}
+	p.parked = false
+	p.wokeAt = p.key
+	e.running = p
+}
+
+// flag queues a parked proc for re-evaluation before the next
+// election, deduplicating repeat flags.
+func (e *Engine) flag(p *Proc) {
+	if p.flagged || p.done || !p.parked {
+		return
+	}
+	p.flagged = true
+	e.recheck = append(e.recheck, p)
+}
+
+// drain applies the queued re-evaluations: each flagged proc's wake
+// condition decides whether it enters, moves within, or leaves the
+// ready heap.
+func (e *Engine) drain() {
+	for len(e.recheck) > 0 {
+		p := e.recheck[len(e.recheck)-1]
+		e.recheck = e.recheck[:len(e.recheck)-1]
+		p.flagged = false
 		if p.done || !p.parked {
 			continue
 		}
-		at, ok := p.wake()
-		if !ok {
-			continue
-		}
-		if best == nil || at < bestAt || (at == bestAt && p.id < best.id) {
-			best, bestAt = p, at
+		if at, ok := p.evalWake(); ok {
+			if p.heapIdx >= 0 {
+				if at != p.key {
+					e.heapFix(p, at)
+				}
+			} else {
+				e.heapPush(p, at)
+			}
+		} else if p.heapIdx >= 0 {
+			e.heapDelete(p)
 		}
 	}
-	return best, bestAt
 }
 
-func (e *Engine) allDone() bool {
-	for _, p := range e.procs {
-		if !p.done {
-			return false
-		}
+func (p *Proc) evalWake() (simtime.Seconds, bool) {
+	if p.wake == nil {
+		return p.clk.Now(), true
 	}
-	return true
+	return p.wake()
 }
 
 // deadlockMessage names every parked proc, its clock and its wait
@@ -209,13 +364,78 @@ func (e *Engine) Running() *Proc { return e.running }
 
 // Park blocks the calling proc until wake reports ready and the
 // engine elects it, and returns the instant the wake fired at. reason
-// is the wait description shown by the deadlock diagnostic.
+// is the wait description shown by the deadlock diagnostic. A nil
+// wake means "ready at the proc's own clock". The condition is
+// re-evaluated before every election; parks tied to a nameable
+// resource should use ParkOn instead, which re-evaluates only when
+// the resource's wait list is notified.
 func (p *Proc) Park(reason string, wake WakeFunc) simtime.Seconds {
+	return p.park(reason, wake, nil)
+}
+
+// ParkOn is Park for a proc whose wake condition depends on one
+// shared resource: the proc registers on the resource's wait list and
+// its condition is re-evaluated only when the list is notified (or
+// when its heap entry is revalidated at an election). Every mutation
+// that can make the condition true or move its instant earlier must
+// Notify the list, or the engine may (loudly) report a deadlock.
+func (p *Proc) ParkOn(wl *WaitList, reason string, wake WakeFunc) simtime.Seconds {
+	return p.park(reason, wake, wl)
+}
+
+func (p *Proc) park(reason string, wake WakeFunc, wl *WaitList) simtime.Seconds {
+	e := p.e
 	p.reason = reason
 	p.wake = wake
-	p.e.events <- event{p: p, kind: evParked}
+	// Fast path: the parking proc's condition already holds and no
+	// ready proc precedes it, so the election it is about to trigger
+	// would hand the token straight back. Keep the token: no channel
+	// round-trip, no goroutine switch. The scheduler goroutine is
+	// blocked in its event receive throughout, so mutating the ready
+	// structures from here is safe — it is the same single thread of
+	// control, handed over memory-visibly at the next event send.
+	if e.running == p {
+		if at, ok := p.evalWake(); ok {
+			for _, q := range e.polled {
+				e.flag(q)
+			}
+			e.drain()
+			if !e.topBeats(at, p) {
+				p.wokeAt = at
+				return at
+			}
+		}
+	}
+	p.parked = true
+	if wl != nil {
+		wl.add(p)
+	} else {
+		e.polledAdd(p)
+	}
+	e.flag(p)
+	e.events <- event{p: p, kind: evParked}
 	<-p.resume
 	return p.wokeAt
+}
+
+// topBeats reports whether the ready heap holds a proc that precedes
+// (at, p.id, p.order) — i.e. whether an election now could elect
+// someone other than p. The top's key may be stale; that can only
+// cause a needless full election, never a wrong fast-path grant,
+// because stale keys are either too small (the proc re-sorts later)
+// or belong to conditions that went false (the proc drops out).
+func (e *Engine) topBeats(at simtime.Seconds, p *Proc) bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	q := e.heap[0]
+	if q.key != at {
+		return q.key < at
+	}
+	if q.id != p.id {
+		return q.id < p.id
+	}
+	return q.order < p.order
 }
 
 // ID returns the proc's tiebreak id.
@@ -224,10 +444,106 @@ func (p *Proc) ID() int { return p.id }
 // SetID changes the proc's tiebreak id. The task runtime uses it when
 // an adaptation reassigns team slots. Only the running proc (or the
 // scheduler between dispatches) may call it.
-func (p *Proc) SetID(id int) { p.id = id }
+func (p *Proc) SetID(id int) {
+	p.id = id
+	if p.heapIdx >= 0 {
+		// The id is part of the heap key: re-insert under the new one.
+		p.e.heapDelete(p)
+		p.e.flag(p)
+	}
+}
 
 // Name returns the proc's diagnostic name.
 func (p *Proc) Name() string { return p.name }
 
 // Clock returns the proc's virtual clock.
 func (p *Proc) Clock() *simtime.Clock { return p.clk }
+
+// heapLess orders ready procs by (wake instant, id, registration
+// order) — the engine's full election key.
+func (e *Engine) heapLess(a, b *Proc) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	if a.id != b.id {
+		return a.id < b.id
+	}
+	return a.order < b.order
+}
+
+func (e *Engine) heapPush(p *Proc, key simtime.Seconds) {
+	p.key = key
+	p.heapIdx = len(e.heap)
+	e.heap = append(e.heap, p)
+	e.siftUp(p.heapIdx)
+}
+
+func (e *Engine) heapDelete(p *Proc) {
+	i := p.heapIdx
+	last := len(e.heap) - 1
+	e.heap[i] = e.heap[last]
+	e.heap[i].heapIdx = i
+	e.heap[last] = nil
+	e.heap = e.heap[:last]
+	p.heapIdx = -1
+	if i < last {
+		e.siftDown(i)
+		e.siftUp(i)
+	}
+}
+
+func (e *Engine) heapFix(p *Proc, key simtime.Seconds) {
+	p.key = key
+	e.siftDown(p.heapIdx)
+	e.siftUp(p.heapIdx)
+}
+
+func (e *Engine) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.heapLess(e.heap[i], e.heap[parent]) {
+			return
+		}
+		e.heapSwap(i, parent)
+		i = parent
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.heap)
+	for {
+		small := i
+		if l := 2*i + 1; l < n && e.heapLess(e.heap[l], e.heap[small]) {
+			small = l
+		}
+		if r := 2*i + 2; r < n && e.heapLess(e.heap[r], e.heap[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		e.heapSwap(i, small)
+		i = small
+	}
+}
+
+func (e *Engine) heapSwap(i, j int) {
+	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
+	e.heap[i].heapIdx = i
+	e.heap[j].heapIdx = j
+}
+
+func (e *Engine) polledAdd(p *Proc) {
+	p.polledIdx = len(e.polled)
+	e.polled = append(e.polled, p)
+}
+
+func (e *Engine) polledRemove(p *Proc) {
+	i := p.polledIdx
+	last := len(e.polled) - 1
+	e.polled[i] = e.polled[last]
+	e.polled[i].polledIdx = i
+	e.polled[last] = nil
+	e.polled = e.polled[:last]
+	p.polledIdx = -1
+}

@@ -209,7 +209,7 @@ func TestAdmissionRejectsWith429(t *testing.T) {
 	// real simulation each) that the single worker cannot drain the
 	// queue between two back-to-back submissions.
 	spec := func(i int) scenario.Spec {
-		return scenario.Spec{Kernel: "jacobi", Scale: 0.12, Procs: 2, Hosts: 4 + i}
+		return scenario.Spec{Kernel: "jacobi", Scale: 0.25, Procs: 2, Hosts: 4 + i}
 	}
 	var rejected int
 	var last *http.Response
@@ -232,10 +232,22 @@ func TestAdmissionRejectsWith429(t *testing.T) {
 	if rejected == 0 {
 		t.Fatal("queue never filled: no 429 observed")
 	}
-	// Drain the accepted jobs.
+	// Drain the accepted jobs. A single wait=true GET can return a
+	// still-running job when the simulation outlasts the server's
+	// WaitTimeout (the race detector slows jobs ~20x), so poll like
+	// the load driver does.
 	for _, v := range views {
-		if body, code := get(t, ts, "/v1/jobs/"+v.ID+"?wait=true"); code != http.StatusOK || !strings.Contains(string(body), `"done"`) {
-			t.Fatalf("job %s: %d %s", v.ID, code, body)
+		for {
+			body, code := get(t, ts, "/v1/jobs/"+v.ID+"?wait=true")
+			if code != http.StatusOK {
+				t.Fatalf("job %s: %d %s", v.ID, code, body)
+			}
+			if strings.Contains(string(body), `"done"`) {
+				break
+			}
+			if !strings.Contains(string(body), `"running"`) && !strings.Contains(string(body), `"queued"`) {
+				t.Fatalf("job %s in unexpected state: %s", v.ID, body)
+			}
 		}
 	}
 	st := srv.Stats()

@@ -1,8 +1,9 @@
 package page
 
 import (
-	"bytes"
+	"encoding/binary"
 	"fmt"
+	"math/bits"
 )
 
 // Run is a maximal contiguous range of modified words within a page.
@@ -23,35 +24,62 @@ type Diff struct {
 // count, two bytes each (TreadMarks encodes diffs as such run lists).
 const runHeaderBytes = 4
 
+// maxRuns is the most runs one page can diff into: changed and
+// unchanged words strictly alternating.
+const maxRuns = Words / 2
+
 // Make scans current against twin and returns their diff, or nil if
 // the page is unchanged. Both slices must be exactly one page.
+//
+// The scan compares whole 8-byte words as uint64 loads — one compare
+// per word instead of a bytes.Equal call per word — and the run
+// payloads share a single backing buffer, so a Make costs at most
+// three allocations (Diff, run headers, payload) however fragmented
+// the modifications are.
 func Make(twin, current []byte) *Diff {
 	mustPage(twin)
 	mustPage(current)
-	var d Diff
+
+	// First pass: find the run boundaries and the payload total. The
+	// boundary scratch lives on the stack.
+	var starts, ends [maxRuns]uint16
+	n := 0
+	total := 0
 	w := 0
 	for w < Words {
 		off := w * WordBytes
-		if bytes.Equal(twin[off:off+WordBytes], current[off:off+WordBytes]) {
+		if binary.LittleEndian.Uint64(twin[off:]) == binary.LittleEndian.Uint64(current[off:]) {
 			w++
 			continue
 		}
 		start := w
 		for w < Words {
 			off = w * WordBytes
-			if bytes.Equal(twin[off:off+WordBytes], current[off:off+WordBytes]) {
+			if binary.LittleEndian.Uint64(twin[off:]) == binary.LittleEndian.Uint64(current[off:]) {
 				break
 			}
 			w++
 		}
-		data := make([]byte, (w-start)*WordBytes)
-		copy(data, current[start*WordBytes:w*WordBytes])
-		d.Runs = append(d.Runs, Run{Word: uint16(start), Data: data})
+		starts[n], ends[n] = uint16(start), uint16(w)
+		n++
+		total += (w - start) * WordBytes
 	}
-	if len(d.Runs) == 0 {
+	if n == 0 {
 		return nil
 	}
-	return &d
+
+	// Second pass: copy the payloads into one shared backing buffer.
+	backing := make([]byte, total)
+	runs := make([]Run, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		lo, hi := int(starts[i])*WordBytes, int(ends[i])*WordBytes
+		data := backing[off : off+(hi-lo) : off+(hi-lo)]
+		copy(data, current[lo:hi])
+		runs[i] = Run{Word: starts[i], Data: data}
+		off += hi - lo
+	}
+	return &Diff{Runs: runs}
 }
 
 // Apply writes the diff's runs into dst, which must be exactly one
@@ -107,41 +135,55 @@ func (d *Diff) Overlaps(o *Diff) bool {
 	return ok
 }
 
+// maskWords is the size of a per-page word bitset in uint64 lanes.
+const maskWords = Words / 64
+
 // FirstOverlap returns the lowest word index modified by both diffs,
 // and whether one exists. The DSM's word-race diagnostics use it to
 // name the conflicting word in their panic messages.
+//
+// Both diffs rasterise into 64-byte stack bitsets ([Words/64]uint64,
+// not the [Words]bool mask this used to allocate per call); the lowest
+// common word is the first set bit of their intersection.
 func (d *Diff) FirstOverlap(o *Diff) (int, bool) {
 	if d == nil || o == nil {
 		return 0, false
 	}
-	var mask [Words]bool
+	var a, b [maskWords]uint64
 	for _, r := range d.Runs {
-		for w := 0; w < len(r.Data)/WordBytes; w++ {
-			mask[int(r.Word)+w] = true
+		end := int(r.Word) + len(r.Data)/WordBytes
+		for w := int(r.Word); w < end; w++ {
+			a[w>>6] |= 1 << uint(w&63)
 		}
 	}
-	first, found := 0, false
 	for _, r := range o.Runs {
-		for w := 0; w < len(r.Data)/WordBytes; w++ {
-			i := int(r.Word) + w
-			if mask[i] && (!found || i < first) {
-				first, found = i, true
-			}
+		end := int(r.Word) + len(r.Data)/WordBytes
+		for w := int(r.Word); w < end; w++ {
+			b[w>>6] |= 1 << uint(w&63)
 		}
 	}
-	return first, found
+	for i := 0; i < maskWords; i++ {
+		if common := a[i] & b[i]; common != 0 {
+			return i<<6 | bits.TrailingZeros64(common), true
+		}
+	}
+	return 0, false
 }
 
-// Clone returns a deep copy of the diff.
+// Clone returns a deep copy of the diff. Like Make, the copy's run
+// payloads share one backing buffer.
 func (d *Diff) Clone() *Diff {
 	if d == nil {
 		return nil
 	}
+	backing := make([]byte, d.DataBytes())
 	c := &Diff{Runs: make([]Run, len(d.Runs))}
+	off := 0
 	for i, r := range d.Runs {
-		data := make([]byte, len(r.Data))
+		data := backing[off : off+len(r.Data) : off+len(r.Data)]
 		copy(data, r.Data)
 		c.Runs[i] = Run{Word: r.Word, Data: data}
+		off += len(r.Data)
 	}
 	return c
 }

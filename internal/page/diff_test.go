@@ -267,3 +267,65 @@ func BenchmarkDiffApplyFull(b *testing.B) {
 		d.Apply(dst)
 	}
 }
+
+func BenchmarkDiffFirstOverlap(b *testing.B) {
+	p := make([]byte, Size)
+	fill(p, 9)
+	tw := Twin(p)
+	// Two moderately dense writers with one common word near the end:
+	// the bitset walk has to cover most of the mask before it hits.
+	a := append([]byte(nil), p...)
+	for i := 0; i < Size; i += 64 {
+		a[i] ^= 1
+	}
+	c := append([]byte(nil), p...)
+	for i := 32; i < Size; i += 64 {
+		c[i] ^= 1
+	}
+	a[Size-8] ^= 1
+	c[Size-8] ^= 1
+	da := Make(tw, a)
+	dc := Make(tw, c)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := da.FirstOverlap(dc); !ok {
+			b.Fatal("expected an overlap")
+		}
+	}
+}
+
+// TestHotPathAllocationPins pins the allocation counts of the codec
+// hot paths, so an accidental heap escape (a reverted stack scratch
+// buffer, a boxed scalar) fails loudly instead of surfacing as a GC
+// regression in the bench matrix.
+func TestHotPathAllocationPins(t *testing.T) {
+	p := make([]byte, Size)
+	fill(p, 10)
+	tw := Twin(p)
+	mod := append([]byte(nil), p...)
+	for i := 0; i < Size; i += 128 {
+		mod[i] ^= 1
+	}
+	other := append([]byte(nil), p...)
+	for i := 64; i < Size; i += 128 {
+		other[i] ^= 1
+	}
+	d := Make(tw, mod)
+	od := Make(tw, other)
+
+	if n := testing.AllocsPerRun(200, func() { d.Apply(p) }); n != 0 {
+		t.Errorf("Diff.Apply allocates %v times per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { d.FirstOverlap(od) }); n != 0 {
+		t.Errorf("Diff.FirstOverlap allocates %v times per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { d.Overlaps(od) }); n != 0 {
+		t.Errorf("Diff.Overlaps allocates %v times per run, want 0", n)
+	}
+	// Make's scratch (run boundaries) lives on the stack; only the Diff
+	// header, the run slice and the single payload backing buffer may
+	// allocate.
+	if n := testing.AllocsPerRun(200, func() { Make(tw, mod) }); n > 3 {
+		t.Errorf("Diff.Make allocates %v times per run, want <= 3", n)
+	}
+}

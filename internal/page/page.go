@@ -7,7 +7,10 @@
 // diffs merge without conflict at the next synchronisation.
 package page
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 const (
 	// Size is the shared-memory page size in bytes, matching the 4 KB
@@ -33,13 +36,42 @@ func Count(bytes int) int {
 	return (bytes + Size - 1) / Size
 }
 
+// pool recycles page-sized buffers: twins live for one interval and
+// page copies are dropped at every refetch and garbage collection, so
+// the hot paths would otherwise allocate a fresh 4 KB block per event.
+// Pooling is invisible to the simulation — every Get is immediately
+// and fully overwritten (Twin copies a whole page, Zeroed clears) — so
+// results stay bit-exact no matter which buffer comes back.
+var pool = sync.Pool{New: func() any { return new([Size]byte) }}
+
 // Twin returns a pristine copy of the page taken before the first write
-// of an interval. The input must be exactly one page.
+// of an interval (also the general "copy one page" allocator: fetches
+// duplicate a remote copy through it). The input must be exactly one
+// page. The buffer may be recycled; pass it to Release when provably
+// dropping the last reference.
 func Twin(data []byte) []byte {
 	mustPage(data)
-	t := make([]byte, Size)
-	copy(t, data)
-	return t
+	t := pool.Get().(*[Size]byte)
+	copy(t[:], data)
+	return t[:]
+}
+
+// Zeroed returns a zero-filled page.
+func Zeroed() []byte {
+	t := pool.Get().(*[Size]byte)
+	clear(t[:])
+	return t[:]
+}
+
+// Release returns a page buffer obtained from Twin or Zeroed to the
+// pool. nil is a no-op; so is a buffer of the wrong shape (a caller
+// holding a foreign slice simply leaves it to the garbage collector).
+// The caller must hold the only remaining reference.
+func Release(b []byte) {
+	if len(b) != Size || cap(b) != Size {
+		return
+	}
+	pool.Put((*[Size]byte)(b))
 }
 
 func mustPage(b []byte) {

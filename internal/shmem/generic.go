@@ -31,60 +31,142 @@ func Sizeof[T Element]() int {
 
 // encodeSlice marshals src into buf (little-endian bit patterns); buf
 // must hold len(src)*Sizeof[T] bytes. Together with decodeSlice it is
-// the single codec path shared by every Element instantiation.
+// the single codec path shared by every Element instantiation. The
+// 4-byte loops re-slice buf to the exact length first (so the bounds
+// checks hoist out of the loop) and store element pairs as one 64-bit
+// word — this is the hottest code in the whole simulator, run once
+// per element of every bulk access.
 func encodeSlice[T Element](src []T, buf []byte) {
 	switch s := any(src).(type) {
 	case []float32:
-		for i, v := range s {
-			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+		buf = buf[:4*len(s)]
+		i := 0
+		for ; i+1 < len(s); i += 2 {
+			w := uint64(math.Float32bits(s[i])) | uint64(math.Float32bits(s[i+1]))<<32
+			binary.LittleEndian.PutUint64(buf[4*i:], w)
+		}
+		if i < len(s) {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(s[i]))
 		}
 	case []float64:
+		buf = buf[:8*len(s)]
 		for i, v := range s {
-			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
 		}
 	case []complex128:
+		buf = buf[:16*len(s)]
 		for i, v := range s {
-			binary.LittleEndian.PutUint64(buf[i*16:], math.Float64bits(real(v)))
-			binary.LittleEndian.PutUint64(buf[i*16+8:], math.Float64bits(imag(v)))
+			binary.LittleEndian.PutUint64(buf[16*i:], math.Float64bits(real(v)))
+			binary.LittleEndian.PutUint64(buf[16*i+8:], math.Float64bits(imag(v)))
 		}
 	case []int32:
-		for i, v := range s {
-			binary.LittleEndian.PutUint32(buf[i*4:], uint32(v))
+		buf = buf[:4*len(s)]
+		i := 0
+		for ; i+1 < len(s); i += 2 {
+			w := uint64(uint32(s[i])) | uint64(uint32(s[i+1]))<<32
+			binary.LittleEndian.PutUint64(buf[4*i:], w)
+		}
+		if i < len(s) {
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(s[i]))
 		}
 	case []int64:
+		buf = buf[:8*len(s)]
 		for i, v := range s {
-			binary.LittleEndian.PutUint64(buf[i*8:], uint64(v))
+			binary.LittleEndian.PutUint64(buf[8*i:], uint64(v))
 		}
 	case []uint8:
 		copy(buf, s)
 	}
 }
 
+// encodeOne marshals a single element into buf, the scalar fast path
+// behind Set: unlike encodeSlice it boxes a scalar rather than a
+// slice, which escape analysis keeps off the heap (pinned by an
+// AllocsPerRun test).
+func encodeOne[T Element](v T, buf []byte) {
+	switch s := any(v).(type) {
+	case float32:
+		binary.LittleEndian.PutUint32(buf, math.Float32bits(s))
+	case float64:
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(s))
+	case complex128:
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(real(s)))
+		binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(imag(s)))
+	case int32:
+		binary.LittleEndian.PutUint32(buf, uint32(s))
+	case int64:
+		binary.LittleEndian.PutUint64(buf, uint64(s))
+	case uint8:
+		buf[0] = s
+	}
+}
+
+// decodeOne unmarshals a single element from buf, the scalar fast
+// path behind Get.
+func decodeOne[T Element](buf []byte) T {
+	var v T
+	switch d := any(&v).(type) {
+	case *float32:
+		*d = math.Float32frombits(binary.LittleEndian.Uint32(buf))
+	case *float64:
+		*d = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	case *complex128:
+		re := math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		im := math.Float64frombits(binary.LittleEndian.Uint64(buf[8:]))
+		*d = complex(re, im)
+	case *int32:
+		*d = int32(binary.LittleEndian.Uint32(buf))
+	case *int64:
+		*d = int64(binary.LittleEndian.Uint64(buf))
+	case *uint8:
+		*d = buf[0]
+	}
+	return v
+}
+
 // decodeSlice unmarshals buf into dst; buf must hold
-// len(dst)*Sizeof[T] bytes.
+// len(dst)*Sizeof[T] bytes. Mirrors encodeSlice's loop structure for
+// the same reasons.
 func decodeSlice[T Element](buf []byte, dst []T) {
 	switch d := any(dst).(type) {
 	case []float32:
-		for i := range d {
-			d[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+		buf = buf[:4*len(d)]
+		i := 0
+		for ; i+1 < len(d); i += 2 {
+			w := binary.LittleEndian.Uint64(buf[4*i:])
+			d[i] = math.Float32frombits(uint32(w))
+			d[i+1] = math.Float32frombits(uint32(w >> 32))
+		}
+		if i < len(d) {
+			d[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
 		}
 	case []float64:
+		buf = buf[:8*len(d)]
 		for i := range d {
-			d[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+			d[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
 		}
 	case []complex128:
+		buf = buf[:16*len(d)]
 		for i := range d {
-			re := math.Float64frombits(binary.LittleEndian.Uint64(buf[i*16:]))
-			im := math.Float64frombits(binary.LittleEndian.Uint64(buf[i*16+8:]))
+			re := math.Float64frombits(binary.LittleEndian.Uint64(buf[16*i:]))
+			im := math.Float64frombits(binary.LittleEndian.Uint64(buf[16*i+8:]))
 			d[i] = complex(re, im)
 		}
 	case []int32:
-		for i := range d {
-			d[i] = int32(binary.LittleEndian.Uint32(buf[i*4:]))
+		buf = buf[:4*len(d)]
+		i := 0
+		for ; i+1 < len(d); i += 2 {
+			w := binary.LittleEndian.Uint64(buf[4*i:])
+			d[i] = int32(uint32(w))
+			d[i+1] = int32(uint32(w >> 32))
+		}
+		if i < len(d) {
+			d[i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
 		}
 	case []int64:
+		buf = buf[:8*len(d)]
 		for i := range d {
-			d[i] = int64(binary.LittleEndian.Uint64(buf[i*8:]))
+			d[i] = int64(binary.LittleEndian.Uint64(buf[8*i:]))
 		}
 	case []uint8:
 		copy(d, buf)
@@ -135,50 +217,56 @@ func (a *Array[T]) check(lo, hi int) {
 	}
 }
 
-// Get reads element i.
+// Get reads element i, decoding straight out of page memory. An
+// element never straddles a page: arrays start at region offset 0 and
+// the page size is a multiple of every element size.
 func (a *Array[T]) Get(m Context, i int) T {
 	mustContext(m)
 	a.check(i, i+1)
-	var b [16]byte
-	buf := b[:a.elem]
-	m.Host.Read(a.region.ID, i*a.elem, buf, m.Clock)
-	var one [1]T
-	decodeSlice(buf, one[:])
-	return one[0]
+	return decodeOne[T](m.Host.ReadSpan(a.region.ID, i*a.elem, a.elem, m.Clock))
 }
 
-// Set writes element i.
+// Set writes element i, encoding straight into page memory.
 func (a *Array[T]) Set(m Context, i int, v T) {
 	mustContext(m)
 	a.check(i, i+1)
-	var b [16]byte
-	buf := b[:a.elem]
-	encodeSlice([]T{v}, buf)
-	m.Host.Write(a.region.ID, i*a.elem, buf, m.Clock)
+	encodeOne(v, m.Host.WriteSpan(a.region.ID, i*a.elem, a.elem, m.Clock))
 }
 
 // ReadRange copies elements [lo,hi) into dst, which must have length
 // hi-lo. Bulk accessors amortise the page-granularity fault checks
 // over the whole range, which is how compiled OpenMP loop bodies
-// access shared arrays.
+// access shared arrays; elements decode page by page straight out of
+// page memory, with no staging buffer in between.
 func (a *Array[T]) ReadRange(m Context, lo, hi int, dst []T) {
 	mustContext(m)
 	a.check(lo, hi)
 	if len(dst) != hi-lo {
 		panic(fmt.Sprintf("shmem: dst has %d elements, want %d", len(dst), hi-lo))
 	}
-	buf := make([]byte, (hi-lo)*a.elem)
-	m.Host.Read(a.region.ID, lo*a.elem, buf, m.Clock)
-	decodeSlice(buf, dst)
+	off := lo * a.elem
+	for len(dst) > 0 {
+		b := m.Host.ReadSpan(a.region.ID, off, len(dst)*a.elem, m.Clock)
+		k := len(b) / a.elem
+		decodeSlice(b, dst[:k])
+		dst = dst[k:]
+		off += len(b)
+	}
 }
 
-// WriteRange copies src into elements [lo, lo+len(src)).
+// WriteRange copies src into elements [lo, lo+len(src)), encoding
+// page by page straight into page memory.
 func (a *Array[T]) WriteRange(m Context, lo int, src []T) {
 	mustContext(m)
 	a.check(lo, lo+len(src))
-	buf := make([]byte, len(src)*a.elem)
-	encodeSlice(src, buf)
-	m.Host.Write(a.region.ID, lo*a.elem, buf, m.Clock)
+	off := lo * a.elem
+	for len(src) > 0 {
+		b := m.Host.WriteSpan(a.region.ID, off, len(src)*a.elem, m.Clock)
+		k := len(b) / a.elem
+		encodeSlice(src[:k], b)
+		src = src[k:]
+		off += len(b)
+	}
 }
 
 // Matrix is a shared row-major rows x cols matrix of T.

@@ -10,7 +10,7 @@ import (
 	"nowomp/internal/simtime"
 )
 
-func testCluster(t *testing.T, hosts int) (*dsm.Cluster, []Context) {
+func testCluster(t testing.TB, hosts int) (*dsm.Cluster, []Context) {
 	t.Helper()
 	c, err := dsm.New(dsm.Config{MaxHosts: hosts})
 	if err != nil {

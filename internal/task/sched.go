@@ -62,6 +62,15 @@ type Runner struct {
 	workers []*Worker
 	live    int64 // tasks spawned and not yet completed
 	stats   Stats
+
+	// wake is the region-wide wait list: every worker scheduling point
+	// parks on it, and every mutation of the schedule state a wake
+	// condition reads — deques, live, join counters, worker kinds, the
+	// team itself — notifies it. One list for the whole region (rather
+	// than per-resource) because the wake conditions read global state:
+	// victim selection scans every deque, and the drained check scans
+	// every worker.
+	wake engine.WaitList
 }
 
 // NewRunner returns a runner for one task region.
@@ -151,10 +160,13 @@ func (s *Runner) victim(w *Worker) *Worker {
 	return best
 }
 
-// popOwn takes the newest task from w's own deque (LIFO).
+// popOwn takes the newest task from w's own deque (LIFO). The removal
+// can redirect a parked thief to a different victim whose top task is
+// older — an earlier wake instant — so the wait list must be notified.
 func (s *Runner) popOwn(w *Worker) *Task {
 	t := w.deque[len(w.deque)-1]
 	w.deque = w.deque[:len(w.deque)-1]
+	s.wake.Notify()
 	return t
 }
 
@@ -184,6 +196,9 @@ func (s *Runner) steal(w, v *Worker) *Task {
 
 	s.stats.Steals++
 	s.stats.StealBytes += int64(s.cfg.ClosureBytes)
+	// Like popOwn: shortening v's deque can switch other thieves to an
+	// older victim task, moving their wake instants earlier.
+	s.wake.Notify()
 	return t
 }
 
@@ -191,6 +206,9 @@ func (s *Runner) steal(w, v *Worker) *Task {
 // a task whose parent waits on another process, the release and the
 // completion notice that lets the waiter eventually acquire.
 func (s *Runner) complete(w *Worker, t *Task) {
+	// A completion can satisfy a parked TaskWait (join counter, remote
+	// arrival instant) or the region-drained condition.
+	defer s.wake.Notify()
 	s.live--
 	s.stats.Executed++
 	w.executed++
@@ -315,4 +333,7 @@ func (s *Runner) rebind(team []dsm.HostID, at simtime.Seconds) {
 	if s.cfg.Hooks.Rebound != nil {
 		s.cfg.Hooks.Rebound(s.workers)
 	}
+	// The team, the deques and every clock changed: re-examine every
+	// parked worker (retired ones must wake to exit).
+	s.wake.Notify()
 }

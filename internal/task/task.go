@@ -109,14 +109,16 @@ func (w *Worker) Spawn(body Body) {
 		panic("task: Spawn called outside a task")
 	}
 	t := &Task{body: body, parent: w.frames[len(w.frames)-1]}
-	w.pause(parkSpawn, "spawn", w.readyNow)
+	w.pause(parkSpawn, "spawn", nil)
 	t.home = w.host.ID()
 	t.at = w.clk.Now()
 	t.parent.outstanding++
 	w.deque = append(w.deque, t)
 	w.s.live++
 	w.s.stats.Spawned++
-	w.pause(parkResume, "resume after spawn", w.readyNow)
+	// The new task may satisfy a parked worker's steal or pop condition.
+	w.s.wake.Notify()
+	w.pause(parkResume, "resume after spawn", nil)
 }
 
 // TaskWait blocks until every direct child task of the currently
@@ -156,12 +158,9 @@ func (w *Worker) TaskWait() {
 	}
 }
 
-// readyNow is the wake condition of the bookkeeping scheduling points
-// (spawn, completion, resume): always runnable, at the worker's own
-// clock.
-func (w *Worker) readyNow() (simtime.Seconds, bool) {
-	return w.clk.Now(), true
-}
+// The bookkeeping scheduling points (spawn, completion, resume) park
+// with a nil wake condition — always runnable, at the worker's own
+// clock — which the engine resolves without calling a closure.
 
 // needReady is the wake condition of the top-level loop: the worker
 // can act when it has (or can steal) a task, and must wake to exit
@@ -197,7 +196,7 @@ func (w *Worker) needReady() (simtime.Seconds, bool) {
 func (w *Worker) pause(kind parkKind, reason string, ready func() (simtime.Seconds, bool)) {
 	for {
 		w.kind = kind
-		at := w.ep.Park(reason, ready)
+		at := w.ep.ParkOn(&w.s.wake, reason, ready)
 		if !w.s.maybeAdapt(at) {
 			w.kind = parkRun
 			return
@@ -212,9 +211,13 @@ func (w *Worker) pause(kind parkKind, reason string, ready func() (simtime.Secon
 func (w *Worker) run() {
 	for {
 		w.kind = parkNeed
-		at := w.ep.Park("task work", w.needReady)
+		// Reaching the top level may complete the region's quiescent
+		// state (every worker stackless): wake the others to check.
+		w.s.wake.Notify()
+		at := w.ep.ParkOn(&w.s.wake, "task work", w.needReady)
 		if w.retired || (w.s.live == 0 && w.s.allAtTop()) {
 			w.exited = true
+			w.s.wake.Notify()
 			return
 		}
 		if w.s.maybeAdapt(at) {
@@ -243,9 +246,9 @@ func (w *Worker) exec(t *Task) {
 	// No implicit wait on children: like an OpenMP task, completion
 	// does not imply its children completed (the region end does).
 	w.frames = w.frames[:len(w.frames)-1]
-	w.pause(parkComplete, "completion", w.readyNow)
+	w.pause(parkComplete, "completion", nil)
 	w.s.complete(w, t)
-	w.pause(parkResume, "resume after completion", w.readyNow)
+	w.pause(parkResume, "resume after completion", nil)
 }
 
 // stackless reports whether the worker holds no task state: parked at

@@ -148,3 +148,43 @@ func TestMergeAlgebra(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func BenchmarkMerge(b *testing.B) {
+	a := New(16)
+	o := New(16)
+	for i := range o {
+		o[i] = int32(i * 3)
+		a[i] = int32(i * 2)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Merge(o)
+	}
+}
+
+func BenchmarkSetAndCovers(b *testing.B) {
+	v := New(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.Set(7, int32(i))
+		if !v.Covers(7, int32(i)) {
+			b.Fatal("just-set entry not covered")
+		}
+	}
+}
+
+// TestMergeAllocationPin pins steady-state Merge and Set to zero
+// allocations: growth happens only when a process index first appears.
+func TestMergeAllocationPin(t *testing.T) {
+	a := New(16)
+	o := New(16)
+	for i := range o {
+		o[i] = int32(i)
+	}
+	if n := testing.AllocsPerRun(200, func() { a.Merge(o) }); n != 0 {
+		t.Errorf("same-width Merge allocates %v times per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { a.Set(3, 1) }); n != 0 {
+		t.Errorf("in-range Set allocates %v times per run, want 0", n)
+	}
+}
