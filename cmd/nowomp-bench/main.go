@@ -48,6 +48,7 @@ func main() {
 		pairs    = flag.Int("pairs", 3, "leave/join pairs per Table 2 run")
 		jsonPath = flag.String("json", "", "write a machine-readable BENCH_*.json report to this path")
 		parallel = flag.Int("parallel", 1, "worker-pool size for independent scenario cells (0 = GOMAXPROCS); results are byte-identical at any level")
+		quiet    = flag.Bool("q", false, "suppress the per-cell progress/ETA ticks on stderr")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this path")
 		memProf  = flag.String("memprofile", "", "write a pprof allocation profile taken at exit to this path")
 	)
@@ -65,6 +66,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nowomp-bench:", err)
 		os.Exit(1)
+	}
+	if !*quiet {
+		// Progress ticks are stderr-only so the deterministic stdout
+		// and -json contracts are unaffected.
+		opt.Progress = os.Stderr
 	}
 	stopProf, err := startProfiles(*cpuProf, *memProf)
 	if err != nil {

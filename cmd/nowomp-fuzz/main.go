@@ -25,6 +25,7 @@ func main() {
 	budget := flag.Int("shrink-budget", 0, "oracle batteries per shrink (0 = default, negative = no shrinking)")
 	jsonOut := flag.String("json", "", "write the full report as JSON to this file")
 	quiet := flag.Bool("q", false, "suppress per-scenario progress lines")
+	fullScale := flag.Bool("fullscale", false, "mix near-1.0 scale points into the generator grid (slow: full-scale oracle batteries)")
 	flag.Parse()
 
 	var progress io.Writer = os.Stdout
@@ -33,6 +34,7 @@ func main() {
 	}
 	rep := scenfuzz.Batch(scenfuzz.BatchOptions{
 		Seed: *seed, Count: *count, ShrinkBudget: *budget, Progress: progress,
+		FullScale: *fullScale,
 	})
 
 	if *jsonOut != "" {

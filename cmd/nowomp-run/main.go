@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"text/tabwriter"
 
 	"nowomp/internal/adapt"
@@ -34,7 +35,23 @@ func main() {
 	spec.BindAll(flag.CommandLine)
 	flag.BoolVar(&spec.Adaptive, "adaptive", true, "use the adaptive runtime variant")
 	flag.BoolVar(&spec.Verify, "verify", true, "check the result against the sequential reference")
+	cpuProf := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 	flag.Parse()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nowomp-run: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "nowomp-run: -cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 	if err := run(spec); err != nil {
 		fmt.Fprintln(os.Stderr, "nowomp-run:", err)
 		os.Exit(1)

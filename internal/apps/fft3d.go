@@ -141,9 +141,21 @@ func RunFFT3D(rt *omp.Runtime, cfg FFT3DConfig) (Result, error) {
 			out := make([]complex128, nzb*dyx)
 			for x := 0; x < dx; x++ {
 				for y := 0; y < dy; y++ {
-					src.ReadRange(p.Mem(), (x*dy+y)*dz+lo, (x*dy+y)*dz+hi, slab)
-					for zi, v := range slab {
-						out[zi*dyx+y*dx+x] = v
+					base := (x*dy + y) * dz
+					// A z-slab is a sub-run of one pencil; pencils are
+					// power-of-two sized and aligned, so the slab sits in
+					// one page and the typed span reads it without a
+					// decode pass. The staged path covers dims large
+					// enough to straddle pages.
+					if s := src.ReadSpan(p.Mem(), base+lo, base+hi); len(s) == nzb {
+						for zi, v := range s {
+							out[zi*dyx+y*dx+x] = v
+						}
+					} else {
+						src.ReadRange(p.Mem(), base+lo, base+hi, slab)
+						for zi, v := range slab {
+							out[zi*dyx+y*dx+x] = v
+						}
 					}
 				}
 			}
@@ -153,10 +165,21 @@ func RunFFT3D(rt *omp.Runtime, cfg FFT3DConfig) (Result, error) {
 
 		// Pass 3: transform along x, now the fastest axis of dst.
 		rt.For("fft.third", 0, dz, func(p *omp.Proc, lo, hi int) {
-			row := make([]complex128, dx)
+			// Rows along the new fastest axis are power-of-two sized and
+			// aligned, so each fits in one page span and the butterflies
+			// run in place on page memory: the WriteSpan faults and twins
+			// exactly as the staged read+write pair did.
+			var row []complex128 // staged fallback for page-straddling dims
 			for z := lo; z < hi; z++ {
 				for y := 0; y < dy; y++ {
 					off := (z*dy + y) * dx
+					if s := dst.WriteSpan(p.Mem(), off, off+dx); len(s) == dx {
+						fft1D(s)
+						continue
+					}
+					if row == nil {
+						row = make([]complex128, dx)
+					}
 					dst.ReadRange(p.Mem(), off, off+dx, row)
 					fft1D(row)
 					dst.WriteRange(p.Mem(), off, row)

@@ -101,15 +101,30 @@ func RunGauss(rt *omp.Runtime, cfg GaussConfig) (Result, error) {
 			width := n - k
 			pivot := make([]float32, width)
 			a.ReadRowRange(p.Mem(), k, k, n, pivot)
-			row := make([]float32, width)
 			for i := lo; i < hi; i++ {
-				a.ReadRowRange(p.Mem(), i, k, n, row)
-				m := row[0] / pivot[0]
-				row[0] = 0
-				for j := 1; j < width; j++ {
-					row[j] -= m * pivot[j]
+				// Eliminate in place, span by span: WriteRowSpan faults
+				// the row in and twins it exactly as the staged
+				// read-then-write pair did, but the update runs directly
+				// on page memory with no decode/encode round trip.
+				var m float32
+				for j := k; j < n; {
+					s := a.WriteRowSpan(p.Mem(), i, j, n)
+					// Slice the pivot window to exactly len(s) so the
+					// element loop runs without bounds checks.
+					pv := pivot[j-k : j-k+len(s)]
+					q := 0
+					if j == k {
+						m = s[0] / pv[0]
+						s[0] = 0
+						q = 1
+					}
+					s2 := s[q:]
+					pv2 := pv[q:][:len(s2)]
+					for idx := range s2 {
+						s2[idx] -= m * pv2[idx]
+					}
+					j += len(s)
 				}
-				a.WriteRowRange(p.Mem(), i, k, row)
 			}
 			p.ChargeUnits((hi-lo)*width, cfg.CostPerElem)
 		})

@@ -87,20 +87,37 @@ func RunJacobi(rt *omp.Runtime, cfg JacobiConfig) (Result, error) {
 	for it := 0; it < cfg.Iters; it++ {
 		src, dst := grids[cur], grids[1-cur]
 		rt.For("jacobi.sweep", 1, n-1, func(p *omp.Proc, lo, hi int) {
-			up := make([]float32, n)
-			mid := make([]float32, n)
-			down := make([]float32, n)
-			out := make([]float32, n)
-			src.ReadRow(p.Mem(), lo-1, up)
-			src.ReadRow(p.Mem(), lo, mid)
-			for i := lo; i < hi; i++ {
-				src.ReadRow(p.Mem(), i+1, down)
-				out[0], out[n-1] = mid[0], mid[n-1]
-				for j := 1; j < n-1; j++ {
-					out[j] = 0.25 * (up[j] + down[j] + mid[j-1] + mid[j+1])
+			// Both sides of the stencil run on page memory: the three
+			// source rows and the output row are collected as typed span
+			// lists once per row (the source lists rotate like the old
+			// staging buffers, so each row is resolved once), and the
+			// stencil itself runs over equal-length chunks with no
+			// staging copy, no decode pass and no per-element accessor.
+			// Page events are identical to the staged loop: the same
+			// rows fault in and twin inside the same construct body.
+			mem := p.Mem()
+			collectRead := func(spans [][]float32, i int) [][]float32 {
+				spans = spans[:0]
+				for j := 0; j < n; {
+					s := src.ReadRowSpan(mem, i, j, n)
+					spans = append(spans, s)
+					j += len(s)
 				}
-				dst.WriteRow(p.Mem(), i, out)
-				up, mid, down = mid, down, up
+				return spans
+			}
+			var us, ms, ds, os [][]float32
+			us = collectRead(us, lo-1)
+			ms = collectRead(ms, lo)
+			for i := lo; i < hi; i++ {
+				ds = collectRead(ds, i+1)
+				os = os[:0]
+				for j := 0; j < n; {
+					s := dst.WriteRowSpan(mem, i, j, n)
+					os = append(os, s)
+					j += len(s)
+				}
+				jacobiRowSpans(os, us, ms, ds, n)
+				us, ms, ds = ms, ds, us
 			}
 			p.ChargeUnits((hi-lo)*(n-2), cfg.CostPerElem)
 		})
@@ -122,6 +139,91 @@ func RunJacobi(rt *omp.Runtime, cfg JacobiConfig) (Result, error) {
 	}
 	res.Checksum = sum
 	return res, nil
+}
+
+// jacobiRowSpans computes one output row of the 5-point stencil from
+// span lists of the row above (us), the row itself (ms) and the row
+// below (ds) into the output span list (os). Chunks are bounded by the
+// nearest page break of any of the four rows; within a chunk all four
+// views are re-sliced to a common length so the hot loop runs with
+// every bounds check eliminated. The first and last grid columns copy
+// the mid value, exactly like the staged loop did.
+func jacobiRowSpans(os, us, ms, ds [][]float32, n int) {
+	oi, ui, mi, di := 0, 0, 0, 0
+	o, u, m, d := os[0], us[0], ms[0], ds[0]
+	var left float32 // mid[j-1], carried across chunk boundaries
+	for j := 0; j < n; {
+		L := len(o)
+		if len(u) < L {
+			L = len(u)
+		}
+		if len(m) < L {
+			L = len(m)
+		}
+		if len(d) < L {
+			L = len(d)
+		}
+		o2, u2, m2, d2 := o[:L], u[:L], m[:L], d[:L]
+		// The right neighbour of the chunk's last column lives either
+		// later in the mid span or at the head of the next one.
+		var right float32
+		if L < len(m) {
+			right = m[L]
+		} else if j+L < n {
+			right = ms[mi+1][0]
+		}
+		q0, q1 := 0, L // columns of this chunk that hold stencil output
+		if j == 0 {
+			o2[0] = m2[0]
+			q0 = 1
+		}
+		if j+L == n {
+			o2[L-1] = m2[L-1]
+			q1 = L - 1
+		}
+		lo2, hi2 := q0, q1
+		if lo2 < 1 {
+			lo2 = 1
+		}
+		if hi2 > L-1 {
+			hi2 = L - 1
+		}
+		for q := lo2; q < hi2; q++ {
+			o2[q] = 0.25 * (u2[q] + d2[q] + m2[q-1] + m2[q+1])
+		}
+		if q0 == 0 && q0 < q1 {
+			mr := right
+			if L > 1 {
+				mr = m2[1]
+			}
+			o2[0] = 0.25 * (u2[0] + d2[0] + left + mr)
+		}
+		if q1 == L && L >= 2 && L-1 >= q0 {
+			o2[L-1] = 0.25 * (u2[L-1] + d2[L-1] + m2[L-2] + right)
+		}
+		left = m2[L-1]
+		j += L
+		o = o[L:]
+		if len(o) == 0 && oi+1 < len(os) {
+			oi++
+			o = os[oi]
+		}
+		u = u[L:]
+		if len(u) == 0 && ui+1 < len(us) {
+			ui++
+			u = us[ui]
+		}
+		m = m[L:]
+		if len(m) == 0 && mi+1 < len(ms) {
+			mi++
+			m = ms[mi]
+		}
+		d = d[L:]
+		if len(d) == 0 && di+1 < len(ds) {
+			di++
+			d = ds[di]
+		}
+	}
 }
 
 // JacobiReference computes the checksum of an identical sequential

@@ -13,6 +13,7 @@ package bench
 
 import (
 	"fmt"
+	"io"
 
 	"nowomp/internal/adapt"
 	"nowomp/internal/apps"
@@ -60,6 +61,10 @@ type Options struct {
 	// bit-reproducible in isolation, so results are byte-identical at
 	// any parallelism level — only the wall clock changes.
 	Parallel int
+	// Progress receives per-cell completion ticks with an ETA from the
+	// matrix experiments (nil = silent). The tool passes stderr; the
+	// stream is monitoring-only and never carries results.
+	Progress io.Writer
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"testing"
+
+	"nowomp/internal/dsm"
+)
+
+// TestCoalescingGoldenTransparent is the differential gate on the
+// metadata-coalescing tentpole: the full golden kernel matrix —
+// adaptation, tasking and heterogeneous costs included — must produce
+// bit-identical simulated times, fabric bytes, message counts and
+// checksums with pruning force-enabled and disabled, and both must
+// still equal the pre-refactor golden table. Coalescing is host-local
+// bookkeeping; any divergence here means it leaked into the simulated
+// protocol.
+func TestCoalescingGoldenTransparent(t *testing.T) {
+	restore := dsm.SetCoalescing(dsm.CoalesceOff)
+	defer restore()
+	off := goldenMatrix(t, dsm.Tmk)
+
+	dsm.SetCoalescing(dsm.CoalesceForce)
+	force := goldenMatrix(t, dsm.Tmk)
+
+	if len(off) != len(force) {
+		t.Fatalf("matrix sizes differ: off %d, force %d", len(off), len(force))
+	}
+	for i := range off {
+		o, f := off[i], force[i]
+		if o != f {
+			t.Errorf("%s diverges between coalescing off and force:\n  off   (%.17g s, %d B, %d msgs, sum %.17g)\n  force (%.17g s, %d B, %d msgs, sum %.17g)",
+				o.Name, o.Time, o.Bytes, o.Messages, o.Checksum, f.Time, f.Bytes, f.Messages, f.Checksum)
+		}
+	}
+	// Both sides must also still be the pre-refactor system bit for bit.
+	assertGolden(t, force)
+}
+
+// TestCoalescingHLRCTransparent runs the same force-vs-off diff under
+// HLRC, whose release-log pruning is the only coalescing surface (it
+// retains no diff chains).
+func TestCoalescingHLRCTransparent(t *testing.T) {
+	restore := dsm.SetCoalescing(dsm.CoalesceOff)
+	defer restore()
+	off := goldenMatrix(t, dsm.HLRC)
+
+	dsm.SetCoalescing(dsm.CoalesceForce)
+	force := goldenMatrix(t, dsm.HLRC)
+
+	for i := range off {
+		if off[i] != force[i] {
+			t.Errorf("%s diverges between coalescing off and force under hlrc:\n  off   %+v\n  force %+v",
+				off[i].Name, off[i], force[i])
+		}
+	}
+}

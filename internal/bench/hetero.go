@@ -129,7 +129,7 @@ func Hetero(opt Options) ([]HeteroRow, error) {
 		}
 	}
 	cellRows := make([]HeteroRow, len(cells))
-	err = runCells(opt.Parallel, len(cells), func(i int) error {
+	err = opt.runMatrix("hetero", len(cells), func(i int) error {
 		row, err := heteroRun(opt, cells[i].sc, cells[i].sched, 0)
 		cellRows[i] = row
 		return err

@@ -1,6 +1,11 @@
 package bench
 
-import "sync"
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
 
 // The worker-pool driver for scenario matrices. Every cell of the
 // table1/tasking/hetero/protocols experiments is an independent
@@ -43,4 +48,61 @@ func runCells(parallel, n int, cell func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// progressMeter emits one line per completed cell — count, elapsed
+// wall time and a remaining-time estimate — so multi-minute scale-1.0
+// matrices are monitorable. It writes to an out-of-band stream (the
+// tool passes stderr) and never touches the experiment results, so the
+// stdout/-json contract is unaffected. A nil meter is silent; ticks
+// may arrive from any pool worker.
+type progressMeter struct {
+	w     io.Writer
+	label string
+	total int
+	start time.Time
+
+	mu   sync.Mutex
+	done int
+}
+
+func newProgressMeter(w io.Writer, label string, total int) *progressMeter {
+	if w == nil {
+		return nil
+	}
+	return &progressMeter{w: w, label: label, total: total, start: time.Now()}
+}
+
+func (m *progressMeter) tick() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.done++
+	elapsed := time.Since(m.start)
+	line := fmt.Sprintf("[bench] %s %d/%d cells, %s elapsed",
+		m.label, m.done, m.total, fmtDuration(elapsed))
+	if m.done < m.total {
+		eta := time.Duration(float64(elapsed) / float64(m.done) * float64(m.total-m.done))
+		line += fmt.Sprintf(", ~%s left", fmtDuration(eta))
+	}
+	fmt.Fprintln(m.w, line)
+}
+
+// fmtDuration renders a duration in whole seconds (1m32s style): ETA
+// estimates are too coarse for sub-second digits to mean anything.
+func fmtDuration(d time.Duration) string {
+	return d.Round(time.Second).String()
+}
+
+// runMatrix is runCells with per-cell progress reporting to
+// opt.Progress, under the experiment's label.
+func (o Options) runMatrix(label string, n int, cell func(i int) error) error {
+	m := newProgressMeter(o.Progress, label, n)
+	return runCells(o.Parallel, n, func(i int) error {
+		err := cell(i)
+		m.tick()
+		return err
+	})
 }

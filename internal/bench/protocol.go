@@ -164,7 +164,7 @@ func Protocols(opt Options) ([]ProtoRow, error) {
 	}
 
 	cellRows := make([]ProtoRow, len(cells))
-	err = runCells(opt.Parallel, len(cells), func(i int) error {
+	err = opt.runMatrix("protocols", len(cells), func(i int) error {
 		var row ProtoRow
 		var err error
 		if cells[i].migratory {

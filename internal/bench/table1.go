@@ -55,7 +55,7 @@ func Table1(opt Options, procCounts []int) ([]Table1Row, error) {
 		}
 	}
 	rows := make([]Table1Row, len(cells))
-	err := runCells(opt.Parallel, len(cells), func(i int) error {
+	err := opt.runMatrix("table1", len(cells), func(i int) error {
 		row, err := table1Row(opt, cells[i].app, cells[i].procs)
 		rows[i] = row
 		return err

@@ -101,7 +101,7 @@ func Tasking(opt Options) ([]TaskingRow, error) {
 		}
 	}
 	rows := make([]TaskingRow, len(cells))
-	err := runCells(opt.Parallel, len(cells), func(i int) error {
+	err := opt.runMatrix("tasking", len(cells), func(i int) error {
 		row, err := taskingPoint(cells[i].workload, n, cells[i].procs, opt.Hosts)
 		rows[i] = row
 		return err

@@ -138,8 +138,8 @@ func (c *Cluster) handoffPage(r RegionID, p int, pm *pageMeta, leaver, dest Host
 	c.stats.PageFetches.Add(1)
 	c.stats.PageBytes.Add(page.Size)
 
-	page.Release(dst.data)
-	dst.data = page.Twin(sst.data)
+	c.releasePage(dst.data)
+	dst.data = c.pagePool.Copy(sst.data)
 	dst.appliedSeq = sst.appliedSeq
 	dst.valid = true
 	return true
@@ -150,8 +150,8 @@ func (c *Cluster) deactivateLocked(h *Host) {
 	for ri := range h.pages {
 		for p := range h.pages[ri] {
 			st := &h.pages[ri][p]
-			page.Release(st.data)
-			page.Release(st.twin)
+			c.releasePage(st.data)
+			c.releasePage(st.twin)
 			*st = pageState{}
 		}
 	}

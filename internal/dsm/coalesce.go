@@ -1,0 +1,159 @@
+package dsm
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Covered-prefix garbage collection of consistency metadata. Two
+// structures grow with interval count between full GCs and were
+// previously rescanned linearly on the hot synchronisation paths:
+//
+//   - each writer's per-page diff chain (Host.diffs), scanned on every
+//     fault, upgrade and GC pull;
+//   - the cluster release log (Cluster.releaseLog), scanned on every
+//     lock acquire.
+//
+// Both are append-only in ascending sequence order, and both have a
+// covered prefix that no future operation can request: a diff with
+// sequence at or below every copy's appliedSeq can never be fetched
+// again (any future patch starts from some copy's appliedSeq, and a
+// base refetch starts from the owner's), and a release-log entry at or
+// below every active host's syncSeq has been honoured by everyone who
+// will ever look. Pruning those prefixes — plus binary-searching the
+// suffix instead of rescanning from the start — makes the amortised
+// per-operation metadata cost independent of how many intervals have
+// passed since the last full GC.
+//
+// Pruning is host-local bookkeeping only. It charges no virtual time,
+// records no fabric traffic, and deliberately does NOT lower
+// Host.diffBytes: the GC-trigger accounting must see exactly the
+// storage the unpruned protocol would, so GC fires at the same
+// barriers and every scenario record stays byte-identical. The
+// differential suite in internal/bench asserts that force-enabled and
+// disabled pruning produce identical encodings.
+
+// CoalescingMode selects how eagerly metadata prefixes are pruned.
+type CoalescingMode int32
+
+const (
+	// CoalesceAuto prunes opportunistically every coalesceStride
+	// appends: amortised O(1) per append, the production default.
+	CoalesceAuto CoalescingMode = iota
+	// CoalesceOff never prunes: metadata accumulates until the next
+	// full GC exactly as it did before prefix pruning existed. The
+	// differential baseline.
+	CoalesceOff
+	// CoalesceForce prunes on every append: maximally eager, used by
+	// the differential suite to surface any observable divergence.
+	CoalesceForce
+)
+
+// coalesceStride is the append interval between prune attempts under
+// CoalesceAuto: frequent enough that chains stay short, rare enough
+// that the O(hosts) floor computation amortises away.
+const coalesceStride = 32
+
+var coalescingMode atomic.Int32
+
+// SetCoalescing selects the metadata-pruning mode and returns a
+// restore function. Like the coherence-mutation hook, it is for
+// sequential test use and must not be toggled mid-simulation.
+func SetCoalescing(mode CoalescingMode) (restore func()) {
+	prev := coalescingMode.Load()
+	coalescingMode.Store(int32(mode))
+	return func() { coalescingMode.Store(prev) }
+}
+
+// ParseCoalescingMode maps the flag spellings to a mode.
+func ParseCoalescingMode(s string) (CoalescingMode, error) {
+	switch s {
+	case "", "auto":
+		return CoalesceAuto, nil
+	case "off":
+		return CoalesceOff, nil
+	case "force":
+		return CoalesceForce, nil
+	}
+	return 0, fmt.Errorf("dsm: unknown coalescing mode %q (want auto, off or force)", s)
+}
+
+// shouldPrune reports whether a structure that has grown to n entries
+// should attempt a prune now.
+func shouldPrune(n int) bool {
+	switch CoalescingMode(coalescingMode.Load()) {
+	case CoalesceOff:
+		return false
+	case CoalesceForce:
+		return true
+	default:
+		return n%coalesceStride == 0
+	}
+}
+
+// diffFloor returns the highest sequence F such that no future
+// operation can request diffs of pk with sequence <= F: the minimum
+// appliedSeq over every copy of the page. Hosts without a copy start
+// from a base fetched off the owner, whose appliedSeq participates in
+// the minimum, so the floor covers them too. The caller holds the
+// directory write lock.
+func (c *Cluster) diffFloor(pk pageKey) int32 {
+	floor := c.seq
+	for _, h := range c.hosts {
+		st := &h.pages[pk.region][pk.page]
+		if st.data == nil {
+			continue
+		}
+		if st.appliedSeq < floor {
+			floor = st.appliedSeq
+		}
+	}
+	return floor
+}
+
+// pruneDiffChain drops the covered prefix of h's diff chain for pk.
+// Entries are ascending by sequence; the prefix is released by zeroing
+// the dropped records (so the page diffs become collectable) and
+// re-slicing. diffBytes is intentionally left untouched — see the
+// package comment above.
+func (c *Cluster) pruneDiffChain(h *Host, pk pageKey) {
+	chain := h.diffs[pk]
+	if len(chain) == 0 {
+		return
+	}
+	floor := c.diffFloor(pk)
+	k := sort.Search(len(chain), func(i int) bool { return chain[i].seq > floor })
+	if k == 0 {
+		return
+	}
+	for i := 0; i < k; i++ {
+		chain[i] = seqDiff{}
+	}
+	h.diffs[pk] = chain[k:]
+}
+
+// pruneReleaseLog drops the release-log prefix already honoured by
+// every active host: entries ascending by sequence at or below the
+// minimum active syncSeq can never be selected by a future acquire
+// (joiners start synchronised to the joining barrier's sequence), and
+// barriers clear the whole log regardless. The caller holds the
+// directory write lock.
+func (c *Cluster) pruneReleaseLog() {
+	if len(c.releaseLog) == 0 {
+		return
+	}
+	minSync := c.seq
+	for _, h := range c.hosts {
+		if h.active && h.syncSeq < minSync {
+			minSync = h.syncSeq
+		}
+	}
+	log := c.releaseLog
+	k := sort.Search(len(log), func(i int) bool { return log[i].seq > minSync })
+	if k == 0 {
+		return
+	}
+	copy(log, log[k:])
+	c.releaseLog = log[:len(log)-k]
+}

@@ -1,15 +1,21 @@
 package dsm
 
 import (
+	"sort"
 	"sync"
 )
 
-// notice is a write notice: host w wrote the page in the interval that
-// closed with sequence number seq. Notices are appended in ascending
-// seq order and cleared by garbage collection.
-type notice struct {
+// noticeRec is the coalesced write-notice record for one writer of one
+// page: the newest interval sequence in which the writer produced a
+// diff. Fault and GC planning only ever need to know *which* writers
+// have diffs newer than a horizon — the per-interval sequences are
+// recovered from the writers' own diff chains — so one record per
+// writer replaces the per-interval notice list that previously grew
+// without bound between garbage collections and was rescanned linearly
+// on every fault.
+type noticeRec struct {
 	writer HostID
-	seq    int32
+	max    int32
 }
 
 // pageMeta is the replicated per-page metadata. In TreadMarks this
@@ -26,16 +32,54 @@ type pageMeta struct {
 	// a full fetch from the owner. Invariant: the owner's copy always
 	// has appliedSeq >= baseSeq.
 	baseSeq int32
-	notices []notice
+	// last is the newest write-notice sequence (zero when none are
+	// outstanding; interval sequences start at one), and lastWriter the
+	// writer that produced it — garbage collection hands the page to its
+	// most recent writer. writers holds one coalesced record per writer
+	// with outstanding notices.
+	last       int32
+	lastWriter HostID
+	writers    []noticeRec
 }
 
 // latestSeq returns the newest write-notice sequence, or baseSeq when
 // the page has no outstanding notices.
 func (pm *pageMeta) latestSeq() int32 {
-	if n := len(pm.notices); n > 0 {
-		return pm.notices[n-1].seq
+	if pm.last > 0 {
+		return pm.last
 	}
 	return pm.baseSeq
+}
+
+// addNotice records that writer w produced a diff in interval s.
+// Sequences only grow, so the per-writer record keeps the maximum.
+func (pm *pageMeta) addNotice(w HostID, s int32) {
+	pm.last = s
+	pm.lastWriter = w
+	for i := range pm.writers {
+		if pm.writers[i].writer == w {
+			pm.writers[i].max = s
+			return
+		}
+	}
+	pm.writers = append(pm.writers, noticeRec{writer: w, max: s})
+}
+
+// resetNotice replaces all outstanding notices with a single record:
+// the single-writer interval close, where no diffs exist and older
+// notices can never be patched in anyway.
+func (pm *pageMeta) resetNotice(w HostID, s int32) {
+	pm.writers = append(pm.writers[:0], noticeRec{writer: w, max: s})
+	pm.last = s
+	pm.lastWriter = w
+}
+
+// clearNotices discards all notice state (garbage collection,
+// region installs).
+func (pm *pageMeta) clearNotices() {
+	pm.writers = nil
+	pm.last = 0
+	pm.lastWriter = 0
 }
 
 // directory is the cluster-wide page metadata table. The write lock is
@@ -59,9 +103,10 @@ func (d *directory) addRegion(npages int, owner HostID) {
 }
 
 // meta returns a copy of the metadata for one page, taken under the
-// read lock. Notices share the underlying array, which is safe because
-// notice slices are append-only between GCs and GC replaces them
-// wholesale.
+// read lock. The writers slice is shared with the live record, which is
+// safe because the engine runs exactly one process at a time: interval
+// closes (which mutate writer records under the write lock) never
+// overlap a fault handler consuming the copy.
 func (d *directory) meta(r RegionID, p int) pageMeta {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
@@ -74,19 +119,17 @@ func (d *directory) metaLocked(r RegionID, p int) *pageMeta {
 	return &d.pages[r][p]
 }
 
-// pendingNotices returns, grouped by writer, the notices of the page
-// with seq in (afterSeq, horizon], excluding the given host's own
-// writes. Callers use it to plan diff fetches.
-func groupPending(pm *pageMeta, afterSeq int32, self HostID) map[HostID][]int32 {
-	var grouped map[HostID][]int32
-	for _, n := range pm.notices {
-		if n.seq <= afterSeq || n.writer == self {
-			continue
+// pendingWriters returns, in ascending host order, the writers holding
+// diffs of the page newer than afterSeq, excluding the given host.
+// Callers fetch each writer's diffs in one message; the writer's own
+// chain supplies the per-interval sequences.
+func pendingWriters(pm *pageMeta, afterSeq int32, self HostID) []HostID {
+	var ws []HostID
+	for _, rec := range pm.writers {
+		if rec.max > afterSeq && rec.writer != self {
+			ws = append(ws, rec.writer)
 		}
-		if grouped == nil {
-			grouped = make(map[HostID][]int32)
-		}
-		grouped[n.writer] = append(grouped[n.writer], n.seq)
 	}
-	return grouped
+	sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+	return ws
 }

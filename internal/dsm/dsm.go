@@ -25,6 +25,7 @@ import (
 
 	"nowomp/internal/engine"
 	"nowomp/internal/machine"
+	"nowomp/internal/page"
 	"nowomp/internal/simnet"
 	"nowomp/internal/simtime"
 )
@@ -116,6 +117,21 @@ type Cluster struct {
 	// releaseLog records pages modified by lock-release intervals since
 	// the last barrier, guarded by the directory lock.
 	releaseLog []relEntry
+
+	// barrierStamp/barrierFirst are per-page barrier scratch, indexed
+	// like the directory ([region][page]) and guarded by the directory
+	// lock. A page whose stamp equals the closing barrier's sequence has
+	// been claimed this barrier, and barrierFirst names its first writer
+	// — replacing the per-barrier writtenBy map that dominated barrier
+	// cost at full scale. multiWriterScratch collects the (rare) pages
+	// with more than one writer.
+	barrierStamp       [][]int32
+	barrierFirst       [][]HostID
+	multiWriterScratch map[pageKey][]HostID
+
+	// pagePool recycles page buffers for this cluster's serialised
+	// events without the shared pool's synchronisation.
+	pagePool page.Freelist
 
 	// eng is the discrete-event engine driving the current parallel
 	// construct (nil between constructs); blocking primitives park the
@@ -250,6 +266,8 @@ func (c *Cluster) Alloc(name string, bytes int) (*Region, error) {
 	}
 	c.regions = append(c.regions, r)
 	c.dir.addRegion(r.NPages, c.Master().id)
+	c.barrierStamp = append(c.barrierStamp, make([]int32, r.NPages))
+	c.barrierFirst = append(c.barrierFirst, make([]HostID, r.NPages))
 	for _, h := range c.hosts {
 		h.addRegion(r.NPages)
 	}

@@ -26,7 +26,7 @@ func (c *Cluster) ForceGC(active []HostID) simtime.Seconds {
 // a barrier would. At an adaptation point only the master can have
 // one, so each dirty page has a single writer.
 func (c *Cluster) closeOpenIntervalsLocked(active []HostID) {
-	flush := make(map[HostID]simtime.Seconds)
+	flush := make([]simtime.Seconds, len(c.hosts))
 	for _, id := range active {
 		h := c.Host(id)
 		w := h.takeWritten()

@@ -56,11 +56,11 @@ func (hp *hlrcProtocol) initRegion(r *Region) {
 		c.dir.pages[r.ID][p].owner = home
 		hh := c.Host(home)
 		st := &hh.pages[r.ID][p]
-		st.data = newPage()
+		st.data = c.newPage()
 		st.valid = true
 		if home != m.id {
 			st := &m.pages[r.ID][p]
-			st.data = newPage()
+			st.data = c.newPage()
 			st.valid = true
 		}
 	}
@@ -83,7 +83,7 @@ func (hp *hlrcProtocol) fault(h *Host, pk pageKey, clk *simtime.Clock) {
 	}
 	data, applied := hp.fetchHomePage(h, pk, meta.owner, clk)
 	st := &h.pages[pk.region][pk.page]
-	page.Release(st.data)
+	c.releasePage(st.data)
 	st.data = data
 	st.appliedSeq = applied
 	st.valid = true
@@ -102,7 +102,7 @@ func (hp *hlrcProtocol) takeDiff(h *Host, pk pageKey, clk *simtime.Clock) *page.
 	c := hp.c
 	st := &h.pages[pk.region][pk.page]
 	d := page.Make(st.twin, st.data)
-	page.Release(st.twin)
+	c.releasePage(st.twin)
 	st.twin = nil
 	st.dirty = false
 	if d == nil {
@@ -166,7 +166,7 @@ func (hp *hlrcProtocol) applyAtHome(from HostID, hh *Host, pk pageKey, d *page.D
 // writer's diff is taken first, the writers' sub-word disjointness is
 // asserted while the evidence is intact, and only then is each diff
 // pushed to (and applied at) the home and stale copies invalidated.
-func (hp *hlrcProtocol) closePage(pk pageKey, writers []HostID, s int32, active []HostID, flush map[HostID]simtime.Seconds) {
+func (hp *hlrcProtocol) closePage(pk pageKey, writers []HostID, s int32, active []HostID, flush []simtime.Seconds) {
 	c := hp.c
 	pm := c.dir.metaLocked(pk.region, pk.page)
 	home := pm.owner
@@ -249,6 +249,9 @@ func (hp *hlrcProtocol) flushIntervalLocked(h *Host, clk *simtime.Clock) int {
 		made++
 		c.checkDirtyPeerRaces(h.id, pk, d)
 	}
+	if made > 0 && shouldPrune(len(c.releaseLog)) {
+		c.pruneReleaseLog()
+	}
 	return made
 }
 
@@ -271,12 +274,12 @@ func (hp *hlrcProtocol) upgradeOrInvalidate(h *Host, pk pageKey, clk *simtime.Cl
 		return
 	}
 	own := page.Make(st.twin, st.data)
-	page.Release(st.twin)
-	page.Release(st.data)
+	c.releasePage(st.twin)
+	c.releasePage(st.data)
 
 	data, applied := hp.fetchHomePage(h, pk, meta.owner, clk)
 	st = &h.pages[pk.region][pk.page]
-	st.twin = page.Twin(data)
+	st.twin = c.pagePool.Copy(data)
 	st.data = data
 	own.Apply(st.data)
 	st.appliedSeq = applied
@@ -298,7 +301,7 @@ func (hp *hlrcProtocol) runGCLocked(active []HostID) simtime.Seconds {
 			latest := pm.latestSeq()
 			for _, h := range c.hosts {
 				st := &h.pages[r][p]
-				page.Release(st.twin)
+				c.releasePage(st.twin)
 				st.twin = nil
 				st.dirty = false
 				switch {
@@ -310,13 +313,13 @@ func (hp *hlrcProtocol) runGCLocked(active []HostID) simtime.Seconds {
 				case st.valid && st.appliedSeq >= latest:
 					st.appliedSeq = gcSeq
 				default:
-					page.Release(st.data)
+					c.releasePage(st.data)
 					st.data = nil
 					st.valid = false
 					st.appliedSeq = 0
 				}
 			}
-			pm.notices = nil
+			pm.clearNotices()
 			pm.baseSeq = gcSeq
 		}
 	}

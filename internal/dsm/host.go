@@ -82,7 +82,10 @@ func (h *Host) addRegion(npages int) {
 	h.pages = append(h.pages, make([]pageState, npages))
 }
 
-func newPage() []byte { return page.Zeroed() }
+// newPage and releasePage recycle page buffers through the cluster's
+// single-owner freelist; all callers run serialised by the engine.
+func (c *Cluster) newPage() []byte      { return c.pagePool.Zeroed() }
+func (c *Cluster) releasePage(b []byte) { c.pagePool.Release(b) }
 
 func pageCount(bytes int) int { return page.Count(bytes) }
 
@@ -148,6 +151,46 @@ func (h *Host) WriteSpan(r RegionID, off, n int, clk *simtime.Clock) []byte {
 		h.ensureWrite(r, p, clk)
 	}
 	return st.data[po : po+n]
+}
+
+// PageView is a fault-aware view of one region's page table on one
+// host, the cheap repeated-random-access path behind the typed shmem
+// readers: it hoists the region lookup and bounds checks out of a
+// kernel's inner loop and leaves a per-access cost of one validity
+// test. The page-state slice it indexes is allocated once per region
+// and never reallocated, so a view stays usable for the region's
+// lifetime; the usual aliasing rule applies to the returned page bytes.
+type PageView struct {
+	h   *Host
+	r   RegionID
+	st  []pageState
+	clk *simtime.Clock
+}
+
+// PageView returns a fault-aware page-table view of region r for this
+// host, charging fault costs to clk.
+func (h *Host) PageView(r RegionID, clk *simtime.Clock) PageView {
+	if int(r) < 0 || int(r) >= len(h.pages) {
+		panic(fmt.Sprintf("dsm: host %d: unknown region %d", h.id, r))
+	}
+	return PageView{h: h, r: r, st: h.pages[r], clk: clk}
+}
+
+// ReadPage returns page p's bytes for reading, faulting it in if the
+// local copy is missing or invalid. The valid-page path is small
+// enough to inline into callers' loops; the fault path is outlined.
+func (v *PageView) ReadPage(p int) []byte {
+	st := &v.st[p]
+	if st.valid {
+		return st.data
+	}
+	return v.readPageSlow(p)
+}
+
+//go:noinline
+func (v *PageView) readPageSlow(p int) []byte {
+	v.h.ensureRead(v.r, p, v.clk)
+	return v.st[p].data
 }
 
 // Read copies len(dst) bytes starting at off in region r into dst,
@@ -231,7 +274,7 @@ func (h *Host) ensureWrite(r RegionID, p int, clk *simtime.Clock) {
 	h.ensureRead(r, p, clk)
 	st := &h.pages[r][p]
 	if !st.dirty {
-		st.twin = page.Twin(st.data)
+		st.twin = h.cluster.pagePool.Copy(st.data)
 		st.dirty = true
 		h.written = append(h.written, pageKey{r, p})
 		clk.Advance(h.cluster.costs.Twin(h.machine))

@@ -53,28 +53,56 @@ func (c *Cluster) Barrier(active []HostID, arrivals []simtime.Seconds) BarrierRe
 		}
 	}
 
-	// Gather the dirty pages of every active host.
-	writtenBy := make(map[pageKey][]HostID)
-	written := make(map[HostID][]pageKey, len(active))
-	for _, id := range active {
+	// Gather the dirty pages of every active host. Instead of a
+	// per-barrier writtenBy map (whose hashing dominated barrier cost at
+	// full scale), each page is claimed by stamping persistent per-page
+	// scratch with this barrier's sequence; only pages with a second
+	// writer — rare outside migratory phases — fall back to a map.
+	wlists := make([][]pageKey, len(active))
+	var multi map[pageKey][]HostID
+	for i, id := range active {
 		w := c.Host(id).takeWritten()
-		written[id] = w
+		wlists[i] = w
 		for _, pk := range w {
-			writtenBy[pk] = append(writtenBy[pk], id)
+			if c.barrierStamp[pk.region][pk.page] != s {
+				c.barrierStamp[pk.region][pk.page] = s
+				c.barrierFirst[pk.region][pk.page] = id
+				continue
+			}
+			if multi == nil {
+				if c.multiWriterScratch == nil {
+					c.multiWriterScratch = make(map[pageKey][]HostID)
+				}
+				multi = c.multiWriterScratch
+			}
+			ws := multi[pk]
+			if len(ws) == 0 {
+				ws = append(ws, c.barrierFirst[pk.region][pk.page])
+			}
+			multi[pk] = append(ws, id)
 		}
 	}
 
-	// Close intervals page by page under the coherence protocol.
-	flush := make(map[HostID]simtime.Seconds, len(active))
-	for _, id := range active {
-		for _, pk := range written[id] {
-			writers := writtenBy[pk]
-			if writers == nil {
-				continue // already processed via another writer
+	// Close intervals page by page under the coherence protocol, each
+	// page once, at its first writer's occurrence — the same order the
+	// map-based gather produced.
+	flush := make([]simtime.Seconds, len(c.hosts))
+	var one [1]HostID
+	for i, id := range active {
+		for _, pk := range wlists[i] {
+			if c.barrierFirst[pk.region][pk.page] != id || c.barrierStamp[pk.region][pk.page] != s {
+				continue // closed via the first writer
 			}
-			writtenBy[pk] = nil
+			writers := multi[pk]
+			if writers == nil {
+				one[0] = id
+				writers = one[:]
+			}
 			c.proto.closePage(pk, writers, s, active, flush)
 		}
+	}
+	for pk := range multi {
+		delete(multi, pk)
 	}
 
 	// Lock-release intervals since the last barrier may have modified
@@ -83,11 +111,11 @@ func (c *Cluster) Barrier(active []HostID, arrivals []simtime.Seconds) BarrierRe
 
 	// Account write-notice exchange: slaves send their notice lists to
 	// the master, which broadcasts the merged list.
-	c.accountBarrierTraffic(active, written)
+	c.accountBarrierTraffic(active, wlists)
 
 	var maxFlush simtime.Seconds
-	for _, f := range flush {
-		if f > maxFlush {
+	for _, id := range active {
+		if f := flush[id]; f > maxFlush {
 			maxFlush = f
 		}
 	}
@@ -170,20 +198,21 @@ func (c *Cluster) applyReleaseLog(active []HostID) {
 
 // accountBarrierTraffic records the write-notice exchange on the
 // fabric: one arrival message per slave, one broadcast per slave.
-func (c *Cluster) accountBarrierTraffic(active []HostID, written map[HostID][]pageKey) {
+// wlists holds each active host's written pages, parallel to active.
+func (c *Cluster) accountBarrierTraffic(active []HostID, wlists [][]pageKey) {
 	master := c.Master()
 	total := 0
-	for _, w := range written {
+	for _, w := range wlists {
 		total += len(w)
 	}
 	const noticeBytes = 8
 	down := msgHeader + noticeBytes*total
-	for _, id := range active {
+	for i, id := range active {
 		if id == master.id {
 			continue
 		}
 		h := c.Host(id)
-		up := msgHeader + noticeBytes*len(written[id])
+		up := msgHeader + noticeBytes*len(wlists[i])
 		c.fabric.Record(h.machine, master.machine, up)
 		c.fabric.Record(master.machine, h.machine, down)
 	}

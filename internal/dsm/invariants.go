@@ -19,8 +19,8 @@ import (
 //  3. No host holds a twin or dirty marking outside an open interval
 //     (callers must have closed all intervals, i.e. be at a barrier).
 //  4. appliedSeq never exceeds the global interval sequence.
-//  5. Write notices are sorted by interval and never newer than the
-//     global sequence.
+//  5. Per-writer notice records are positive and never newer than the
+//     page's newest notice (which never exceeds the global sequence).
 //  6. Every valid copy that claims to be fully current (appliedSeq ==
 //     latest notice) has identical contents to every other such copy.
 //  7. Inactive hosts hold no page data.
@@ -46,12 +46,10 @@ func (c *Cluster) CheckInvariants() error {
 			if latest > c.seq {
 				return fmt.Errorf("dsm: invariant: page %d/%d notice seq %d beyond global %d", r, p, latest, c.seq)
 			}
-			prev := int32(-1)
-			for _, n := range pm.notices {
-				if n.seq < prev {
-					return fmt.Errorf("dsm: invariant: page %d/%d notices out of order", r, p)
+			for _, rec := range pm.writers {
+				if rec.max < 1 || rec.max > pm.last {
+					return fmt.Errorf("dsm: invariant: page %d/%d writer %d notice seq %d outside (0, %d]", r, p, rec.writer, rec.max, pm.last)
 				}
-				prev = n.seq
 			}
 
 			var current []byte

@@ -2,6 +2,7 @@ package dsm
 
 import (
 	"fmt"
+	"sort"
 
 	"nowomp/internal/engine"
 	"nowomp/internal/page"
@@ -174,12 +175,12 @@ func (c *Cluster) AcquireLock(id int, h *Host, clk *simtime.Clock) {
 func (c *Cluster) honourReleases(h *Host, clk *simtime.Clock) {
 	c.dir.mu.RLock()
 	horizon := h.syncSeq
-	var stale []relEntry
-	for _, e := range c.releaseLog {
-		if e.seq > horizon {
-			stale = append(stale, e)
-		}
-	}
+	// The log is ascending by sequence: the unsynchronised entries are a
+	// suffix, found by binary search instead of rescanning the whole log
+	// on every acquire.
+	log := c.releaseLog
+	lo := sort.Search(len(log), func(i int) bool { return log[i].seq > horizon })
+	stale := append([]relEntry(nil), log[lo:]...)
 	cur := c.seq
 	c.dir.mu.RUnlock()
 

@@ -93,7 +93,7 @@ type Protocol interface {
 	Kind() ProtocolKind
 
 	fault(h *Host, pk pageKey, clk *simtime.Clock)
-	closePage(pk pageKey, writers []HostID, s int32, active []HostID, flush map[HostID]simtime.Seconds)
+	closePage(pk pageKey, writers []HostID, s int32, active []HostID, flush []simtime.Seconds)
 	flushIntervalLocked(h *Host, clk *simtime.Clock) int
 	upgradeOrInvalidate(h *Host, pk pageKey, clk *simtime.Clock)
 	runGCLocked(active []HostID) simtime.Seconds
@@ -127,7 +127,7 @@ func (c *Cluster) copyPageFrom(h, src *Host, pk pageKey, role string, clk *simti
 	if sst.data == nil {
 		panic(fmt.Sprintf("dsm: %s %d of page %d/%d holds no copy", role, src.id, pk.region, pk.page))
 	}
-	data := page.Twin(sst.data)
+	data := c.pagePool.Copy(sst.data)
 	applied := sst.appliedSeq
 
 	c.fabric.Record(h.machine, src.machine, msgHeader)

@@ -43,7 +43,7 @@ func (c *Cluster) InstallRegion(r *Region, data []byte) error {
 	for p := 0; p < r.NPages; p++ {
 		st := &m.pages[r.ID][p]
 		if st.data == nil {
-			st.data = newPage()
+			st.data = c.newPage()
 		}
 		lo := p * page.Size
 		hi := lo + page.Size
@@ -53,7 +53,7 @@ func (c *Cluster) InstallRegion(r *Region, data []byte) error {
 		copy(st.data[:hi-lo], data[lo:hi])
 		st.valid = true
 		st.dirty = false
-		page.Release(st.twin)
+		c.releasePage(st.twin)
 		st.twin = nil
 		st.appliedSeq = c.seq
 	}
@@ -61,7 +61,7 @@ func (c *Cluster) InstallRegion(r *Region, data []byte) error {
 		pm := c.dir.metaLocked(r.ID, p)
 		pm.owner = m.id
 		pm.mode = ModeSingle
-		pm.notices = nil
+		pm.clearNotices()
 		pm.baseSeq = c.seq
 		// Any other copies are stale relative to the installed state.
 		for _, h := range c.hosts {
@@ -69,8 +69,8 @@ func (c *Cluster) InstallRegion(r *Region, data []byte) error {
 				continue
 			}
 			st := &h.pages[r.ID][p]
-			page.Release(st.data)
-			page.Release(st.twin)
+			c.releasePage(st.data)
+			c.releasePage(st.twin)
 			*st = pageState{}
 		}
 	}

@@ -1,6 +1,19 @@
 package dsm
 
-import "sync/atomic"
+// Counter is a cluster-event counter. It keeps the Add/Load method
+// shape of atomic.Int64 but increments are plain stores: the engine
+// runs exactly one process of a cluster at a time and every process
+// switch is a channel handoff (a happens-before edge), so counters are
+// never touched concurrently. Fault-path increments sit right after
+// 4 KB twin/fetch copies, where an atomic's store-buffer drain costs
+// more than the bookkeeping itself at full scale.
+type Counter int64
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { *c += Counter(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return int64(*c) }
 
 // Stats counts DSM protocol events. All counters are cumulative for the
 // lifetime of the cluster; use Snapshot and Delta to measure windows
@@ -8,22 +21,22 @@ import "sync/atomic"
 // message totals live on the network fabric; these counters track
 // protocol objects, matching the columns of Table 1.
 type Stats struct {
-	PageFetches  atomic.Int64 // full 4 KB page transfers
-	PageBytes    atomic.Int64 // payload bytes of page transfers
-	DiffFetches  atomic.Int64 // diff objects fetched (Table 1 "Diffs")
-	DiffBytes    atomic.Int64 // payload bytes of diff transfers
-	DiffsCreated atomic.Int64 // diffs made at interval close
-	TwinsCreated atomic.Int64 // twins made at first write
+	PageFetches  Counter // full 4 KB page transfers
+	PageBytes    Counter // payload bytes of page transfers
+	DiffFetches  Counter // diff objects fetched (Table 1 "Diffs")
+	DiffBytes    Counter // payload bytes of diff transfers
+	DiffsCreated Counter // diffs made at interval close
+	TwinsCreated Counter // twins made at first write
 	// HomeFlushes/HomeFlushBytes count diffs pushed to page homes at
 	// interval close, the HLRC analogue of diff fetches (always zero
 	// under Tmk).
-	HomeFlushes    atomic.Int64
-	HomeFlushBytes atomic.Int64
-	Barriers       atomic.Int64
-	LockAcquires   atomic.Int64
-	GCs            atomic.Int64
-	ReadFaults     atomic.Int64 // page-granularity access misses
-	WriteFaults    atomic.Int64 // first writes (twin events)
+	HomeFlushes    Counter
+	HomeFlushBytes Counter
+	Barriers       Counter
+	LockAcquires   Counter
+	GCs            Counter
+	ReadFaults     Counter // page-granularity access misses
+	WriteFaults    Counter // first writes (twin events)
 }
 
 // StatsSnapshot is an immutable copy of the counters.

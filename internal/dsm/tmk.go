@@ -29,7 +29,7 @@ func (t *tmkProtocol) initRegion(r *Region) {
 	m := t.c.Master()
 	for p := 0; p < r.NPages; p++ {
 		st := &m.pages[r.ID][p]
-		st.data = newPage()
+		st.data = t.c.newPage()
 		st.valid = true
 	}
 }
@@ -69,21 +69,11 @@ func (t *tmkProtocol) fault(h *Host, pk pageKey, clk *simtime.Clock) {
 
 	// Gather missing diffs: own diffs locally (relevant after a base
 	// refetch replaced a copy that contained our writes), remote diffs
-	// one message per writer.
+	// one message per writer. pendingWriters returns ascending host
+	// order, the same deterministic order the grouped scan produced.
 	var pending []seqDiff
-	for _, sd := range h.localDiffs(pk) {
-		if sd.seq > applied && sd.seq <= target {
-			pending = append(pending, sd)
-		}
-	}
-	grouped := groupPending(&meta, applied, h.id)
-	// Deterministic writer order.
-	writers := make([]HostID, 0, len(grouped))
-	for w := range grouped {
-		writers = append(writers, w)
-	}
-	sort.Slice(writers, func(i, j int) bool { return writers[i] < writers[j] })
-	for _, w := range writers {
+	pending = append(pending, diffWindow(h.localDiffs(pk), applied, target)...)
+	for _, w := range pendingWriters(&meta, applied, h.id) {
 		pending = append(pending, t.fetchDiffs(h, pk, w, applied, target, clk)...)
 	}
 	sort.Slice(pending, func(i, j int) bool { return pending[i].seq < pending[j].seq })
@@ -122,10 +112,20 @@ func (t *tmkProtocol) fetchBase(h *Host, pk pageKey, owner HostID, clk *simtime.
 	data, applied := c.copyPageFrom(h, c.Host(owner), pk, "owner", clk)
 
 	st := &h.pages[pk.region][pk.page]
-	page.Release(st.data)
+	c.releasePage(st.data)
 	st.data = data
 	st.appliedSeq = applied
 	return applied
+}
+
+// diffWindow returns the sub-chain of an ascending diff chain with
+// sequence in (after, upTo], found by binary search instead of a full
+// scan — chains between GCs hold one entry per interval, and the fault
+// path asks for a recent suffix.
+func diffWindow(chain []seqDiff, after, upTo int32) []seqDiff {
+	lo := sort.Search(len(chain), func(i int) bool { return chain[i].seq > after })
+	hi := lo + sort.Search(len(chain)-lo, func(i int) bool { return chain[lo+i].seq > upTo })
+	return chain[lo:hi]
 }
 
 // fetchDiffs retrieves from writer w its diffs for pk with sequence in
@@ -133,13 +133,10 @@ func (t *tmkProtocol) fetchBase(h *Host, pk pageKey, owner HostID, clk *simtime.
 func (t *tmkProtocol) fetchDiffs(h *Host, pk pageKey, w HostID, after, upTo int32, clk *simtime.Clock) []seqDiff {
 	c := t.c
 	src := c.Host(w)
-	var got []seqDiff
+	got := diffWindow(src.diffs[pk], after, upTo)
 	wire := 0
-	for _, sd := range src.diffs[pk] {
-		if sd.seq > after && sd.seq <= upTo {
-			got = append(got, sd)
-			wire += sd.diff.WireSize()
-		}
+	for _, sd := range got {
+		wire += sd.diff.WireSize()
 	}
 	if len(got) == 0 {
 		return nil
@@ -154,7 +151,7 @@ func (t *tmkProtocol) fetchDiffs(h *Host, pk pageKey, w HostID, after, upTo int3
 
 // closePage closes the interval s for one page with the given writers.
 // Callers hold the directory write lock and all processes are parked.
-func (t *tmkProtocol) closePage(pk pageKey, writers []HostID, s int32, active []HostID, flush map[HostID]simtime.Seconds) {
+func (t *tmkProtocol) closePage(pk pageKey, writers []HostID, s int32, active []HostID, flush []simtime.Seconds) {
 	c := t.c
 	pm := c.dir.metaLocked(pk.region, pk.page)
 
@@ -167,24 +164,25 @@ func (t *tmkProtocol) closePage(pk pageKey, writers []HostID, s int32, active []
 		pm.mode = ModeMulti
 	}
 
-	noticed := make(map[HostID]bool, len(writers))
+	var made []writerDiff
 	if multi {
-		var made []writerDiff
 		for _, w := range writers {
 			h := c.Host(w)
 			st := &h.pages[pk.region][pk.page]
 			d := page.Make(st.twin, st.data)
-			page.Release(st.twin)
+			c.releasePage(st.twin)
 			st.twin = nil
 			st.dirty = false
 			if d != nil {
 				h.diffs[pk] = append(h.diffs[pk], seqDiff{seq: s, diff: d})
 				h.diffBytes += d.WireSize()
 				c.stats.DiffsCreated.Add(1)
-				pm.notices = append(pm.notices, notice{writer: w, seq: s})
-				noticed[w] = true
+				pm.addNotice(w, s)
 				flush[w] += c.costs.DiffCreate(h.machine, page.Size)
 				made = append(made, writerDiff{writer: w, diff: d})
+				if shouldPrune(len(h.diffs[pk])) {
+					c.pruneDiffChain(h, pk)
+				}
 			}
 		}
 		c.checkWordRaces(pk, made)
@@ -192,7 +190,7 @@ func (t *tmkProtocol) closePage(pk pageKey, writers []HostID, s int32, active []
 		w := writers[0]
 		h := c.Host(w)
 		st := &h.pages[pk.region][pk.page]
-		page.Release(st.twin)
+		c.releasePage(st.twin)
 		st.twin = nil
 		st.dirty = false
 		st.appliedSeq = s
@@ -200,16 +198,24 @@ func (t *tmkProtocol) closePage(pk pageKey, writers []HostID, s int32, active []
 		pm.baseSeq = s
 		// Single-writer pages keep only the latest notice: no diffs
 		// exist, so older notices can never be patched in anyway.
-		pm.notices = append(pm.notices[:0], notice{writer: w, seq: s})
-		noticed[w] = true
+		pm.resetNotice(w, s)
 	}
 
 	// Invalidate stale copies. A sole writer that produced a notice is
 	// current; concurrent writers each lack the others' words and go
 	// invalid too (their own diffs are local, so revalidation is a
-	// diff exchange away).
+	// diff exchange away). In the multi path "produced a notice" means
+	// a diff was made this close — membership in made.
+	noticed := func(id HostID) bool {
+		for _, wd := range made {
+			if wd.writer == id {
+				return true
+			}
+		}
+		return false
+	}
 	soleCurrent := HostID(-1)
-	if len(writers) == 1 && noticed[writers[0]] {
+	if len(writers) == 1 && (!multi || noticed(writers[0])) {
 		soleCurrent = writers[0]
 	}
 	for _, id := range active {
@@ -219,7 +225,7 @@ func (t *tmkProtocol) closePage(pk pageKey, writers []HostID, s int32, active []
 		h := c.Host(id)
 		st := &h.pages[pk.region][pk.page]
 		if multi {
-			if st.valid && (st.appliedSeq < pm.latestSeq() || noticed[id]) {
+			if st.valid && (st.appliedSeq < pm.latestSeq() || noticed(id)) {
 				st.valid = false
 			}
 		} else if st.valid && id != writers[0] {
@@ -255,14 +261,14 @@ func (t *tmkProtocol) flushIntervalLocked(h *Host, clk *simtime.Clock) int {
 		}
 		st := &h.pages[pk.region][pk.page]
 		d := page.Make(st.twin, st.data)
-		page.Release(st.twin)
+		c.releasePage(st.twin)
 		st.twin = nil
 		st.dirty = false
 		if d != nil {
 			h.diffs[pk] = append(h.diffs[pk], seqDiff{seq: s, diff: d})
 			h.diffBytes += d.WireSize()
 			c.stats.DiffsCreated.Add(1)
-			pm.notices = append(pm.notices, notice{writer: h.id, seq: s})
+			pm.addNotice(h.id, s)
 			c.releaseLog = append(c.releaseLog, relEntry{pk: pk, seq: s})
 			if st.appliedSeq >= prevLatest {
 				st.appliedSeq = s // current: old value plus own writes
@@ -271,10 +277,16 @@ func (t *tmkProtocol) flushIntervalLocked(h *Host, clk *simtime.Clock) int {
 			}
 			clk.Advance(c.costs.DiffCreate(h.machine, page.Size))
 			made++
+			if shouldPrune(len(h.diffs[pk])) {
+				c.pruneDiffChain(h, pk)
+			}
 		}
 		if d != nil {
 			c.checkDirtyPeerRaces(h.id, pk, d)
 		}
+	}
+	if made > 0 && shouldPrune(len(c.releaseLog)) {
+		c.pruneReleaseLog()
 	}
 	return made
 }
@@ -299,13 +311,7 @@ func (t *tmkProtocol) upgradeOrInvalidate(h *Host, pk pageKey, clk *simtime.Cloc
 
 	// Dirty page: patch in place.
 	var pending []seqDiff
-	grouped := groupPending(&meta, applied, h.id)
-	writers := make([]HostID, 0, len(grouped))
-	for w := range grouped {
-		writers = append(writers, w)
-	}
-	sort.Slice(writers, func(i, j int) bool { return writers[i] < writers[j] })
-	for _, w := range writers {
+	for _, w := range pendingWriters(&meta, applied, h.id) {
 		pending = append(pending, t.fetchDiffs(h, pk, w, applied, latest, clk)...)
 	}
 	sort.Slice(pending, func(i, j int) bool { return pending[i].seq < pending[j].seq })
@@ -351,7 +357,7 @@ func (t *tmkProtocol) runGCLocked(active []HostID) simtime.Seconds {
 		totalPages += len(metas)
 		for p := range metas {
 			pm := &metas[p]
-			if len(pm.notices) > 0 || pm.mode == ModeMulti {
+			if len(pm.writers) > 0 || pm.mode == ModeMulti {
 				t.gcPage(r, p, pm, pull)
 			}
 			latest := pm.latestSeq()
@@ -360,7 +366,7 @@ func (t *tmkProtocol) runGCLocked(active []HostID) simtime.Seconds {
 			// is freed.
 			for _, h := range c.hosts {
 				st := &h.pages[r][p]
-				page.Release(st.twin)
+				c.releasePage(st.twin)
 				st.twin = nil
 				st.dirty = false
 				switch {
@@ -369,13 +375,13 @@ func (t *tmkProtocol) runGCLocked(active []HostID) simtime.Seconds {
 				case st.valid && st.appliedSeq >= latest:
 					st.appliedSeq = gcSeq
 				default:
-					page.Release(st.data)
+					c.releasePage(st.data)
 					st.data = nil
 					st.valid = false
 					st.appliedSeq = 0
 				}
 			}
-			pm.notices = nil
+			pm.clearNotices()
 			pm.mode = ModeSingle
 			pm.baseSeq = gcSeq
 		}
@@ -417,8 +423,8 @@ func (t *tmkProtocol) runGCLocked(active []HostID) simtime.Seconds {
 // on the switched network.
 func (t *tmkProtocol) gcPage(r RegionID, p int, pm *pageMeta, pull map[HostID]simtime.Seconds) {
 	c := t.c
-	if len(pm.notices) > 0 {
-		pm.owner = pm.notices[len(pm.notices)-1].writer
+	if len(pm.writers) > 0 {
+		pm.owner = pm.lastWriter
 	}
 	owner := c.Host(pm.owner)
 	latest := pm.latestSeq()
@@ -435,25 +441,14 @@ func (t *tmkProtocol) gcPage(r RegionID, p int, pm *pageMeta, pull map[HostID]si
 
 	pk := pageKey{r, p}
 	var pending []seqDiff
-	for _, sd := range owner.localDiffs(pk) {
-		if sd.seq > applied {
-			pending = append(pending, sd)
-		}
-	}
-	grouped := groupPending(pm, applied, pm.owner)
-	writers := make([]HostID, 0, len(grouped))
-	for w := range grouped {
-		writers = append(writers, w)
-	}
-	sort.Slice(writers, func(i, j int) bool { return writers[i] < writers[j] })
-	for _, w := range writers {
+	pending = append(pending, diffWindow(owner.localDiffs(pk), applied, c.seq)...)
+	for _, w := range pendingWriters(pm, applied, pm.owner) {
 		src := c.Host(w)
+		got := diffWindow(src.diffs[pk], applied, latest)
 		wire := 0
-		for _, sd := range src.diffs[pk] {
-			if sd.seq > applied && sd.seq <= latest {
-				pending = append(pending, sd)
-				wire += sd.diff.WireSize()
-			}
+		for _, sd := range got {
+			pending = append(pending, sd)
+			wire += sd.diff.WireSize()
 		}
 		if wire == 0 {
 			continue

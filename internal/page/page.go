@@ -79,3 +79,48 @@ func mustPage(b []byte) {
 		panic(fmt.Sprintf("page: got %d bytes, want exactly %d", len(b), Size))
 	}
 }
+
+// Freelist is a single-owner page-buffer recycler. The shared pool
+// above pays a synchronised Get/Put per twin, which the DSM hot path
+// performs once per written page per interval — millions of times at
+// full scale. A cluster whose events are serialised (the discrete-event
+// engine runs exactly one process at a time) can recycle through a
+// plain stack instead. Buffers are interchangeable with the shared
+// pool's; each must be released to exactly one of the two.
+type Freelist struct {
+	free []*[Size]byte
+}
+
+func (f *Freelist) get() *[Size]byte {
+	if n := len(f.free); n > 0 {
+		t := f.free[n-1]
+		f.free = f.free[:n-1]
+		return t
+	}
+	return new([Size]byte)
+}
+
+// Copy returns a recycled buffer holding a copy of the page, the
+// freelist counterpart of Twin.
+func (f *Freelist) Copy(data []byte) []byte {
+	mustPage(data)
+	t := f.get()
+	copy(t[:], data)
+	return t[:]
+}
+
+// Zeroed returns a recycled zero-filled page.
+func (f *Freelist) Zeroed() []byte {
+	t := f.get()
+	clear(t[:])
+	return t[:]
+}
+
+// Release returns a buffer to the freelist. As with the pooled
+// Release, nil and foreign slices are no-ops.
+func (f *Freelist) Release(b []byte) {
+	if len(b) != Size || cap(b) != Size {
+		return
+	}
+	f.free = append(f.free, (*[Size]byte)(b))
+}

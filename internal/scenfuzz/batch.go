@@ -23,6 +23,11 @@ type BatchOptions struct {
 	// ShrinkBudget caps the shrink cost per failure
 	// (DefaultShrinkBudget when zero); negative disables shrinking.
 	ShrinkBudget int
+	// FullScale mixes each kernel's near-1.0 scale points into the
+	// generator grid (about one spec in three), verifying the oracle
+	// battery at the paper's real problem sizes. Expect seconds to
+	// minutes per full-scale spec.
+	FullScale bool
 	// Progress receives one line per spec (nil = silent). Progress
 	// lines carry no wall-clock timing, keeping the stream
 	// byte-deterministic.
@@ -66,6 +71,9 @@ func (o BatchOptions) withDefaults() BatchOptions {
 func Batch(opt BatchOptions) Report {
 	opt = opt.withDefaults()
 	g := NewGen(opt.Seed)
+	if opt.FullScale {
+		g = NewGenFullScale(opt.Seed)
+	}
 	rep := Report{Seed: opt.Seed, Count: opt.Count}
 	logf := func(format string, args ...any) {
 		if opt.Progress != nil {

@@ -1,0 +1,49 @@
+package scenfuzz
+
+import (
+	"bytes"
+	"testing"
+
+	"nowomp/internal/dsm"
+)
+
+// TestCoalescingBatchTransparent is the scenario-level half of the
+// coalescing differential gate: a 50-spec generated batch — kernels,
+// protocols, heterogeneity, adaptation schedules, the full generator
+// surface — must produce byte-identical canonical Result encodings
+// (virtual times, fabric bytes, messages, checksums) with metadata
+// pruning force-enabled and disabled. The golden kernel matrix in
+// internal/bench covers the fixed cells; this covers the randomized
+// corner cases.
+func TestCoalescingBatchTransparent(t *testing.T) {
+	const specs = 50
+	restore := dsm.SetCoalescing(dsm.CoalesceOff)
+	defer restore()
+
+	g := NewGen(1999)
+	for i := 0; i < specs; i++ {
+		spec := g.Spec()
+		norm, err := spec.Normalize()
+		if err != nil {
+			t.Fatalf("spec %d does not normalize: %v", i, err)
+		}
+
+		dsm.SetCoalescing(dsm.CoalesceOff)
+		_, off, errOff := runEncoded(norm)
+		dsm.SetCoalescing(dsm.CoalesceForce)
+		_, force, errForce := runEncoded(norm)
+
+		if (errOff == nil) != (errForce == nil) {
+			t.Fatalf("spec %d (%s/%dp scale %g): off err %v, force err %v",
+				i, norm.Kernel, norm.Procs, norm.Scale, errOff, errForce)
+		}
+		if errOff != nil {
+			t.Fatalf("spec %d (%s/%dp scale %g) failed to run: %v",
+				i, norm.Kernel, norm.Procs, norm.Scale, errOff)
+		}
+		if !bytes.Equal(off, force) {
+			t.Errorf("spec %d (%s/%dp/%s scale %g): Result encodings diverge between coalescing off and force:\n  off:   %s\n  force: %s",
+				i, norm.Kernel, norm.Procs, norm.Protocol, norm.Scale, off, force)
+		}
+	}
+}

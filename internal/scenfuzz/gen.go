@@ -15,9 +15,11 @@ import (
 // mode's reproducibility contract. Specs are valid by construction
 // (Normalize must accept every generated spec; a rejection is a
 // generator bug the harness reports as such) and sized so one oracle
-// battery stays in the tens-of-milliseconds range.
+// battery stays in the tens-of-milliseconds range — unless full-scale
+// mode widens the grid, see NewGenFullScale.
 type Gen struct {
-	rng *rand.Rand
+	rng       *rand.Rand
+	fullScale bool
 }
 
 // NewGen returns a generator seeded with seed.
@@ -25,19 +27,33 @@ func NewGen(seed int64) *Gen {
 	return &Gen{rng: rand.New(rand.NewSource(seed))}
 }
 
-// kernels lists every runnable kernel with the scale grid the
-// generator samples for it. The grids keep the cost of one run small
-// and give the shrinker a ladder to descend.
+// NewGenFullScale returns a generator whose scale grid additionally
+// includes each kernel's near-1.0 points (drawn for roughly one spec
+// in three): the batch mode that verifies the oracle battery at the
+// paper's real problem sizes. Full-scale batteries take seconds to
+// minutes per spec, so this generator is opt-in (the tool's -fullscale
+// flag) rather than the fuzz/batch default.
+func NewGenFullScale(seed int64) *Gen {
+	g := NewGen(seed)
+	g.fullScale = true
+	return g
+}
+
+// kernels lists every runnable kernel with the scale grids the
+// generator samples for it: scales keeps the cost of one run small and
+// gives the shrinker a ladder to descend; fullScales are the near-1.0
+// points full-scale mode mixes in.
 var kernels = []struct {
-	name   string
-	scales []float64
+	name       string
+	scales     []float64
+	fullScales []float64
 }{
-	{"jacobi", []float64{0.02, 0.03, 0.05, 0.08}},
-	{"gauss", []float64{0.02, 0.03, 0.05, 0.08}},
-	{"fft3d", []float64{0.02, 0.03, 0.05}},
-	{"nbf", []float64{0.02, 0.03, 0.05}},
-	{"mergesort", []float64{0.02, 0.04, 0.06}},
-	{"quadrature", []float64{0.02, 0.04, 0.06}},
+	{"jacobi", []float64{0.02, 0.03, 0.05, 0.08}, []float64{0.9, 1.0}},
+	{"gauss", []float64{0.02, 0.03, 0.05, 0.08}, []float64{0.9, 1.0}},
+	{"fft3d", []float64{0.02, 0.03, 0.05}, []float64{0.9, 1.0}},
+	{"nbf", []float64{0.02, 0.03, 0.05}, []float64{0.9, 1.0}},
+	{"mergesort", []float64{0.02, 0.04, 0.06}, []float64{0.9, 1.0}},
+	{"quadrature", []float64{0.02, 0.04, 0.06}, []float64{0.9, 1.0}},
 }
 
 func (g *Gen) pickF(vals []float64) float64 { return vals[g.rng.Intn(len(vals))] }
@@ -148,9 +164,13 @@ func (g *Gen) Spec() scenario.Spec {
 	procs := 1 + g.rng.Intn(5)
 	hosts := procs + g.rng.Intn(4)
 
+	scales := k.scales
+	if g.fullScale && g.chance(3) {
+		scales = k.fullScales
+	}
 	s := scenario.Spec{
 		Kernel: k.name,
-		Scale:  g.pickF(k.scales),
+		Scale:  g.pickF(scales),
 		Procs:  procs,
 		Hosts:  hosts,
 		Verify: g.chance(3),

@@ -1,0 +1,49 @@
+package scenfuzz
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestHarvestFullScaleCorpus is the harvest tool behind the committed
+// near-1.0 corpus entries: it walks the full-scale generator stream,
+// picks the first few near-1.0 specs on the cheap task kernels (the
+// full oracle battery on the array kernels at scale 1.0 costs minutes
+// per entry — too slow for corpus replay), runs each through the
+// battery, and writes the passing canonical encodings to
+// testdata/corpus. Gated behind SCENFUZZ_HARVEST=1 so plain `go test`
+// never rewrites testdata; run manually when regenerating the corpus.
+func TestHarvestFullScaleCorpus(t *testing.T) {
+	if os.Getenv("SCENFUZZ_HARVEST") != "1" {
+		t.Skip("harvest tool; set SCENFUZZ_HARVEST=1 to run")
+	}
+	cheap := map[string]bool{"quadrature": true, "mergesort": true}
+	g := NewGenFullScale(1999)
+	picked := 0
+	for i := 0; i < 400 && picked < 3; i++ {
+		s := g.Spec()
+		if s.Scale < 0.9 || !cheap[s.Kernel] {
+			continue
+		}
+		v := Check(s)
+		if v.Failed() {
+			t.Fatalf("full-scale spec %d failed oracle %s: %s\nspec: %+v", i, v.Oracle, v.Detail, s)
+		}
+		canon, err := s.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := fmt.Sprintf("%s-fullscale-%g-%dp%dh.json", s.Kernel, s.Scale, s.Procs, s.Hosts)
+		path := filepath.Join("testdata", "corpus", name)
+		if err := os.WriteFile(path, canon, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("harvested %s (stream index %d, hash %s)", name, i, short(v.Hash))
+		picked++
+	}
+	if picked < 2 {
+		t.Fatalf("only %d cheap near-1.0 specs in the stream prefix", picked)
+	}
+}

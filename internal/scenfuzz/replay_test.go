@@ -76,6 +76,39 @@ func TestGeneratorValidAndDiverse(t *testing.T) {
 	}
 }
 
+// TestGeneratorFullScaleGrid checks the opt-in full-scale mode: the
+// stream stays valid by construction, mixes in near-1.0 scale points
+// at a usable rate, and still covers the small grids. No simulations
+// run here.
+func TestGeneratorFullScaleGrid(t *testing.T) {
+	g := NewGenFullScale(7)
+	big, small := 0, 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		s := g.Spec()
+		if _, err := s.Normalize(); err != nil {
+			t.Fatalf("full-scale spec %d does not normalize: %v\nspec: %+v", i, err, s)
+		}
+		if s.Scale >= 0.9 {
+			big++
+		} else {
+			small++
+		}
+	}
+	if big == 0 || small == 0 {
+		t.Errorf("full-scale stream unbalanced in %d draws: %d near-1.0, %d small", n, big, small)
+	}
+	// The default generator must be untouched by the full-scale grids:
+	// same seed, same spec stream as always (the batch reproducibility
+	// contract), and never a near-1.0 draw.
+	d := NewGen(7)
+	for i := 0; i < n; i++ {
+		if s := d.Spec(); s.Scale >= 0.9 {
+			t.Fatalf("default generator drew full-scale spec %d: %+v", i, s)
+		}
+	}
+}
+
 // TestBatchDeterministic runs the batch harness twice with the same
 // seed and demands identical reports and identical progress bytes —
 // the contract the CLI's CI determinism gate diffs for.

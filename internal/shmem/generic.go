@@ -37,6 +37,13 @@ func Sizeof[T Element]() int {
 // word — this is the hottest code in the whole simulator, run once
 // per element of every bulk access.
 func encodeSlice[T Element](src []T, buf []byte) {
+	if nativeLE {
+		// The host's memory layout equals the codec's: the encode is a
+		// single typed memmove into page memory (see span.go for why
+		// the reinterpretation is sound).
+		copy(typedSpan[T](buf, Sizeof[T]())[:len(src)], src)
+		return
+	}
 	switch s := any(src).(type) {
 	case []float32:
 		buf = buf[:4*len(s)]
@@ -84,6 +91,11 @@ func encodeSlice[T Element](src []T, buf []byte) {
 // slice, which escape analysis keeps off the heap (pinned by an
 // AllocsPerRun test).
 func encodeOne[T Element](v T, buf []byte) {
+	if nativeLE {
+		_ = buf[unsafe.Sizeof(v)-1] // bounds check before the unsafe store
+		*(*T)(unsafe.Pointer(&buf[0])) = v
+		return
+	}
 	switch s := any(v).(type) {
 	case float32:
 		binary.LittleEndian.PutUint32(buf, math.Float32bits(s))
@@ -104,6 +116,11 @@ func encodeOne[T Element](v T, buf []byte) {
 // decodeOne unmarshals a single element from buf, the scalar fast
 // path behind Get.
 func decodeOne[T Element](buf []byte) T {
+	if nativeLE {
+		var z T
+		_ = buf[unsafe.Sizeof(z)-1] // bounds check before the unsafe load
+		return *(*T)(unsafe.Pointer(&buf[0]))
+	}
 	var v T
 	switch d := any(&v).(type) {
 	case *float32:
@@ -128,6 +145,10 @@ func decodeOne[T Element](buf []byte) T {
 // len(dst)*Sizeof[T] bytes. Mirrors encodeSlice's loop structure for
 // the same reasons.
 func decodeSlice[T Element](buf []byte, dst []T) {
+	if nativeLE {
+		copy(dst, typedSpan[T](buf, Sizeof[T]())[:len(dst)])
+		return
+	}
 	switch d := any(dst).(type) {
 	case []float32:
 		buf = buf[:4*len(d)]

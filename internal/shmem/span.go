@@ -1,0 +1,196 @@
+package shmem
+
+import (
+	"fmt"
+	"unsafe"
+
+	"nowomp/internal/dsm"
+	"nowomp/internal/page"
+)
+
+// Typed zero-copy spans. The region codec stores elements as
+// little-endian bit patterns, so on a little-endian host a []byte page
+// span *is* a valid []T when reinterpreted in place: no per-element
+// decode, no staging buffer, just loads and stores at memory speed.
+// Three properties make the reinterpretation sound:
+//
+//   - layout: the codec's little-endian byte order equals the host's,
+//     checked once at init (nativeLE);
+//   - alignment: page buffers are whole heap-allocated 4 KB blocks, so
+//     they are at least 8-byte aligned — the natural alignment of every
+//     Element type (complex128 aligns to 8 in Go) — and spans start at
+//     element-aligned in-page offsets because regions begin at offset 0
+//     and page.Size is a multiple of every element size;
+//   - straddling: for the same reason an element never crosses a page
+//     boundary, so a span is always a whole number of elements.
+//
+// On a big-endian host the typed-span accessors refuse loudly rather
+// than serve byte-swapped values; the staged Range/Row accessors remain
+// correct everywhere.
+var nativeLE = func() bool {
+	x := uint32(0x01020304)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x04
+}()
+
+func mustNativeLE() {
+	if !nativeLE {
+		panic("shmem: typed spans require a little-endian host; use the staged Range accessors")
+	}
+}
+
+// typedSpan reinterprets an element-aligned byte span as a []T of
+// len(b)/elem elements, in place.
+func typedSpan[T Element](b []byte, elem int) []T {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*T)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/elem)
+}
+
+// ReadSpan makes elements [lo,hi) readable and returns a typed
+// zero-copy view of the longest in-page run starting at lo, clamped to
+// hi: the span-level kernel fast path. Callers loop, advancing lo by
+// len(span), exactly like the byte-level dsm.Host.ReadSpan underneath.
+// The view aliases page memory and is valid only until the next
+// operation on the host; callers must not retain it across accesses,
+// faults or synchronisation.
+func (a *Array[T]) ReadSpan(m Context, lo, hi int) []T {
+	mustContext(m)
+	mustNativeLE()
+	a.check(lo, hi)
+	if lo == hi {
+		return nil
+	}
+	b := m.Host.ReadSpan(a.region.ID, lo*a.elem, (hi-lo)*a.elem, m.Clock)
+	return typedSpan[T](b, a.elem)
+}
+
+// WriteSpan makes elements [lo,hi) writable (faulted in and twinned)
+// and returns a typed zero-copy view of the longest in-page run
+// starting at lo, clamped to hi, for in-place read-modify-write: the
+// view holds the elements' current values. Same aliasing rules as
+// ReadSpan.
+func (a *Array[T]) WriteSpan(m Context, lo, hi int) []T {
+	mustContext(m)
+	mustNativeLE()
+	a.check(lo, hi)
+	if lo == hi {
+		return nil
+	}
+	b := m.Host.WriteSpan(a.region.ID, lo*a.elem, (hi-lo)*a.elem, m.Clock)
+	return typedSpan[T](b, a.elem)
+}
+
+// ReadRowSpan is ReadSpan over row i columns [jlo,jhi).
+func (mx *Matrix[T]) ReadRowSpan(m Context, i, jlo, jhi int) []T {
+	mx.checkRow(i)
+	if jlo < 0 || jhi > mx.cols || jlo > jhi {
+		panic(fmt.Sprintf("shmem: columns [%d,%d) outside matrix with %d cols", jlo, jhi, mx.cols))
+	}
+	return mx.arr.ReadSpan(m, i*mx.cols+jlo, i*mx.cols+jhi)
+}
+
+// WriteRowSpan is WriteSpan over row i columns [jlo,jhi).
+func (mx *Matrix[T]) WriteRowSpan(m Context, i, jlo, jhi int) []T {
+	mx.checkRow(i)
+	if jlo < 0 || jhi > mx.cols || jlo > jhi {
+		panic(fmt.Sprintf("shmem: columns [%d,%d) outside matrix with %d cols", jlo, jhi, mx.cols))
+	}
+	return mx.arr.WriteSpan(m, i*mx.cols+jlo, i*mx.cols+jhi)
+}
+
+// Reader is a reusable fault-aware random-access read view of one
+// array: the irregular-access analogue of the span loops. Get resolves
+// the element's page with shifts (element sizes and page.Size are
+// powers of two), faults it in if the copy is missing or invalid —
+// exactly when and only when Array.Get would — and loads the value
+// straight from page memory. A Reader embeds the Context it was made
+// with and is valid for the same process until the next
+// synchronisation point (faults by *other* accessors are fine; the
+// page table it indexes is stable for the region's lifetime).
+type Reader[T Element] struct {
+	pv    dsm.PageView
+	n     int
+	elem  int
+	shift uint // log2(elements per page)
+	mask  int  // elements per page - 1
+}
+
+// Reader returns a fault-aware random-access read view for the
+// process named by m.
+func (a *Array[T]) Reader(m Context) Reader[T] {
+	mustContext(m)
+	mustNativeLE()
+	perPage := page.Size / a.elem
+	shift := uint(0)
+	for 1<<shift != perPage {
+		shift++
+	}
+	return Reader[T]{
+		pv:    m.Host.PageView(a.region.ID, m.Clock),
+		n:     a.n,
+		elem:  a.elem,
+		shift: shift,
+		mask:  perPage - 1,
+	}
+}
+
+// Get reads element i through the view.
+func (v *Reader[T]) Get(i int) T {
+	if uint(i) >= uint(v.n) {
+		panicIndex(i, v.n)
+	}
+	b := v.pv.ReadPage(i >> v.shift)
+	// The mask keeps the offset strictly inside the 4 KB page ReadPage
+	// returned, so the raw pointer add needs no bounds re-check.
+	return *(*T)(unsafe.Add(unsafe.Pointer(unsafe.SliceData(b)), (i&v.mask)*v.elem))
+}
+
+func panicIndex(i, n int) {
+	panic(fmt.Sprintf("shmem: index %d outside array of %d elements", i, n))
+}
+
+// Reader3 bundles three same-shape arrays — a structure-of-arrays
+// vector field, like the nbf position components — into one
+// fault-aware view: Get3 resolves the page index and in-page offset
+// once and serves all three components from it. Faults fire in
+// component order (first, second, third), exactly as three Gets would.
+type Reader3[T Element] struct {
+	p0, p1, p2 dsm.PageView
+	n          int
+	elem       int
+	shift      uint
+	mask       int
+}
+
+// Readers3 returns a bundled view of three arrays of identical length.
+func Readers3[T Element](m Context, a0, a1, a2 *Array[T]) Reader3[T] {
+	if a1.n != a0.n || a2.n != a0.n {
+		panic(fmt.Sprintf("shmem: Readers3 needs equal lengths, got %d/%d/%d", a0.n, a1.n, a2.n))
+	}
+	r0 := a0.Reader(m)
+	return Reader3[T]{
+		p0:    r0.pv,
+		p1:    m.Host.PageView(a1.region.ID, m.Clock),
+		p2:    m.Host.PageView(a2.region.ID, m.Clock),
+		n:     r0.n,
+		elem:  r0.elem,
+		shift: r0.shift,
+		mask:  r0.mask,
+	}
+}
+
+// Get3 reads element i of all three arrays through the view.
+func (v *Reader3[T]) Get3(i int) (T, T, T) {
+	if uint(i) >= uint(v.n) {
+		panicIndex(i, v.n)
+	}
+	p := i >> v.shift
+	off := (i & v.mask) * v.elem
+	b0 := v.p0.ReadPage(p)
+	b1 := v.p1.ReadPage(p)
+	b2 := v.p2.ReadPage(p)
+	return *(*T)(unsafe.Add(unsafe.Pointer(unsafe.SliceData(b0)), off)),
+		*(*T)(unsafe.Add(unsafe.Pointer(unsafe.SliceData(b1)), off)),
+		*(*T)(unsafe.Add(unsafe.Pointer(unsafe.SliceData(b2)), off))
+}

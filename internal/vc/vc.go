@@ -40,8 +40,18 @@ func (v *Vector) Set(p int, seq int32) {
 	if p < 0 {
 		panic(fmt.Sprintf("vc: negative process index %d", p))
 	}
-	for len(*v) <= p {
-		*v = append(*v, 0)
+	if len(*v) <= p {
+		// Grow to p+1 in one step (reusing spare capacity when there is
+		// some) instead of appending zeroes element by element.
+		if cap(*v) > p {
+			grown := (*v)[:p+1]
+			clear(grown[len(*v):])
+			*v = grown
+		} else {
+			grown := make(Vector, p+1, max(p+1, 2*cap(*v)))
+			copy(grown, *v)
+			*v = grown
+		}
 	}
 	if (*v)[p] < seq {
 		(*v)[p] = seq
@@ -52,6 +62,17 @@ func (v *Vector) Set(p int, seq int32) {
 // o, growing v if o is longer. Merge implements the acquire-side union
 // of consistency information.
 func (v *Vector) Merge(o Vector) {
+	if len(o) <= len(*v) {
+		// Fast path (equal or shorter source): no growth, no per-entry
+		// Set call — just the element-wise max.
+		d := *v
+		for p, s := range o {
+			if d[p] < s {
+				d[p] = s
+			}
+		}
+		return
+	}
 	for p, s := range o {
 		v.Set(p, s)
 	}
