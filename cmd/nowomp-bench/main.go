@@ -131,7 +131,7 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 // loads build a machine model every experiment runs on, links bend
 // each run's fabric, the policy reaches the hetero experiment's custom
 // scenario, and the protocol applies everywhere (the protocols
-// experiment keeps its own tmk-vs-hlrc matrix regardless).
+// experiment keeps its own tmk/hlrc/hybrid matrix regardless).
 func options(spec scenario.Spec, pairs, parallel int) (bench.Options, error) {
 	norm, err := spec.Normalize()
 	if err != nil {

@@ -27,7 +27,7 @@ func detFingerprint(t *testing.T) string {
 	var b []byte
 	add := func(format string, args ...any) { b = fmt.Appendf(b, format+"\n", args...) }
 
-	for _, proto := range []dsm.ProtocolKind{dsm.Tmk, dsm.HLRC} {
+	for _, proto := range []dsm.ProtocolKind{dsm.Tmk, dsm.HLRC, dsm.Hybrid} {
 		row, err := migratoryRun(opt, protoScenario{name: "homog"}, proto)
 		if err != nil {
 			t.Fatal(err)

@@ -26,6 +26,23 @@ type Record struct {
 	// Bytes and Messages are the scenario's fabric traffic.
 	Bytes    int64 `json:"bytes"`
 	Messages int64 `json:"messages"`
+	// Coherence is the hybrid protocol's classification and adaptation
+	// record, present only on protocols cells that ran hybrid (schema 4).
+	Coherence *CoherenceStats `json:"coherence,omitempty"`
+}
+
+// CoherenceStats is the hybrid protocol's per-cell adaptation record:
+// the classifier's final page census, home-migration work, and the
+// twin/diff work elided for proven single-writer pages.
+type CoherenceStats struct {
+	PagesSingleWriter     int64 `json:"pages_single_writer"`
+	PagesProducerConsumer int64 `json:"pages_producer_consumer"`
+	PagesMigratory        int64 `json:"pages_migratory"`
+	PagesFalselyShared    int64 `json:"pages_falsely_shared"`
+	HomeMigrations        int64 `json:"home_migrations"`
+	HomeMigrationBytes    int64 `json:"home_migration_bytes"`
+	ElidedTwins           int64 `json:"elided_twins"`
+	ElidedDiffs           int64 `json:"elided_diffs"`
 }
 
 // Report is the on-disk -json document.
@@ -54,8 +71,9 @@ type Report struct {
 // ReportSchema is the current -json document version. Schema 2 added
 // the parallel and wall_seconds run metadata; schema 3 added the farm
 // section with per-job queue/sim/total latency and the cache-hit
-// ratio.
-const ReportSchema = 3
+// ratio; schema 4 added the additive per-record coherence object on
+// protocols cells run under the hybrid protocol.
+const ReportSchema = 4
 
 // FarmJob is one served job in the farm section. The latency split is
 // real (wall-clock) seconds: queue is admission wait (for a dedup job,
@@ -154,11 +172,16 @@ func (r *Report) AddTasking(rows []TaskingRow) {
 	}
 }
 
-// AddProtocols contributes the coherence-protocol matrix.
+// AddProtocols contributes the coherence-protocol matrix. Hybrid
+// cells carry their coherence record.
 func (r *Report) AddProtocols(rows []ProtoRow) {
 	for _, row := range rows {
 		r.Add(fmt.Sprintf("protocols/%s/%s/%s/%s", row.Kernel, row.Scenario, row.Schedule, row.Protocol),
 			row.Time, row.Bytes, row.Messages)
+		if row.Protocol == "hybrid" {
+			co := row.Coherence
+			r.Results[len(r.Results)-1].Coherence = &co
+		}
 	}
 }
 

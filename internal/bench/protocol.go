@@ -9,15 +9,16 @@ import (
 	"nowomp/internal/dsm"
 	"nowomp/internal/machine"
 	"nowomp/internal/omp"
+	"nowomp/internal/page"
 	"nowomp/internal/simnet"
 	"nowomp/internal/simtime"
 )
 
 // The protocol experiment quantifies the trade-off the pluggable
 // coherence layer exists to expose: TreadMarks homeless LRC (tmk)
-// versus home-based LRC (hlrc) under the same kernels, schedules and
-// NOW shapes. Two kernels probe the two regimes the literature
-// describes:
+// versus home-based LRC (hlrc) versus the adaptive per-page hybrid,
+// under the same kernels, schedules and NOW shapes. Four kernels probe
+// the sharing regimes the literature describes:
 //
 //   - loop: the uniform synthetic loop of the hetero matrix, under
 //     Static, Dynamic and Guided schedules. Writers are disjoint, so
@@ -37,6 +38,21 @@ import (
 //     page. HLRC transfers fewer bytes here — Protocols() fails if it
 //     ever stops winning, the analogue of the hetero matrix's
 //     bit-identity contract.
+//   - prodcons: one producer sparsely updates a multi-page buffer each
+//     round and every other process reads it back — the producer-
+//     consumer pattern. Tmk's consumers fetch the producer's sparse
+//     diffs; HLRC's consumers re-pull whole pages for a few changed
+//     words; hybrid migrates the homes to the producer and serves
+//     consumers from its retained-diff windows.
+//   - falseshare: every process owns a word-interleaved stripe of the
+//     same pages and a skewed writer set rewrites stripes each round —
+//     false sharing with a dominant writer. The hybrid classifier tags
+//     the pages falsely-shared and pays one page transfer to migrate
+//     each home to the dominant writer.
+//
+// Protocols() also enforces the hybrid byte contract: at most the
+// better parent on the migratory and prodcons cells, and within 5% of
+// the better parent everywhere else.
 //
 // The committed curves live in docs/protocol-bench.md.
 
@@ -52,9 +68,12 @@ type ProtoRow struct {
 	Bytes    int64
 	Messages int64
 	// Diffs counts Tmk diff fetches, Flushes HLRC home pushes: the
-	// mechanical signature of each protocol.
+	// mechanical signature of each protocol (hybrid records both).
 	Diffs   int64
 	Flushes int64
+	// Coherence is the hybrid classification and adaptation record for
+	// the cell (all zero under Tmk and HLRC).
+	Coherence CoherenceStats
 	// Verified records that the kernel's result was checked.
 	Verified bool
 }
@@ -114,9 +133,14 @@ func protoScenarios(baseTime simtime.Seconds) []protoScenario {
 	}
 }
 
-// Protocols runs the protocol matrix and enforces the byte contract:
+// protoKinds is the matrix's protocol axis.
+var protoKinds = []dsm.ProtocolKind{dsm.Tmk, dsm.HLRC, dsm.Hybrid}
+
+// Protocols runs the protocol matrix and enforces the byte contracts:
 // on the migratory kernel HLRC must transfer fewer bytes than Tmk in
-// every scenario.
+// every scenario, and hybrid must transfer at most what the better
+// parent does on the migratory and prodcons cells and stay within 5%
+// of the better parent on every other cell.
 func Protocols(opt Options) ([]ProtoRow, error) {
 	opt = opt.withDefaults()
 	if opt.Hosts <= protoProcs {
@@ -134,10 +158,10 @@ func Protocols(opt Options) ([]ProtoRow, error) {
 	rows := []ProtoRow{base}
 
 	type cell struct {
-		sc        protoScenario
-		sched     omp.Schedule
-		proto     dsm.ProtocolKind
-		migratory bool
+		sc     protoScenario
+		sched  omp.Schedule
+		proto  dsm.ProtocolKind
+		kernel string
 	}
 	var cells []cell
 	for _, sc := range protoScenarios(base.Time) {
@@ -145,21 +169,24 @@ func Protocols(opt Options) ([]ProtoRow, error) {
 			if len(sc.events) > 0 && sched != omp.Static {
 				continue // the adaptation scenario sticks to the deterministic schedule
 			}
-			for _, proto := range []dsm.ProtocolKind{dsm.Tmk, dsm.HLRC} {
+			for _, proto := range protoKinds {
 				if sc.name == "homog" && sched == omp.Static && proto == dsm.Tmk {
 					continue // already measured as the baseline
 				}
-				cells = append(cells, cell{sc: sc, sched: sched, proto: proto})
+				cells = append(cells, cell{sc: sc, sched: sched, proto: proto, kernel: "loop"})
 			}
 		}
 	}
-	// The migratory kernel, both protocols under each shape.
-	for _, sc := range protoScenarios(base.Time) {
-		if len(sc.events) > 0 {
-			continue // the lock region has no adaptation points
-		}
-		for _, proto := range []dsm.ProtocolKind{dsm.Tmk, dsm.HLRC} {
-			cells = append(cells, cell{sc: sc, proto: proto, migratory: true})
+	// The sharing-pattern kernels, every protocol under each shape (the
+	// lock and stripe regions have no adaptation points).
+	for _, kernel := range []string{"migratory", "prodcons", "falseshare"} {
+		for _, sc := range protoScenarios(base.Time) {
+			if len(sc.events) > 0 {
+				continue
+			}
+			for _, proto := range protoKinds {
+				cells = append(cells, cell{sc: sc, proto: proto, kernel: kernel})
+			}
 		}
 	}
 
@@ -167,10 +194,15 @@ func Protocols(opt Options) ([]ProtoRow, error) {
 	err = opt.runMatrix("protocols", len(cells), func(i int) error {
 		var row ProtoRow
 		var err error
-		if cells[i].migratory {
-			row, err = migratoryRun(opt, cells[i].sc, cells[i].proto)
-		} else {
+		switch cells[i].kernel {
+		case "loop":
 			row, err = protoLoopRun(opt, cells[i].sc, cells[i].sched, cells[i].proto)
+		case "migratory":
+			row, err = migratoryRun(opt, cells[i].sc, cells[i].proto)
+		case "prodcons":
+			row, err = prodConsRun(opt, cells[i].sc, cells[i].proto)
+		case "falseshare":
+			row, err = falseShareRun(opt, cells[i].sc, cells[i].proto)
 		}
 		cellRows[i] = row
 		return err
@@ -180,18 +212,37 @@ func Protocols(opt Options) ([]ProtoRow, error) {
 	}
 	rows = append(rows, cellRows...)
 
-	// Enforce the byte contract on the assembled migratory cells: under
-	// every shape HLRC must transfer fewer bytes than Tmk. Migratory
-	// cells were appended in adjacent Tmk/HLRC pairs per scenario.
-	for i, c := range cells {
-		if !c.migratory || c.proto != dsm.Tmk {
-			continue
+	// Assemble the per-(kernel, scenario, schedule) byte totals and
+	// enforce the contracts.
+	byProto := map[string]map[string]int64{}
+	for _, r := range rows {
+		key := r.Kernel + "/" + r.Scenario + "/" + r.Schedule
+		if byProto[key] == nil {
+			byProto[key] = map[string]int64{}
 		}
-		tmk, hlrc := cellRows[i], cellRows[i+1]
-		if hlrc.Bytes >= tmk.Bytes {
+		byProto[key][r.Protocol] = r.Bytes
+	}
+	for key, bytes := range byProto {
+		tmk, hlrc, hybrid := bytes["tmk"], bytes["hlrc"], bytes["hybrid"]
+		if strings.HasPrefix(key, "migratory/") && hlrc >= tmk {
 			return nil, fmt.Errorf(
-				"bench: migratory/%s: hlrc transferred %d bytes, tmk %d; home-based LRC must beat diff chasing on migratory sharing",
-				c.sc.name, hlrc.Bytes, tmk.Bytes)
+				"bench: %s: hlrc transferred %d bytes, tmk %d; home-based LRC must beat diff chasing on migratory sharing",
+				key, hlrc, tmk)
+		}
+		better := min(tmk, hlrc)
+		switch {
+		case strings.HasPrefix(key, "migratory/") || strings.HasPrefix(key, "prodcons/"):
+			if hybrid > better {
+				return nil, fmt.Errorf(
+					"bench: %s: hybrid transferred %d bytes, better parent %d; the adaptive protocol must not lose on its target patterns",
+					key, hybrid, better)
+			}
+		default:
+			if hybrid > better+better/20 {
+				return nil, fmt.Errorf(
+					"bench: %s: hybrid transferred %d bytes, better parent %d; the adaptive protocol must stay within 5%% everywhere",
+					key, hybrid, better)
+			}
 		}
 	}
 	return rows, nil
@@ -263,9 +314,7 @@ func protoLoopRun(opt Options, sc protoScenario, sched omp.Schedule, proto dsm.P
 	window := rt.Cluster().Fabric().Snapshot().Sub(net0)
 	row.Bytes = window.TotalBytes()
 	row.Messages = window.TotalMessages()
-	stats := rt.Cluster().Stats().Snapshot().Sub(st0)
-	row.Diffs = stats.DiffFetches
-	row.Flushes = stats.HomeFlushes
+	fillProtoStats(&row, rt.Cluster().Stats().Snapshot().Sub(st0))
 
 	mp := rt.MasterProc()
 	buf := make([]float64, n)
@@ -332,9 +381,7 @@ func migratoryRun(opt Options, sc protoScenario, proto dsm.ProtocolKind) (ProtoR
 	window := rt.Cluster().Fabric().Snapshot().Sub(net0)
 	row.Bytes = window.TotalBytes()
 	row.Messages = window.TotalMessages()
-	stats := rt.Cluster().Stats().Snapshot().Sub(st0)
-	row.Diffs = stats.DiffFetches
-	row.Flushes = stats.HomeFlushes
+	fillProtoStats(&row, rt.Cluster().Stats().Snapshot().Sub(st0))
 
 	// Every process incremented every record word migRounds times.
 	want := float64(protoProcs * migRounds)
@@ -351,11 +398,214 @@ func migratoryRun(opt Options, sc protoScenario, proto dsm.ProtocolKind) (ProtoR
 	return row, nil
 }
 
+// fillProtoStats records a cell's mechanical signature (diff fetches,
+// home pushes) and its hybrid coherence record from the stats window.
+func fillProtoStats(row *ProtoRow, stats dsm.StatsSnapshot) {
+	row.Diffs = stats.DiffFetches
+	row.Flushes = stats.HomeFlushes
+	row.Coherence = CoherenceStats{
+		PagesSingleWriter:     stats.PagesSingleWriter,
+		PagesProducerConsumer: stats.PagesProducerConsumer,
+		PagesMigratory:        stats.PagesMigratory,
+		PagesFalselyShared:    stats.PagesFalselyShared,
+		HomeMigrations:        stats.HomeMigrations,
+		HomeMigrationBytes:    stats.HomeMigrationBytes,
+		ElidedTwins:           stats.ElidedTwins,
+		ElidedDiffs:           stats.ElidedDiffs,
+	}
+}
+
+// pageWords is the float64 capacity of one DSM page.
+const pageWords = page.Size / 8
+
+// Producer-consumer kernel parameters: one producer rewrites every
+// pcStride-th word of a pcPages-page buffer each round, and every
+// other process reads the buffer back — sparse updates that HLRC can
+// only serve as whole pages.
+const (
+	pcPages  = 6
+	pcStride = 64
+	pcRounds = 10
+)
+
+// prodConsRun measures the producer-consumer kernel for one cell.
+func prodConsRun(opt Options, sc protoScenario, proto dsm.ProtocolKind) (ProtoRow, error) {
+	row := ProtoRow{Kernel: "prodcons", Scenario: sc.name, Schedule: "-", Protocol: proto.String()}
+
+	var mm *machine.Model
+	if sc.model != nil {
+		mm = sc.model(opt.Hosts)
+	}
+	rt, err := omp.New(omp.Config{
+		Hosts:    opt.Hosts,
+		Procs:    protoProcs,
+		Machine:  mm,
+		Links:    sc.links,
+		Protocol: proto,
+	})
+	if err != nil {
+		return row, err
+	}
+	words := pcPages * pageWords
+	buf, err := omp.Alloc[float64](rt, "pc.buf", words)
+	if err != nil {
+		return row, err
+	}
+
+	// Sequential reference: the same update stream applied to a plain
+	// slice, summed the way the consumers sum.
+	ref := make([]float64, words)
+	wantSums := make([]float64, pcRounds)
+	for round := 0; round < pcRounds; round++ {
+		for w := 0; w < words; w += pcStride {
+			ref[w] = float64(round*words + w + 1)
+		}
+		for _, v := range ref {
+			wantSums[round] += v
+		}
+	}
+
+	sums := make([]float64, protoProcs) // per-consumer running checksum
+	t0 := rt.Now()
+	net0 := rt.Cluster().Fabric().Snapshot()
+	st0 := rt.Cluster().Stats().Snapshot()
+	for round := 0; round < pcRounds; round++ {
+		rt.Parallel("pc.produce", func(p *omp.Proc) {
+			if p.ID != 0 {
+				return
+			}
+			one := make([]float64, 1)
+			for w := 0; w < words; w += pcStride {
+				one[0] = float64(round*words + w + 1)
+				buf.WriteRange(p.Mem(), w, one)
+			}
+			p.ChargeUnits(words/pcStride, simtime.Micros(1))
+		})
+		rt.Parallel("pc.consume", func(p *omp.Proc) {
+			if p.ID == 0 {
+				return
+			}
+			chunk := make([]float64, pageWords)
+			sum := 0.0
+			for pg := 0; pg < pcPages; pg++ {
+				buf.ReadRange(p.Mem(), pg*pageWords, (pg+1)*pageWords, chunk)
+				for _, v := range chunk {
+					sum += v
+				}
+			}
+			p.ChargeUnits(words, simtime.Micros(1)/8)
+			if sum != wantSums[round] {
+				panic(fmt.Sprintf("bench: prodcons %s/%s consumer %d round %d sum = %g, want %g",
+					sc.name, proto, p.ID, round, sum, wantSums[round]))
+			}
+			sums[p.ID] += sum
+		})
+	}
+	row.Time = rt.Now() - t0
+	window := rt.Cluster().Fabric().Snapshot().Sub(net0)
+	row.Bytes = window.TotalBytes()
+	row.Messages = window.TotalMessages()
+	fillProtoStats(&row, rt.Cluster().Stats().Snapshot().Sub(st0))
+
+	var wantTotal float64
+	for _, s := range wantSums {
+		wantTotal += s
+	}
+	for id := 1; id < protoProcs; id++ {
+		if sums[id] != wantTotal {
+			return row, fmt.Errorf("bench: prodcons %s/%s consumer %d total = %g, want %g",
+				sc.name, proto, id, sums[id], wantTotal)
+		}
+	}
+	row.Verified = true
+	return row, nil
+}
+
+// False-sharing kernel parameters: the stripe region spans fsPages
+// pages whose words interleave across processes (word w belongs to
+// process w mod protoProcs); each round process 0 plus one rotating
+// peer rewrite their stripes — concurrent writers on every page, with
+// process 0 dominant.
+const (
+	fsPages  = 2
+	fsRounds = 9
+)
+
+// falseShareRun measures the false-sharing kernel for one cell.
+func falseShareRun(opt Options, sc protoScenario, proto dsm.ProtocolKind) (ProtoRow, error) {
+	row := ProtoRow{Kernel: "falseshare", Scenario: sc.name, Schedule: "-", Protocol: proto.String()}
+
+	var mm *machine.Model
+	if sc.model != nil {
+		mm = sc.model(opt.Hosts)
+	}
+	rt, err := omp.New(omp.Config{
+		Hosts:    opt.Hosts,
+		Procs:    protoProcs,
+		Machine:  mm,
+		Links:    sc.links,
+		Protocol: proto,
+	})
+	if err != nil {
+		return row, err
+	}
+	words := fsPages * pageWords
+	stripes, err := omp.Alloc[float64](rt, "fs.stripes", words)
+	if err != nil {
+		return row, err
+	}
+
+	// Sequential reference for the final state.
+	ref := make([]float64, words)
+	for round := 0; round < fsRounds; round++ {
+		for _, id := range []int{0, 1 + round%(protoProcs-1)} {
+			for w := id; w < words; w += protoProcs {
+				ref[w] = float64(round*words + w + 1)
+			}
+		}
+	}
+
+	t0 := rt.Now()
+	net0 := rt.Cluster().Fabric().Snapshot()
+	st0 := rt.Cluster().Stats().Snapshot()
+	for round := 0; round < fsRounds; round++ {
+		peer := 1 + round%(protoProcs-1)
+		rt.Parallel("fs.work", func(p *omp.Proc) {
+			if p.ID != 0 && p.ID != peer {
+				return
+			}
+			one := make([]float64, 1)
+			for w := p.ID; w < words; w += protoProcs {
+				one[0] = float64(round*words + w + 1)
+				stripes.WriteRange(p.Mem(), w, one)
+			}
+			p.ChargeUnits(words/protoProcs, simtime.Micros(1))
+		})
+	}
+	row.Time = rt.Now() - t0
+	window := rt.Cluster().Fabric().Snapshot().Sub(net0)
+	row.Bytes = window.TotalBytes()
+	row.Messages = window.TotalMessages()
+	fillProtoStats(&row, rt.Cluster().Stats().Snapshot().Sub(st0))
+
+	mp := rt.MasterProc()
+	got := make([]float64, words)
+	stripes.ReadRange(mp.Mem(), 0, words, got)
+	for w, v := range got {
+		if v != ref[w] {
+			return row, fmt.Errorf("bench: falseshare %s/%s word %d = %g, want %g",
+				sc.name, proto, w, v, ref[w])
+		}
+	}
+	row.Verified = true
+	return row, nil
+}
+
 // FormatProtocols renders the matrix.
 func FormatProtocols(rows []ProtoRow) string {
 	var b strings.Builder
-	fmt.Fprintln(&b, "Coherence-protocol matrix: Tmk homeless LRC vs HLRC home-based LRC")
-	fmt.Fprintln(&b, "(virtual work-phase time; diffs = Tmk diff fetches, flushes = HLRC home pushes)")
+	fmt.Fprintln(&b, "Coherence-protocol matrix: Tmk homeless LRC vs HLRC home-based LRC vs adaptive hybrid")
+	fmt.Fprintln(&b, "(virtual work-phase time; diffs = diff fetches, flushes = home pushes)")
 	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
 	fmt.Fprintln(w, "kernel\tscenario\tschedule\tprotocol\ttime\tKB\tmsgs\tdiffs\tflushes\tverified")
 	for _, r := range rows {

@@ -9,42 +9,65 @@ import (
 )
 
 // TestProtocolsMatrix runs the full protocol matrix at a small scale.
-// Protocols() itself enforces the byte contract (HLRC beats Tmk on the
-// migratory kernel in every scenario) and verifies every kernel
-// result; here we additionally check the matrix shape and the
-// mechanical signatures.
+// Protocols() itself enforces the byte contracts (HLRC beats Tmk on
+// the migratory kernel in every scenario; hybrid never loses to the
+// better parent on its target patterns and stays within 5% everywhere
+// else) and verifies every kernel result; here we additionally check
+// the matrix shape, the mechanical signatures, and that the hybrid
+// adaptation machinery actually engaged.
 func TestProtocolsMatrix(t *testing.T) {
 	rows, err := Protocols(Options{Scale: 0.06})
 	if err != nil {
 		t.Fatal(err)
 	}
-	var loops, migs int
+	kernels := map[string]int{}
 	for _, r := range rows {
 		if !r.Verified {
 			t.Errorf("%s/%s/%s/%s not verified", r.Kernel, r.Scenario, r.Schedule, r.Protocol)
 		}
-		switch r.Kernel {
-		case "loop":
-			loops++
-		case "migratory":
-			migs++
-		}
+		kernels[r.Kernel]++
 		// Mechanical signature: Tmk never pushes to homes, HLRC never
-		// fetches diffs.
+		// fetches diffs, and neither parent classifies or adapts.
 		if r.Protocol == "tmk" && r.Flushes != 0 {
 			t.Errorf("%s/%s/%s: tmk recorded %d home flushes", r.Kernel, r.Scenario, r.Schedule, r.Flushes)
 		}
 		if r.Protocol == "hlrc" && r.Diffs != 0 {
 			t.Errorf("%s/%s/%s: hlrc recorded %d diff fetches", r.Kernel, r.Scenario, r.Schedule, r.Diffs)
 		}
+		if r.Protocol != "hybrid" && r.Coherence != (CoherenceStats{}) {
+			t.Errorf("%s/%s/%s/%s: parent protocol recorded coherence stats %+v",
+				r.Kernel, r.Scenario, r.Schedule, r.Protocol, r.Coherence)
+		}
+		// Hybrid adaptation signatures per kernel: the classifier must
+		// tag the pattern each kernel embodies, and falseshare must pay
+		// for at least one dominant-writer migration.
+		if r.Protocol == "hybrid" {
+			co := r.Coherence
+			switch r.Kernel {
+			case "prodcons":
+				if co.PagesProducerConsumer == 0 {
+					t.Errorf("prodcons/%s: hybrid classified no producer-consumer pages: %+v", r.Scenario, co)
+				}
+			case "falseshare":
+				if co.PagesFalselyShared == 0 || co.HomeMigrationBytes == 0 {
+					t.Errorf("falseshare/%s: hybrid census %+v, want falsely-shared pages and paid migrations", r.Scenario, co)
+				}
+			case "migratory":
+				if co.PagesMigratory == 0 {
+					t.Errorf("migratory/%s: hybrid classified no migratory pages: %+v", r.Scenario, co)
+				}
+			}
+		}
 	}
-	// 4 scenarios x 3 schedules x 2 protocols + leave-join static pair.
-	if want := 4*3*2 + 2; loops != want {
-		t.Errorf("loop cells = %d, want %d", loops, want)
+	// 4 scenarios x 3 schedules x 3 protocols + leave-join static triple.
+	if want := 4*3*3 + 3; kernels["loop"] != want {
+		t.Errorf("loop cells = %d, want %d", kernels["loop"], want)
 	}
-	// 4 non-adaptation scenarios x 2 protocols.
-	if want := 4 * 2; migs != want {
-		t.Errorf("migratory cells = %d, want %d", migs, want)
+	// 4 non-adaptation scenarios x 3 protocols each.
+	for _, k := range []string{"migratory", "prodcons", "falseshare"} {
+		if want := 4 * 3; kernels[k] != want {
+			t.Errorf("%s cells = %d, want %d", k, kernels[k], want)
+		}
 	}
 
 	// The identical static loop must price identically across
@@ -79,7 +102,7 @@ func TestReportRendersSortedJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(data, `"schema": 3`) {
+	if !strings.Contains(data, `"schema": 4`) {
 		t.Errorf("report missing schema stamp:\n%s", data)
 	}
 	// Run metadata (since schema 2): the worker-pool level and wall clock.

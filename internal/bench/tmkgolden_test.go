@@ -202,14 +202,21 @@ func assertGolden(t *testing.T, got []goldenCell) {
 	}
 }
 
-// TestCaptureGolden regenerates the golden table in Go-literal form
-// when NOWOMP_REGEN_GOLDEN is set; run it after an intentional cost
-// change and paste the output over tmkGolden. It is skipped otherwise.
+// TestCaptureGolden regenerates a golden table in Go-literal form when
+// NOWOMP_REGEN_GOLDEN is set; run it after an intentional cost change
+// and paste the output over the matching table. NOWOMP_REGEN_GOLDEN=1
+// captures the Tmk matrix (paste over tmkGolden);
+// NOWOMP_REGEN_GOLDEN=hybrid captures the hybrid matrix (paste over
+// hybridGolden). It is skipped otherwise.
 func TestCaptureGolden(t *testing.T) {
-	if os.Getenv("NOWOMP_REGEN_GOLDEN") == "" {
-		t.Skip("set NOWOMP_REGEN_GOLDEN=1 to regenerate the golden table")
+	proto := dsm.Tmk
+	switch os.Getenv("NOWOMP_REGEN_GOLDEN") {
+	case "":
+		t.Skip("set NOWOMP_REGEN_GOLDEN=1 (tmk) or =hybrid to regenerate a golden table")
+	case "hybrid":
+		proto = dsm.Hybrid
 	}
-	for _, c := range goldenMatrix(t, dsm.Tmk) {
+	for _, c := range goldenMatrix(t, proto) {
 		fmt.Printf("{Name: %q, Time: %.17g, Bytes: %d, Messages: %d, Checksum: %.17g},\n",
 			c.Name, c.Time, c.Bytes, c.Messages, c.Checksum)
 	}
@@ -223,6 +230,19 @@ func TestHLRCTeamSizes(t *testing.T) {
 		runner, _ := apps.RunnerByName(name)
 		for _, procs := range []int{1, 2, 3, 5} {
 			goldenRunEvents(t, runner, omp.Config{Hosts: 6, Procs: procs, Protocol: dsm.HLRC}, nil)
+		}
+	}
+}
+
+// TestHybridTeamSizes is the hybrid analogue of TestHLRCTeamSizes:
+// classification, home migration and single-writer elision must all be
+// output-transparent at every team size, including the degenerate
+// one-proc team where every page is trivially single-writer.
+func TestHybridTeamSizes(t *testing.T) {
+	for _, name := range []string{"jacobi", "mergesort"} {
+		runner, _ := apps.RunnerByName(name)
+		for _, procs := range []int{1, 2, 3, 5} {
+			goldenRunEvents(t, runner, omp.Config{Hosts: 6, Procs: procs, Protocol: dsm.Hybrid}, nil)
 		}
 	}
 }
@@ -241,6 +261,64 @@ func TestHLRCKernelMatrix(t *testing.T) {
 			if w.Name == c.Name && w.Checksum != c.Checksum {
 				t.Errorf("%s: hlrc checksum %.17g, tmk golden %.17g", c.Name, c.Checksum, w.Checksum)
 			}
+		}
+	}
+}
+
+// hybridGolden pins the adaptive protocol's own cost matrix, captured
+// with TestCaptureGolden under NOWOMP_REGEN_GOLDEN=hybrid. Unlike the
+// Tmk table this is not a refactor-preservation contract — hybrid has
+// no pre-refactor ancestor — it is a regression fence: classification
+// thresholds, home-migration pricing and chain-window bounds all move
+// these numbers, so an accidental change to any of them shows up as a
+// diverged cell rather than a silent cost regression.
+var hybridGolden = []goldenCell{
+	{Name: "gauss/base", Time: 3.2798931072000683, Bytes: 6013632, Messages: 6438, Checksum: 265116.67143948283},
+	{Name: "gauss/adapt", Time: 3.9552407971156827, Bytes: 6932584, Messages: 6932, Checksum: 265116.67143948283},
+	{Name: "gauss/hetero", Time: 7.0784484185436503, Bytes: 6922568, Messages: 6945, Checksum: 265116.67143948283},
+	{Name: "jacobi/base", Time: 0.50089191493905905, Bytes: 2311096, Messages: 2021, Checksum: 450862.44785374403},
+	{Name: "jacobi/adapt", Time: 0.6766311245390586, Bytes: 2304520, Messages: 1797, Checksum: 450862.44785374403},
+	{Name: "jacobi/hetero", Time: 0.99538825094062289, Bytes: 2297960, Messages: 1787, Checksum: 450862.44785374403},
+	{Name: "fft3d/base", Time: 0.11120171999999982, Bytes: 853712, Messages: 635, Checksum: 2607.0611865067449},
+	{Name: "fft3d/adapt", Time: 0.13203423999999991, Bytes: 711896, Messages: 522, Checksum: 2607.0611865067449},
+	{Name: "fft3d/hetero", Time: 0.21576936000000038, Bytes: 684592, Messages: 504, Checksum: 2607.0611865067449},
+	{Name: "nbf/base", Time: 0.55145704799999884, Bytes: 2163568, Messages: 1177, Checksum: 18635.568711964494},
+	{Name: "nbf/adapt", Time: 0.76300007199999897, Bytes: 2253104, Messages: 1182, Checksum: 18635.568711964494},
+	{Name: "nbf/hetero", Time: 1.3800799200000038, Bytes: 2680512, Messages: 1397, Checksum: 18635.568711964494},
+	{Name: "mergesort/base", Time: 0.26202876000000119, Bytes: 1173280, Messages: 599, Checksum: 1676056.8523008034},
+	{Name: "mergesort/adapt", Time: 0.28199008000000203, Bytes: 1105792, Messages: 564, Checksum: 1676056.8523008034},
+	{Name: "mergesort/hetero", Time: 0.35168184000000113, Bytes: 1105792, Messages: 564, Checksum: 1676056.8523008034},
+	{Name: "quadrature/base", Time: 0.10527831999999235, Bytes: 85808, Messages: 94, Checksum: 153.07934230313165},
+	{Name: "quadrature/adapt", Time: 0.10524831999999235, Bytes: 85808, Messages: 94, Checksum: 153.07934230313165},
+	{Name: "quadrature/hetero", Time: 0.13058039999998991, Bytes: 85968, Messages: 97, Checksum: 153.07934230313165},
+}
+
+// TestHybridKernelMatrix runs the kernel matrix under the adaptive
+// hybrid protocol and pins both halves of its contract: checksums must
+// equal the Tmk goldens bit for bit (classification and migration are
+// invisible to program output), and virtual time, fabric bytes and
+// message counts must reproduce hybridGolden exactly (the protocol's
+// own pinned cost matrix).
+func TestHybridKernelMatrix(t *testing.T) {
+	got := goldenMatrix(t, dsm.Hybrid)
+	for _, c := range got {
+		for _, w := range tmkGolden {
+			if w.Name == c.Name && w.Checksum != c.Checksum {
+				t.Errorf("%s: hybrid checksum %.17g, tmk golden %.17g", c.Name, c.Checksum, w.Checksum)
+			}
+		}
+	}
+	if len(got) != len(hybridGolden) {
+		t.Fatalf("matrix has %d cells, hybrid golden table %d", len(got), len(hybridGolden))
+	}
+	for i, g := range got {
+		w := hybridGolden[i]
+		if g.Name != w.Name {
+			t.Fatalf("cell %d is %q, hybrid golden table has %q", i, g.Name, w.Name)
+		}
+		if g.Time != w.Time || g.Bytes != w.Bytes || g.Messages != w.Messages {
+			t.Errorf("%s diverged from hybrid golden:\n  got  (%.17g s, %d B, %d msgs)\n  want (%.17g s, %d B, %d msgs)",
+				g.Name, g.Time, g.Bytes, g.Messages, w.Time, w.Bytes, w.Messages)
 		}
 	}
 }

@@ -74,6 +74,9 @@ func (hp *hlrcProtocol) leaveStrategy(LeaveStrategy) LeaveStrategy { return Leav
 // never reclaimable storage and the barrier GC trigger never fires.
 func (hp *hlrcProtocol) storageLocked() int { return 0 }
 
+// elideTwin: HLRC always twins on first write.
+func (hp *hlrcProtocol) elideTwin(*Host, pageKey) bool { return false }
+
 // fault pulls the whole page from its home in one round trip.
 func (hp *hlrcProtocol) fault(h *Host, pk pageKey, clk *simtime.Clock) {
 	c := hp.c

@@ -27,6 +27,12 @@ const (
 	// the whole page from the home, and garbage collection is trivial
 	// because no diff ever outlives its interval close.
 	HLRC
+	// Hybrid is the adaptive per-page protocol: an HLRC-style
+	// home-based baseline whose per-page classifier (classify.go)
+	// migrates homes to dominant writers, switches diff-vs-whole-page
+	// transfer on measured diff density, and elides twin/diff work for
+	// proven single-writer pages (hybrid.go).
+	Hybrid
 )
 
 // String names the protocol the way the tools' -protocol flag spells
@@ -37,6 +43,8 @@ func (k ProtocolKind) String() string {
 		return "tmk"
 	case HLRC:
 		return "hlrc"
+	case Hybrid:
+		return "hybrid"
 	}
 	return fmt.Sprintf("protocol(%d)", int(k))
 }
@@ -48,8 +56,10 @@ func ParseProtocol(s string) (ProtocolKind, error) {
 		return Tmk, nil
 	case "hlrc":
 		return HLRC, nil
+	case "hybrid":
+		return Hybrid, nil
 	}
-	return Tmk, fmt.Errorf("dsm: unknown protocol %q (want tmk or hlrc)", s)
+	return Tmk, fmt.Errorf("dsm: unknown protocol %q (want tmk, hlrc or hybrid)", s)
 }
 
 // Protocol is the coherence machinery of a cluster: everything that
@@ -100,6 +110,11 @@ type Protocol interface {
 	storageLocked() int
 	initRegion(r *Region)
 	leaveStrategy(s LeaveStrategy) LeaveStrategy
+	// elideTwin lets the protocol skip twin creation for a first write:
+	// the page stays dirty with a nil twin and the protocol commits it
+	// without a diff. Tmk and HLRC never elide; hybrid does for proven
+	// single-writer pages.
+	elideTwin(h *Host, pk pageKey) bool
 }
 
 // newProtocol builds the configured protocol for a cluster.
@@ -109,6 +124,8 @@ func newProtocol(k ProtocolKind, c *Cluster) (Protocol, error) {
 		return &tmkProtocol{c: c}, nil
 	case HLRC:
 		return &hlrcProtocol{c: c}, nil
+	case Hybrid:
+		return &hybridProtocol{c: c}, nil
 	}
 	return nil, fmt.Errorf("dsm: unknown protocol kind %d", int(k))
 }

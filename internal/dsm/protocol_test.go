@@ -31,7 +31,7 @@ func protoCluster(t *testing.T, proto ProtocolKind, procs, npages int) (*Cluster
 }
 
 func eachProtocol(t *testing.T, f func(t *testing.T, proto ProtocolKind)) {
-	for _, proto := range []ProtocolKind{Tmk, HLRC} {
+	for _, proto := range []ProtocolKind{Tmk, HLRC, Hybrid} {
 		t.Run(proto.String(), func(t *testing.T) { f(t, proto) })
 	}
 }
@@ -43,15 +43,15 @@ func TestParseProtocol(t *testing.T) {
 		want ProtocolKind
 		ok   bool
 	}{
-		{"", Tmk, true}, {"tmk", Tmk, true}, {"hlrc", HLRC, true},
-		{"treadmarks", Tmk, false}, {"HLRC", Tmk, false},
+		{"", Tmk, true}, {"tmk", Tmk, true}, {"hlrc", HLRC, true}, {"hybrid", Hybrid, true},
+		{"treadmarks", Tmk, false}, {"HLRC", Tmk, false}, {"adaptive", Tmk, false},
 	} {
 		got, err := ParseProtocol(tc.in)
 		if (err == nil) != tc.ok || got != tc.want {
 			t.Errorf("ParseProtocol(%q) = (%v, %v), want (%v, ok=%v)", tc.in, got, err, tc.want, tc.ok)
 		}
 	}
-	for _, k := range []ProtocolKind{Tmk, HLRC} {
+	for _, k := range []ProtocolKind{Tmk, HLRC, Hybrid} {
 		rt, err := ParseProtocol(k.String())
 		if err != nil || rt != k {
 			t.Errorf("ParseProtocol(%v.String()) = (%v, %v), want identity", k, rt, err)
@@ -135,15 +135,24 @@ func TestProtocolLockMigration(t *testing.T) {
 			t.Fatalf("counter = %d after 9 lock-protected increments, want 9", got[0])
 		}
 		st := c.Stats().Snapshot()
-		if proto == HLRC {
+		switch proto {
+		case HLRC:
 			if st.DiffFetches != 0 {
 				t.Errorf("hlrc performed %d diff fetches, want 0", st.DiffFetches)
 			}
 			if st.HomeFlushes == 0 {
 				t.Errorf("hlrc recorded no home flushes")
 			}
-		} else if st.HomeFlushes != 0 {
-			t.Errorf("tmk recorded %d home flushes, want 0", st.HomeFlushes)
+		case Tmk:
+			if st.HomeFlushes != 0 {
+				t.Errorf("tmk recorded %d home flushes, want 0", st.HomeFlushes)
+			}
+		case Hybrid:
+			// A lock-passed record whose writer rotates is the migratory
+			// class by definition; the census must say so.
+			if st.PagesMigratory == 0 {
+				t.Errorf("hybrid census tagged no page migratory: %+v", st)
+			}
 		}
 	})
 }
@@ -194,8 +203,8 @@ func TestGCUnderAdaptationKeepsUnflushedWrites(t *testing.T) {
 		}
 		results[proto] = got
 	})
-	if !bytes.Equal(results[Tmk], results[HLRC]) {
-		t.Fatal("Tmk and HLRC disagree on post-adaptation contents")
+	if !bytes.Equal(results[Tmk], results[HLRC]) || !bytes.Equal(results[Tmk], results[Hybrid]) {
+		t.Fatal("protocols disagree on post-adaptation contents")
 	}
 }
 

@@ -37,6 +37,23 @@ type Stats struct {
 	GCs            Counter
 	ReadFaults     Counter // page-granularity access misses
 	WriteFaults    Counter // first writes (twin events)
+	// Hybrid-protocol classification census: how many pages the
+	// classifier currently tags with each sharing pattern (a page moves
+	// between buckets as its access history evolves; unknown pages are
+	// in no bucket). Always zero under Tmk and HLRC.
+	PagesSingleWriter     Counter
+	PagesProducerConsumer Counter
+	PagesMigratory        Counter
+	PagesFalselyShared    Counter
+	// HomeMigrations counts hybrid home moves: free flips at a
+	// sole-writer close plus priced dominant-writer migrations, whose
+	// transferred bytes accumulate in HomeMigrationBytes.
+	HomeMigrations     Counter
+	HomeMigrationBytes Counter
+	// ElidedTwins/ElidedDiffs count the twin copies and diff objects the
+	// hybrid protocol skipped for proven single-writer pages.
+	ElidedTwins Counter
+	ElidedDiffs Counter
 }
 
 // StatsSnapshot is an immutable copy of the counters.
@@ -55,6 +72,15 @@ type StatsSnapshot struct {
 	GCs            int64
 	ReadFaults     int64
 	WriteFaults    int64
+	// Hybrid classification census and adaptation counters.
+	PagesSingleWriter     int64
+	PagesProducerConsumer int64
+	PagesMigratory        int64
+	PagesFalselyShared    int64
+	HomeMigrations        int64
+	HomeMigrationBytes    int64
+	ElidedTwins           int64
+	ElidedDiffs           int64
 }
 
 // Snapshot captures the current counter values.
@@ -73,6 +99,15 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		GCs:            s.GCs.Load(),
 		ReadFaults:     s.ReadFaults.Load(),
 		WriteFaults:    s.WriteFaults.Load(),
+
+		PagesSingleWriter:     s.PagesSingleWriter.Load(),
+		PagesProducerConsumer: s.PagesProducerConsumer.Load(),
+		PagesMigratory:        s.PagesMigratory.Load(),
+		PagesFalselyShared:    s.PagesFalselyShared.Load(),
+		HomeMigrations:        s.HomeMigrations.Load(),
+		HomeMigrationBytes:    s.HomeMigrationBytes.Load(),
+		ElidedTwins:           s.ElidedTwins.Load(),
+		ElidedDiffs:           s.ElidedDiffs.Load(),
 	}
 }
 
@@ -92,6 +127,15 @@ func (s StatsSnapshot) Sub(earlier StatsSnapshot) StatsSnapshot {
 		GCs:            s.GCs - earlier.GCs,
 		ReadFaults:     s.ReadFaults - earlier.ReadFaults,
 		WriteFaults:    s.WriteFaults - earlier.WriteFaults,
+
+		PagesSingleWriter:     s.PagesSingleWriter - earlier.PagesSingleWriter,
+		PagesProducerConsumer: s.PagesProducerConsumer - earlier.PagesProducerConsumer,
+		PagesMigratory:        s.PagesMigratory - earlier.PagesMigratory,
+		PagesFalselyShared:    s.PagesFalselyShared - earlier.PagesFalselyShared,
+		HomeMigrations:        s.HomeMigrations - earlier.HomeMigrations,
+		HomeMigrationBytes:    s.HomeMigrationBytes - earlier.HomeMigrationBytes,
+		ElidedTwins:           s.ElidedTwins - earlier.ElidedTwins,
+		ElidedDiffs:           s.ElidedDiffs - earlier.ElidedDiffs,
 	}
 }
 

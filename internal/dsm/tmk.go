@@ -37,6 +37,9 @@ func (t *tmkProtocol) initRegion(r *Region) {
 // leaveStrategy: Tmk supports both handoffs as configured.
 func (t *tmkProtocol) leaveStrategy(s LeaveStrategy) LeaveStrategy { return s }
 
+// elideTwin: Tmk always twins on first write.
+func (t *tmkProtocol) elideTwin(*Host, pageKey) bool { return false }
+
 // storageLocked sums diff storage across hosts; the directory write
 // lock serialises it against interval closes.
 func (t *tmkProtocol) storageLocked() int {

@@ -91,6 +91,8 @@ func Catalogue(scale float64) []scenario.Spec {
 			Machines: "1=0.5,3=2", Loads: "2=1.5@0"},
 		{Kernel: "mergesort", Scale: scale, Procs: 4, Hosts: 6},
 		{Kernel: "mergesort", Scale: scale, Procs: 4, Hosts: 6, Protocol: "hlrc"},
+		{Kernel: "mergesort", Scale: scale, Procs: 4, Hosts: 6, Protocol: "hybrid"},
+		{Kernel: "jacobi", Scale: scale, Procs: 4, Hosts: 6, Protocol: "hybrid"},
 		{Kernel: "quadrature", Scale: scale, Procs: 4, Hosts: 6},
 		{Kernel: "jacobi", Scale: scale, Procs: 4, Hosts: 6,
 			Adaptive: true, Schedule: "0.05:leave:3,0.12:join:3"},
@@ -178,7 +180,7 @@ func generate(opt DriveOptions) ([]submission, error) {
 
 // Drive generates the seeded trace, submits it against the server at
 // BaseURL, audits byte-identity against sequential re-runs, and
-// assembles the schema-3 bench report. It fails on any transport
+// assembles the current-schema bench report. It fails on any transport
 // error, failed job, or byte mismatch.
 func Drive(opt DriveOptions) (*bench.Report, error) {
 	opt = opt.withDefaults()

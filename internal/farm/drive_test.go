@@ -65,7 +65,7 @@ func TestDriveSmall(t *testing.T) {
 		t.Fatalf("jobs %d, per-job %d, want 24", f.Jobs, len(f.PerJob))
 	}
 	if f.CacheHitRatio <= 0 {
-		t.Fatalf("24 jobs over a 12-scenario catalogue produced no cache hits: %+v", f)
+		t.Fatalf("24 jobs over a 14-scenario catalogue produced no cache hits: %+v", f)
 	}
 	if f.ThroughputJobsPerSec <= 0 || f.P50Seconds < 0 || f.P99Seconds < f.P50Seconds {
 		t.Fatalf("implausible aggregates: %+v", f)

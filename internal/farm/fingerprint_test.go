@@ -21,10 +21,10 @@ var farmGmpFingerprint struct {
 }
 
 func TestFarmDeterminismAcrossGOMAXPROCS(t *testing.T) {
-	// Three catalogue entries spanning the axes: a verified baseline,
-	// the HLRC protocol, and an adaptive schedule.
+	// Catalogue entries spanning the axes: a verified baseline, the
+	// HLRC and hybrid protocols, and an adaptive schedule.
 	cat := Catalogue(0.02)
-	specs := []int{0, 2, 11}
+	specs := []int{0, 2, 11, 13}
 
 	srv := NewServer(Limits{Workers: 2})
 	defer srv.Close()

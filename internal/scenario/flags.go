@@ -37,7 +37,7 @@ func (s *Spec) BindHetero(fs *flag.FlagSet) {
 
 // BindProtocol registers -protocol.
 func (s *Spec) BindProtocol(fs *flag.FlagSet) {
-	fs.StringVar(&s.Protocol, "protocol", s.Protocol, "DSM coherence protocol: tmk (TreadMarks homeless LRC) or hlrc (home-based LRC)")
+	fs.StringVar(&s.Protocol, "protocol", s.Protocol, "DSM coherence protocol: tmk (TreadMarks homeless LRC), hlrc (home-based LRC) or hybrid (adaptive per-page)")
 }
 
 // BindAll registers the full scenario flag surface.

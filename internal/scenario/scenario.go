@@ -52,7 +52,8 @@ type Spec struct {
 	// Grace is the default leave grace period in virtual seconds
 	// (0 = the paper's 3 s, made explicit by Normalize).
 	Grace float64 `json:"grace"`
-	// Protocol is the DSM coherence protocol: "tmk" or "hlrc".
+	// Protocol is the DSM coherence protocol: "tmk", "hlrc" or
+	// "hybrid".
 	Protocol string `json:"protocol"`
 	// Machines / Loads / Links are the heterogeneity sub-specs in
 	// machine.ParseSpeeds / ParseLoads / ParseLinks form.

@@ -175,10 +175,13 @@ func (g *Gen) Spec() scenario.Spec {
 		Hosts:  hosts,
 		Verify: g.chance(3),
 	}
-	if g.chance(2) {
-		s.Protocol = "hlrc"
-	} else {
+	switch g.rng.Intn(3) {
+	case 0:
 		s.Protocol = "tmk"
+	case 1:
+		s.Protocol = "hlrc"
+	default:
+		s.Protocol = "hybrid"
 	}
 	if g.chance(2) {
 		s.Machines = g.machinesSpec(hosts)

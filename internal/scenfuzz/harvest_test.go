@@ -47,3 +47,45 @@ func TestHarvestFullScaleCorpus(t *testing.T) {
 		t.Fatalf("only %d cheap near-1.0 specs in the stream prefix", picked)
 	}
 }
+
+// TestHarvestHybridCorpus is the harvest tool behind the committed
+// hybrid-protocol corpus entries: it walks the default batch stream
+// (the seed the CI batch gate replays), picks the first few hybrid
+// specs, runs each through the full battery — which includes the
+// three-way cross-protocol oracle — and writes the passing canonical
+// encodings to testdata/corpus. Gated like the full-scale harvest.
+func TestHarvestHybridCorpus(t *testing.T) {
+	if os.Getenv("SCENFUZZ_HARVEST") != "1" {
+		t.Skip("harvest tool; set SCENFUZZ_HARVEST=1 to run")
+	}
+	g := NewGen(1999)
+	picked := 0
+	for i := 0; i < 200 && picked < 2; i++ {
+		s := g.Spec()
+		if s.Protocol != "hybrid" {
+			continue
+		}
+		v := Check(s)
+		if v.Failed() {
+			t.Fatalf("hybrid spec %d failed oracle %s: %s\nspec: %+v", i, v.Oracle, v.Detail, s)
+		}
+		canon, err := s.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		kind := "steady"
+		if s.Adaptive {
+			kind = "churn"
+		}
+		name := fmt.Sprintf("%s-hybrid-%s-%dp%dh.json", s.Kernel, kind, s.Procs, s.Hosts)
+		path := filepath.Join("testdata", "corpus", name)
+		if err := os.WriteFile(path, canon, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("harvested %s (stream index %d, hash %s)", name, i, short(v.Hash))
+		picked++
+	}
+	if picked < 2 {
+		t.Fatalf("only %d hybrid specs in the stream prefix", picked)
+	}
+}

@@ -18,7 +18,7 @@ const (
 	OracleRun           = "run-error"      // a valid spec failed to build or run
 	OracleDeterminism   = "determinism"    // Result bytes differ across GOMAXPROCS or reruns
 	OracleReference     = "reference"      // checksum differs from the sequential reference
-	OracleCrossProtocol = "cross-protocol" // Tmk and HLRC disagree on program output
+	OracleCrossProtocol = "cross-protocol" // Tmk, HLRC and hybrid disagree on program output
 	OracleTransparency  = "transparency"   // adaptive run disagrees with non-adaptive output
 )
 
@@ -130,23 +130,25 @@ func Check(spec scenario.Spec) Verdict {
 
 	// Cross-protocol: the coherence protocol is an implementation
 	// detail — traffic and virtual times may differ, program output may
-	// not.
-	other := norm
-	if other.Protocol == "tmk" {
-		other.Protocol = "hlrc"
-	} else {
-		other.Protocol = "tmk"
-	}
-	otherRes, _, err := runEncoded(other)
-	if err != nil {
-		failure(&v, fmt.Errorf("%s counterpart: %w", other.Protocol, err))
-		return v
-	}
-	if !sameBits(base.Checksum, otherRes.Checksum) {
-		v.Oracle = OracleCrossProtocol
-		v.Detail = fmt.Sprintf("%s checksum %v, %s checksum %v",
-			norm.Protocol, base.Checksum, other.Protocol, otherRes.Checksum)
-		return v
+	// not. The equivalence is three-way: whatever protocol the spec
+	// names, both counterparts must reproduce its checksum bit for bit.
+	for _, proto := range []string{"tmk", "hlrc", "hybrid"} {
+		if proto == norm.Protocol {
+			continue
+		}
+		other := norm
+		other.Protocol = proto
+		otherRes, _, err := runEncoded(other)
+		if err != nil {
+			failure(&v, fmt.Errorf("%s counterpart: %w", other.Protocol, err))
+			return v
+		}
+		if !sameBits(base.Checksum, otherRes.Checksum) {
+			v.Oracle = OracleCrossProtocol
+			v.Detail = fmt.Sprintf("%s checksum %v, %s checksum %v",
+				norm.Protocol, base.Checksum, other.Protocol, otherRes.Checksum)
+			return v
+		}
 	}
 
 	// Transparency: team churn must not show in the program's output.

@@ -65,7 +65,7 @@ func TestGeneratorValidAndDiverse(t *testing.T) {
 	if len(kernelsSeen) < len(kernels) {
 		t.Errorf("only %d of %d kernels drawn in %d specs: %v", len(kernelsSeen), len(kernels), n, kernelsSeen)
 	}
-	if !protocols["tmk"] || !protocols["hlrc"] {
+	if !protocols["tmk"] || !protocols["hlrc"] || !protocols["hybrid"] {
 		t.Errorf("protocol coverage incomplete: %v", protocols)
 	}
 	if adaptive == 0 || hetero == 0 {

@@ -90,7 +90,9 @@ const DefaultGrace = adapt.DefaultGrace
 // layer (Config.Protocol): Tmk is the paper's TreadMarks homeless lazy
 // release consistency and the default; HLRC is home-based LRC, where
 // every page has a home that writers flush diffs to eagerly and
-// readers fetch whole pages from. See DESIGN.md "Coherence protocols".
+// readers fetch whole pages from; Hybrid classifies each page's
+// sharing pattern and adapts between the two per page. See DESIGN.md
+// "Coherence protocols" and "Adaptive coherence".
 type (
 	// ProtocolKind selects the DSM coherence protocol.
 	ProtocolKind = dsm.ProtocolKind
@@ -103,10 +105,14 @@ const (
 	Tmk = dsm.Tmk
 	// HLRC is home-based lazy release consistency.
 	HLRC = dsm.HLRC
+	// Hybrid is the adaptive per-page protocol: sharing-pattern
+	// classification, home migration, and single-writer elision on an
+	// HLRC-style home-based baseline.
+	Hybrid = dsm.Hybrid
 )
 
-// ParseProtocol parses a protocol name ("tmk" or "hlrc"), as the
-// tools' -protocol flag spells it.
+// ParseProtocol parses a protocol name ("tmk", "hlrc" or "hybrid"), as
+// the tools' -protocol flag spells it.
 func ParseProtocol(s string) (ProtocolKind, error) { return dsm.ParseProtocol(s) }
 
 // Heterogeneous NOW modelling: per-machine CPU speed factors and
